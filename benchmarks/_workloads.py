@@ -1,0 +1,76 @@
+"""Shared workload builders for the benchmark suite."""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Callable, List, Optional, Tuple
+
+from repro.browser import Browser
+from repro.core import HostMachine, MachineProfile, ShellStack
+from repro.corpus import alexa_corpus, generate_site, named_site
+from repro.corpus.sitegen import SyntheticSite
+from repro.linkem import OverheadModel
+from repro.sim import Simulator
+
+
+def bench_scale() -> float:
+    """Global trial-count multiplier (see conftest docstring)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+def scaled(full_count: int, minimum: int = 3) -> int:
+    """Scale a paper-size trial count."""
+    return max(minimum, int(round(full_count * bench_scale())))
+
+
+@lru_cache(maxsize=None)
+def corpus(size: int) -> Tuple[SyntheticSite, ...]:
+    """The (scaled) Alexa-like corpus, generated once per session."""
+    singles = max(1, round(9 * size / 500))
+    return tuple(alexa_corpus(seed=0, size=size,
+                              single_origin_sites=singles))
+
+
+def load_once(
+    site: SyntheticSite,
+    build: Callable[[ShellStack], None],
+    seed: int = 0,
+    profile: Optional[MachineProfile] = None,
+    timeout: float = 900.0,
+):
+    """One page load through a stack built by ``build``; returns the
+    PageLoadResult (load must complete with no failures)."""
+    sim = Simulator(seed=seed)
+    machine = HostMachine(sim, profile)
+    stack = ShellStack(machine)
+    build_store = getattr(site, "_bench_store", None)
+    if build_store is None:
+        build_store = site.to_recorded_site()
+        site._bench_store = build_store
+    build(stack, build_store)
+    browser = Browser(sim, stack.transport, stack.resolver_endpoint,
+                      machine=machine)
+    result = browser.load(site.page)
+    sim.run_until(lambda: result.complete, timeout=timeout)
+    assert result.complete, f"{site.name}: load hung"
+    assert result.resources_failed == 0, \
+        f"{site.name}: {result.errors[:3]}"
+    return result
+
+
+def replay_alone(stack, store):
+    """Figure 2 baseline: bare ReplayShell."""
+    stack.add_replay(store)
+
+
+def replay_delay0(stack, store):
+    """Figure 2: ReplayShell + DelayShell 0 ms."""
+    stack.add_replay(store)
+    stack.add_delay(0.0)
+
+
+def replay_link1000(stack, store):
+    """Figure 2: ReplayShell + LinkShell with a 1000 Mbit/s trace."""
+    stack.add_replay(store)
+    stack.add_link(1000.0, 1000.0)

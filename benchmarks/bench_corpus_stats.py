@@ -1,0 +1,44 @@
+"""Experiment C1: the corpus origin-count statistics (paper §4, in text).
+
+Paper, over the Alexa US Top 500 corpus: "The median number of servers is
+20 while the 95th percentile is 51. Only 9 Web pages use a single server."
+
+The corpus generator is calibrated to these numbers; this bench
+regenerates the full 500-site corpus and verifies them (always at full
+size — generation is cheap; only page *loads* need scaling).
+"""
+
+from repro.corpus import alexa_corpus, corpus_statistics
+from repro.measure.report import format_table
+
+
+def run_experiment():
+    sites = alexa_corpus(seed=0, size=500, single_origin_sites=9)
+    return corpus_statistics(sites), sites
+
+
+def render(stats) -> str:
+    rows = [
+        ["median origin servers per site",
+         f"{stats['median_origins']:.0f}", "20"],
+        ["95th percentile", f"{stats['p95_origins']:.0f}", "51"],
+        ["single-server pages", f"{stats['single_server_sites']:.0f}", "9"],
+        ["corpus size", f"{stats['sites']:.0f}", "500"],
+    ]
+    return format_table(
+        ["statistic", "reproduced", "paper"], rows,
+        title="Corpus origin-count distribution (paper §4)",
+    )
+
+
+def test_corpus_statistics(benchmark, report):
+    stats, sites = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report("corpus_stats", render(stats))
+    assert stats["sites"] == 500
+    assert stats["single_server_sites"] == 9
+    assert 17 <= stats["median_origins"] <= 23          # paper: 20
+    assert 42 <= stats["p95_origins"] <= 62             # paper: 51
+    # Sanity: every site is loadable content, not just metadata.
+    sample = sites[0]
+    assert sample.page.resource_count > 5
+    assert sample.page.total_bytes > 100_000

@@ -1,0 +1,65 @@
+"""Figure 2: DelayShell's and LinkShell's low overhead.
+
+Paper: loading the 500-site corpus, DelayShell at 0 ms adds ~0.15% to
+median page load time over bare ReplayShell; LinkShell with a 1000 Mbit/s
+trace adds ~1.5%. Reproduced as the same CDF plus the two median-overhead
+numbers.
+"""
+
+from benchmarks._workloads import (
+    corpus,
+    load_once,
+    replay_alone,
+    replay_delay0,
+    replay_link1000,
+    scaled,
+)
+from repro.measure import Sample
+from repro.measure.report import ascii_cdf
+
+
+def run_experiment():
+    sites = corpus(scaled(500, minimum=30))
+    samples = {}
+    for label, build in (
+        ("ReplayShell", replay_alone),
+        ("DelayShell 0 ms", replay_delay0),
+        ("LinkShell 1000 Mbits/s", replay_link1000),
+    ):
+        plts = [
+            load_once(site, build, seed=index).page_load_time
+            for index, site in enumerate(sites)
+        ]
+        samples[label] = Sample(plts)
+    return samples
+
+
+def render(samples) -> str:
+    base = samples["ReplayShell"].median
+    delay_overhead = (samples["DelayShell 0 ms"].median - base) / base * 100
+    link_overhead = (samples["LinkShell 1000 Mbits/s"].median - base) / base * 100
+    lines = [
+        ascii_cdf(samples, title="Figure 2: page load time CDF "
+                                 "(toolkit overhead)"),
+        "",
+        f"median PLT, ReplayShell alone:     "
+        f"{samples['ReplayShell'].median * 1000:8.1f} ms",
+        f"DelayShell 0 ms median overhead:   {delay_overhead:+8.2f} %  "
+        "(paper: +0.15 %)",
+        f"LinkShell 1000 Mbit/s overhead:    {link_overhead:+8.2f} %  "
+        "(paper: +1.5 %)",
+    ]
+    return "\n".join(lines)
+
+
+def test_figure2_overhead(benchmark, report):
+    samples = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report("figure2_overhead", render(samples))
+    base = samples["ReplayShell"].median
+    delay_overhead = (samples["DelayShell 0 ms"].median - base) / base
+    link_overhead = (samples["LinkShell 1000 Mbits/s"].median - base) / base
+    # Shape assertions: both overheads are small and positive, and
+    # LinkShell costs more than DelayShell (the paper's ordering).
+    assert -0.002 < delay_overhead < 0.02
+    assert 0.0 < link_overhead < 0.08
+    assert link_overhead > delay_overhead

@@ -1,0 +1,90 @@
+"""Table 1: reproducibility of page load times across host machines.
+
+Paper: CNBC and wikiHow loaded 100 times each on two machines; means
+within 0.5% across machines, standard deviations within 1.6% of means
+(CNBC ~7.6 s, wikiHow ~4.8 s).
+
+Here the two machines are two :class:`MachineProfile`s — a reference host
+and a 0.3%-faster one with its own independent timing noise — and each
+load runs the full ReplayShell > LinkShell > DelayShell stack.
+"""
+
+from benchmarks._workloads import scaled
+from repro.browser import Browser
+from repro.core import HostMachine, MachineProfile, ShellStack
+from repro.corpus import named_site
+from repro.measure import Sample
+from repro.measure.report import format_table, mean_pm_std
+from repro.sim import Simulator
+
+MACHINES = [
+    MachineProfile(name="Machine 1", cpu_factor=1.000, jitter_stddev=0.015),
+    MachineProfile(name="Machine 2", cpu_factor=1.003, jitter_stddev=0.015),
+]
+
+#: Emulated access link for the measurement (the paper does not state its
+#: Table 1 network configuration; a mid-range DSL profile puts the PLTs in
+#: the right band).
+LINK_MBPS = 8.0
+ONE_WAY_DELAY = 0.040
+
+
+def measure(site, profile, trials):
+    plts = []
+    store = site.to_recorded_site()
+    for trial in range(trials):
+        sim = Simulator(seed=trial)
+        machine = HostMachine(sim, profile)
+        stack = ShellStack(machine)
+        stack.add_replay(store)
+        stack.add_link(LINK_MBPS, LINK_MBPS)
+        stack.add_delay(ONE_WAY_DELAY)
+        browser = Browser(sim, stack.transport, stack.resolver_endpoint,
+                          machine=machine)
+        result = browser.load(site.page)
+        sim.run_until(lambda: result.complete, timeout=900)
+        assert result.complete and result.resources_failed == 0
+        plts.append(result.page_load_time)
+    return Sample(plts)
+
+
+def run_experiment():
+    trials = scaled(100, minimum=10)
+    sites = {"CNBC": named_site("cnbc"), "wikiHow": named_site("wikihow")}
+    return {
+        site_name: [measure(site, profile, trials) for profile in MACHINES]
+        for site_name, site in sites.items()
+    }, trials
+
+
+def render(results, trials) -> str:
+    rows = []
+    checks = []
+    for site_name, (m1, m2) in results.items():
+        rows.append([site_name, mean_pm_std(m1), mean_pm_std(m2)])
+        mean_gap = abs(m1.mean - m2.mean) / m1.mean * 100
+        checks.append(
+            f"{site_name}: cross-machine mean gap {mean_gap:.2f}% "
+            f"(paper: <0.5%); std/mean "
+            f"{m1.relative_stddev() * 100:.2f}% / "
+            f"{m2.relative_stddev() * 100:.2f}% (paper: <1.6%)"
+        )
+    table = format_table(
+        ["site", "Machine 1", "Machine 2"], rows,
+        title=f"Table 1: page load times across machines "
+              f"({trials} loads each)",
+    )
+    return table + "\n\n" + "\n".join(checks)
+
+
+def test_table1_reproducibility(benchmark, report):
+    results, trials = benchmark.pedantic(run_experiment, rounds=1,
+                                         iterations=1)
+    report("table1_reproducibility", render(results, trials))
+    for site_name, (m1, m2) in results.items():
+        # The paper's two reproducibility criteria.
+        assert abs(m1.mean - m2.mean) / m1.mean < 0.01, site_name
+        assert m1.relative_stddev() < 0.03, site_name
+        assert m2.relative_stddev() < 0.03, site_name
+    # And CNBC must be the distinctly heavier page (7.6 s vs 4.8 s).
+    assert results["CNBC"][0].mean > 1.2 * results["wikiHow"][0].mean

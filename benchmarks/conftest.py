@@ -1,0 +1,43 @@
+"""Shared benchmark infrastructure.
+
+Every bench regenerates one of the paper's tables or figures (DESIGN.md's
+per-experiment index). Outputs are printed and also written to
+``benchmarks/results/<experiment>.txt`` so a full run leaves the artifacts
+on disk.
+
+Scale: the paper's full trial counts (500-site corpus, 100 loads per
+distribution) make the suite take tens of minutes in pure Python; the
+``REPRO_BENCH_SCALE`` environment variable (default 0.25) scales trial
+counts down proportionally. ``REPRO_BENCH_SCALE=1.0`` reproduces the
+paper-size runs; EXPERIMENTS.md records numbers from such a run.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_scale() -> float:
+    """Global trial-count multiplier."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+def scaled(full_count: int, minimum: int = 3) -> int:
+    """Scale a paper-size trial count."""
+    return max(minimum, int(round(full_count * bench_scale())))
+
+
+@pytest.fixture
+def report():
+    """Fixture: call report(name, text) to print and persist an artifact."""
+
+    def _report(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _report

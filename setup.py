@@ -1,0 +1,11 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this machine has no network and no ``wheel``
+module, so PEP 517 editable builds fail; ``python setup.py develop`` (which
+pip falls back to through this file) installs fine. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Non-browser applications (the paper's §4 "Beyond browsers" claim).
+
+Mahimahi's design replays *any* application that uses HTTP, not just
+browsers — the paper suggests measuring mobile apps through an emulator.
+This package provides such applications for the simulated substrate:
+
+* :class:`~repro.apps.apiclient.ApiClient` — a mobile-app-style client
+  that performs a launch sequence of dependent REST calls (auth, feed,
+  per-item detail fan-out) over persistent HTTP connections, reporting a
+  "time to interactive". It runs identically against the live-web model,
+  inside RecordShell (where its traffic gets recorded), and inside
+  ReplayShell — no browser anywhere.
+"""
+
+from repro.apps.apiclient import ApiClient, ApiWorkload, make_api_site
+
+__all__ = ["ApiClient", "ApiWorkload", "make_api_site"]

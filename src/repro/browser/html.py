@@ -1,0 +1,71 @@
+"""Minimal HTML rendering and reference scanning.
+
+The corpus generator renders each synthetic page's root document as real
+HTML whose ``<link>``/``<script>``/``<img>`` tags reference the page's
+actual subresources; the recorded store therefore contains genuine
+scannable content, and :func:`scan_references` can rediscover the resource
+list from recorded bytes (used by tests to prove the record path preserves
+page structure).
+
+This is a reference extractor, not a general HTML parser — it handles the
+documents :func:`render_html` produces plus ordinary attribute layouts.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.browser.resources import Resource
+
+_REFERENCE_RE = re.compile(
+    rb"""(?:src|href)\s*=\s*["']([^"']+)["']""", re.IGNORECASE
+)
+
+_TAG_BY_KIND = {
+    "css": '<link rel="stylesheet" href="{url}">',
+    "js": '<script src="{url}"></script>',
+    "image": '<img src="{url}" alt="">',
+    "font": '<link rel="preload" as="font" href="{url}">',
+    "xhr": "<!-- xhr: {url} -->",
+    "other": '<a href="{url}">resource</a>',
+}
+
+
+def render_html(
+    title: str, children: List[Resource], target_size: int
+) -> bytes:
+    """Render a root document referencing ``children``, padded to
+    ``target_size`` bytes (so recorded HTML has realistic weight)."""
+    lines = [
+        "<!DOCTYPE html>",
+        "<html><head>",
+        f"<title>{title}</title>",
+    ]
+    body_tags = []
+    for child in children:
+        template = _TAG_BY_KIND.get(child.kind)
+        if template is None:
+            continue
+        tag = template.format(url=str(child.url))
+        if child.kind in ("css", "js", "font"):
+            lines.append(tag)
+        else:
+            body_tags.append(tag)
+    lines.append("</head><body>")
+    lines.extend(body_tags)
+    lines.append("</body></html>")
+    document = "\n".join(lines).encode("utf-8")
+    if len(document) < target_size:
+        padding = target_size - len(document) - len("<!--  -->\n")
+        if padding > 0:
+            document += b"<!-- " + b"x" * padding + b" -->\n"
+    return document
+
+
+def scan_references(document: bytes) -> List[str]:
+    """Extract src/href reference URLs from an HTML document, in order."""
+    return [
+        match.decode("utf-8", "replace")
+        for match in _REFERENCE_RE.findall(document)
+    ]

@@ -1,0 +1,193 @@
+"""Page resources and dependency graphs.
+
+A :class:`PageModel` is the unit a browser loads: a root HTML resource and
+a DAG of subresources, each edge meaning "fetching and processing the
+parent reveals the child". The graph shape — fan-out at the HTML, chains
+through CSS->font and JS->XHR — is what gives page loads their critical
+path, and it is exactly what differs between a 5-object blog and a
+100-object news front page.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, NamedTuple, Optional, Set
+
+from repro.errors import BrowserError
+
+#: Resource kinds with distinct processing behaviour.
+KINDS = ("html", "css", "js", "image", "font", "xhr", "other")
+
+
+class Url(NamedTuple):
+    """A parsed absolute URL (scheme, host, port, path-with-query)."""
+
+    scheme: str
+    host: str
+    port: int
+    path: str
+
+    @classmethod
+    def parse(cls, text: str) -> "Url":
+        """Parse ``http(s)://host[:port]/path?query``.
+
+        Raises:
+            BrowserError: on anything else.
+        """
+        scheme, sep, rest = text.partition("://")
+        if not sep or scheme not in ("http", "https"):
+            raise BrowserError(f"unsupported URL: {text!r}")
+        authority, slash, path = rest.partition("/")
+        path = slash + path if slash else "/"
+        if ":" in authority:
+            host, __, port_text = authority.partition(":")
+            if not port_text.isdigit():
+                raise BrowserError(f"bad port in URL: {text!r}")
+            port = int(port_text)
+        else:
+            host = authority
+            port = 443 if scheme == "https" else 80
+        if not host:
+            raise BrowserError(f"missing host in URL: {text!r}")
+        return cls(scheme, host.lower(), port, path)
+
+    @property
+    def origin(self) -> str:
+        """The origin key ``scheme://host:port``."""
+        return f"{self.scheme}://{self.host}:{self.port}"
+
+    @property
+    def default_port(self) -> bool:
+        """True when the port is the scheme's default."""
+        return self.port == (443 if self.scheme == "https" else 80)
+
+    def __str__(self) -> str:
+        if self.default_port:
+            return f"{self.scheme}://{self.host}{self.path}"
+        return f"{self.scheme}://{self.host}:{self.port}{self.path}"
+
+
+class Resource:
+    """One fetchable object and its discovery edges.
+
+    Attributes:
+        url: where it lives.
+        kind: one of :data:`KINDS`.
+        size: response body bytes.
+        parse_cost: idealized seconds of compute to process the response
+            (scaled by the machine profile at load time).
+        children: resources discovered once this one is processed.
+    """
+
+    __slots__ = ("url", "kind", "size", "parse_cost", "children")
+
+    def __init__(
+        self,
+        url: Url,
+        kind: str,
+        size: int,
+        parse_cost: float = 0.0,
+        children: Optional[List["Resource"]] = None,
+    ) -> None:
+        if kind not in KINDS:
+            raise BrowserError(f"unknown resource kind: {kind!r}")
+        if size < 0:
+            raise BrowserError(f"negative resource size: {size!r}")
+        self.url = url
+        self.kind = kind
+        self.size = size
+        self.parse_cost = parse_cost
+        self.children = children if children is not None else []
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource {self.kind} {self.url} {self.size}B "
+            f"children={len(self.children)}>"
+        )
+
+
+class PageModel:
+    """A page: the root document plus its resource DAG.
+
+    Args:
+        root: the HTML resource the load starts from.
+        name: page label for reports.
+    """
+
+    def __init__(self, root: Resource, name: str = "") -> None:
+        if root.kind != "html":
+            raise BrowserError("a page's root resource must be html")
+        self.root = root
+        self.name = name or str(root.url)
+        # Validate: the graph must be acyclic (DFS with a path set).
+        self._assert_acyclic()
+
+    def _assert_acyclic(self) -> None:
+        on_path: Set[int] = set()
+        visited: Set[int] = set()
+
+        def visit(resource: Resource) -> None:
+            key = id(resource)
+            if key in on_path:
+                raise BrowserError(
+                    f"dependency cycle through {resource.url}"
+                )
+            if key in visited:
+                return
+            on_path.add(key)
+            for child in resource.children:
+                visit(child)
+            on_path.discard(key)
+            visited.add(key)
+
+        visit(self.root)
+
+    def resources(self) -> Iterator[Resource]:
+        """All resources, root first, each exactly once (BFS order)."""
+        seen: Set[int] = set()
+        frontier = [self.root]
+        while frontier:
+            next_frontier: List[Resource] = []
+            for resource in frontier:
+                if id(resource) in seen:
+                    continue
+                seen.add(id(resource))
+                yield resource
+                next_frontier.extend(resource.children)
+            frontier = next_frontier
+
+    @property
+    def resource_count(self) -> int:
+        """Number of distinct resources."""
+        return sum(1 for __ in self.resources())
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of response body sizes."""
+        return sum(r.size for r in self.resources())
+
+    def origins(self) -> Dict[str, Url]:
+        """Distinct origins referenced, keyed by origin string."""
+        out: Dict[str, Url] = {}
+        for resource in self.resources():
+            out.setdefault(resource.url.origin, resource.url)
+        return out
+
+    def depth(self) -> int:
+        """Length of the longest discovery chain (critical path length)."""
+        memo: Dict[int, int] = {}
+
+        def depth_of(resource: Resource) -> int:
+            key = id(resource)
+            if key not in memo:
+                memo[key] = 1 + max(
+                    (depth_of(c) for c in resource.children), default=0
+                )
+            return memo[key]
+
+        return depth_of(self.root)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PageModel {self.name!r} resources={self.resource_count} "
+            f"origins={len(self.origins())} bytes={self.total_bytes}>"
+        )

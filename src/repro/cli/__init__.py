@@ -1,0 +1,13 @@
+"""Command-line tools mirroring Mahimahi's shells.
+
+The commands compose on the command line exactly like the originals::
+
+    mm-webreplay recorded/ mm-link 14 14 mm-delay 40 load
+    mm-webrecord --seed 3 out/ http://www.example.com/
+    mm-corpus generate --out corpus/ --size 20
+    mm-trace constant --rate 12 --out 12mbit.trace
+
+Because the whole toolkit is a simulation, "running a browser inside the
+shells" means: build the shell stack in a fresh simulator, run the browser
+model in the innermost namespace, and print the measured page load time.
+"""

@@ -1,0 +1,94 @@
+"""``mm-corpus`` — generate and inspect the synthetic Alexa-like corpus.
+
+Subcommands::
+
+    mm-corpus generate --out DIR [--size N] [--singles K] [--scale S] [--seed X]
+    mm-corpus stats DIR
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.cli.common import CliError, ShellSpec, main_wrapper
+from repro.corpus import alexa_corpus, corpus_statistics
+from repro.record.store import RecordedSite
+
+USAGE = ("usage: mm-corpus generate --out DIR [--size N] [--singles K] "
+         "[--scale S] [--seed X] | mm-corpus stats DIR")
+
+
+def run(argv: List[str], specs: List[ShellSpec]) -> int:
+    if specs:
+        raise CliError("mm-corpus cannot nest inside other shells")
+    if not argv:
+        raise CliError(USAGE)
+    command, rest = argv[0], argv[1:]
+    if command == "generate":
+        return _generate(rest)
+    if command == "stats":
+        return _stats(rest)
+    raise CliError(USAGE)
+
+
+def _generate(argv: List[str]) -> int:
+    out, size, singles, scale, seed = None, 500, 9, 1.0, 0
+    rest = list(argv)
+    while rest:
+        flag = rest.pop(0)
+        if flag == "--out":
+            out = rest.pop(0)
+        elif flag == "--size":
+            size = int(rest.pop(0))
+        elif flag == "--singles":
+            singles = int(rest.pop(0))
+        elif flag == "--scale":
+            scale = float(rest.pop(0))
+        elif flag == "--seed":
+            seed = int(rest.pop(0))
+        else:
+            raise CliError(f"{USAGE}\nunknown option {flag!r}")
+    if out is None:
+        raise CliError(USAGE)
+    sites = alexa_corpus(seed=seed, size=size, single_origin_sites=singles,
+                         scale=scale)
+    os.makedirs(out, exist_ok=True)
+    for site in sites:
+        site.to_recorded_site().save(os.path.join(out, site.name))
+    stats = corpus_statistics(sites)
+    print(f"generated {len(sites)} sites in {out}")
+    _print_stats(stats)
+    return 0
+
+
+def _stats(argv: List[str]) -> int:
+    if len(argv) != 1:
+        raise CliError(USAGE)
+    directory = argv[0]
+    if not os.path.isdir(directory):
+        raise CliError(f"not a corpus directory: {directory!r}")
+    counts = []
+    for name in sorted(os.listdir(directory)):
+        site_dir = os.path.join(directory, name)
+        if os.path.isdir(site_dir):
+            store = RecordedSite.load(site_dir)
+            counts.append(len(store.origins()))
+    if not counts:
+        raise CliError(f"no recorded sites under {directory!r}")
+    counts.sort()
+    n = len(counts)
+    print(f"sites: {n}")
+    print(f"median origins: {counts[n // 2]}")
+    print(f"95th pct origins: {counts[min(n - 1, int(0.95 * n))]}")
+    print(f"single-server sites: {sum(1 for c in counts if c == 1)}")
+    return 0
+
+
+def _print_stats(stats) -> None:
+    print(f"origin servers per site: median {stats['median_origins']:.0f}, "
+          f"95th pct {stats['p95_origins']:.0f}, "
+          f"single-server sites {stats['single_server_sites']:.0f}")
+
+
+main = main_wrapper(run)

@@ -1,0 +1,87 @@
+"""``mm-trace`` — generate packet-delivery trace files.
+
+Subcommands::
+
+    mm-trace constant --rate MBPS [--duration MS] --out FILE
+    mm-trace cellular [--mean MBPS] [--duration MS] [--seed N] --out FILE
+    mm-trace info FILE
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.cli.common import CliError, ShellSpec, main_wrapper
+from repro.linkem import PacketDeliveryTrace, cellular_trace, constant_rate_trace
+
+USAGE = ("usage: mm-trace constant --rate MBPS [--duration MS] --out FILE"
+         " | mm-trace cellular [--mean MBPS] [--duration MS] [--seed N]"
+         " --out FILE | mm-trace info FILE")
+
+
+def run(argv: List[str], specs: List[ShellSpec]) -> int:
+    if specs:
+        raise CliError("mm-trace cannot nest inside other shells")
+    if not argv:
+        raise CliError(USAGE)
+    command, rest = argv[0], list(argv[1:])
+    if command == "constant":
+        return _constant(rest)
+    if command == "cellular":
+        return _cellular(rest)
+    if command == "info":
+        return _info(rest)
+    raise CliError(USAGE)
+
+
+def _options(rest: List[str], allowed) -> dict:
+    options = {}
+    while rest:
+        flag = rest.pop(0)
+        name = flag.lstrip("-")
+        if not flag.startswith("--") or name not in allowed:
+            raise CliError(f"{USAGE}\nunknown option {flag!r}")
+        if not rest:
+            raise CliError(f"option {flag} needs a value")
+        options[name] = rest.pop(0)
+    return options
+
+
+def _constant(rest: List[str]) -> int:
+    options = _options(rest, {"rate", "duration", "out"})
+    if "rate" not in options or "out" not in options:
+        raise CliError(USAGE)
+    trace = constant_rate_trace(
+        float(options["rate"]), int(options.get("duration", 1000)))
+    trace.to_file(options["out"])
+    print(f"wrote {len(trace)} opportunities "
+          f"({trace.average_rate_mbps:.2f} Mbit/s) to {options['out']}")
+    return 0
+
+
+def _cellular(rest: List[str]) -> int:
+    options = _options(rest, {"mean", "duration", "seed", "out"})
+    if "out" not in options:
+        raise CliError(USAGE)
+    trace = cellular_trace(
+        random.Random(int(options.get("seed", 0))),
+        duration_ms=int(options.get("duration", 60_000)),
+        mean_mbps=float(options.get("mean", 9.0)),
+    )
+    trace.to_file(options["out"])
+    print(f"wrote {len(trace)} opportunities "
+          f"(avg {trace.average_rate_mbps:.2f} Mbit/s) to {options['out']}")
+    return 0
+
+
+def _info(rest: List[str]) -> int:
+    if len(rest) != 1:
+        raise CliError(USAGE)
+    trace = PacketDeliveryTrace.from_file(rest[0])
+    print(f"{rest[0]}: {len(trace)} opportunities over {trace.period_ms} ms "
+          f"(avg {trace.average_rate_mbps:.2f} Mbit/s)")
+    return 0
+
+
+main = main_wrapper(run)

@@ -1,0 +1,56 @@
+"""``mm-webreplay [options] <recorded-dir> [inner command ...]``.
+
+Replays a recorded folder with multi-origin preservation (the default) or
+from a single server (the paper's ablation). Options::
+
+    --single-server   one server for everything (web-page-replay style)
+    --protocol=mux    replay over the SPDY-style multiplexed transport
+                      (the load command's browser follows automatically)
+
+Example::
+
+    mm-webreplay recorded/ mm-link 14 14 mm-delay 40 load
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.cli.common import CliError, ShellSpec, continue_command_line, main_wrapper
+
+USAGE = ("usage: mm-webreplay [--single-server] [--protocol=http/1.1|mux] "
+         "<recorded-dir> [inner command ...]")
+
+
+def run(argv: List[str], specs: List[ShellSpec]) -> int:
+    single_server = False
+    protocol = "http/1.1"
+    rest = list(argv)
+    while rest and rest[0].startswith("--"):
+        flag = rest.pop(0)
+        if flag == "--single-server":
+            single_server = True
+        elif flag.startswith("--protocol="):
+            protocol = flag.split("=", 1)[1]
+            if protocol not in ("http/1.1", "mux"):
+                raise CliError(f"unknown protocol {protocol!r}")
+        else:
+            raise CliError(f"{USAGE}\nunknown option {flag!r}")
+    if not rest:
+        raise CliError(USAGE)
+    directory = rest.pop(0)
+    if not os.path.isdir(directory):
+        raise CliError(f"not a recorded-site directory: {directory!r}")
+    spec = ("replay", {
+        "directory": directory,
+        "single_server": single_server,
+        "protocol": protocol,
+        "label": os.path.basename(directory.rstrip("/"))
+                 + ("!single" if single_server else "")
+                 + ("!mux" if protocol == "mux" else ""),
+    })
+    return continue_command_line(rest, specs + [spec])
+
+
+main = main_wrapper(run)

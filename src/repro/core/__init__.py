@@ -1,0 +1,42 @@
+"""The paper's contribution: Mahimahi's composable shells.
+
+Each shell creates a private network namespace joined to its parent by a
+veth pair, NATs traffic leaving the namespace, and interposes its
+emulation on the veth — so shells nest arbitrarily, exactly like running
+``mm-webreplay mm-link up.trace down.trace mm-delay 40 <app>``:
+
+* :class:`~repro.core.delayshell.DelayShell` — fixed per-packet one-way
+  delay in each direction.
+* :class:`~repro.core.linkshell.LinkShell` — trace-driven link emulation.
+* :class:`~repro.core.replayshell.ReplayShell` — multi-origin site replay:
+  one web server per recorded IP/port, bound to the recorded addresses,
+  plus a namespace-local DNS server.
+* :class:`~repro.core.recordshell.RecordShell` — transparent MITM
+  recording of all HTTP(S) leaving the namespace.
+
+:class:`~repro.core.machine.HostMachine` models the host a measurement
+runs on (CPU speed factor + timing jitter — Table 1's subject), and
+:mod:`~repro.core.compose` builds the canonical stacks the paper's
+experiments use.
+"""
+
+from repro.core.base import Shell
+from repro.core.compose import ShellStack
+from repro.core.delayshell import DelayShell
+from repro.core.linkshell import LinkShell
+from repro.core.lossshell import LossShell
+from repro.core.machine import HostMachine, MachineProfile
+from repro.core.recordshell import RecordShell
+from repro.core.replayshell import ReplayShell
+
+__all__ = [
+    "DelayShell",
+    "HostMachine",
+    "LinkShell",
+    "LossShell",
+    "MachineProfile",
+    "RecordShell",
+    "ReplayShell",
+    "Shell",
+    "ShellStack",
+]

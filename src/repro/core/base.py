@@ -1,0 +1,95 @@
+"""The shell base class: namespace + veth + NAT plumbing.
+
+Constructing a shell under a parent namespace does exactly what launching
+a Mahimahi shell does:
+
+1. create a private child namespace;
+2. allocate a /30 from 100.64.0.0/10 and join parent and child with a
+   veth pair, the shell's emulation pipes riding on it;
+3. default-route the child's traffic up through the veth;
+4. masquerade (source-NAT) traffic the child forwards on behalf of any
+   shells nested deeper inside it.
+
+The child namespace gets a :class:`~repro.transport.host.TransportHost`,
+so applications (and replay servers, proxies, DNS) can run inside it
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ShellError
+from repro.net.address import AddressAllocator, IPv4Address
+from repro.net.namespace import NetworkNamespace
+from repro.net.nat import Nat
+from repro.net.pipe import PacketPipe
+from repro.net.veth import VethPair
+from repro.sim.simulator import Simulator
+from repro.transport.host import TransportHost
+
+
+class Shell:
+    """One composable shell: a namespace behind an emulated veth.
+
+    Args:
+        sim: the simulator.
+        parent: namespace this shell nests inside (a HostMachine's
+            namespace, or another shell's ``namespace``).
+        allocator: the /30 source for veth addressing (shared across the
+            whole stack so addresses never collide).
+        name: shell name; also names the namespace and interfaces.
+        downlink: pipe carrying parent->child traffic (toward the app).
+        uplink: pipe carrying child->parent traffic.
+
+    Subclasses build their emulation pipes and pass them up. ``None``
+    means an instant (unemulated) pipe.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        parent: NetworkNamespace,
+        allocator: AddressAllocator,
+        name: str,
+        downlink: Optional[PacketPipe] = None,
+        uplink: Optional[PacketPipe] = None,
+    ) -> None:
+        if parent is None:
+            raise ShellError(f"shell {name!r} needs a parent namespace")
+        self.sim = sim
+        self.parent = parent
+        self.name = name
+        self.namespace = NetworkNamespace(sim, name)
+        self.subnet, parent_addr, child_addr = allocator.allocate_subnet()
+        self.veth = VethPair(
+            sim, parent, self.namespace,
+            f"{name}-egress", f"{name}-ingress",
+            pipe_ab=downlink, pipe_ba=uplink,
+        )
+        self.parent_address: IPv4Address = self.veth.iface_a.add_address(
+            parent_addr, 30
+        )
+        self.child_address: IPv4Address = self.veth.iface_b.add_address(
+            child_addr, 30
+        )
+        self.namespace.routes.add_default(self.veth.iface_b, via=parent_addr)
+        nat = Nat(self.namespace)
+        nat.masquerade_on(self.veth.iface_b)
+        self.transport = TransportHost(sim, self.namespace)
+
+    @property
+    def downlink_pipe(self) -> PacketPipe:
+        """The parent->child emulation pipe."""
+        return self.veth.pipe_ab
+
+    @property
+    def uplink_pipe(self) -> PacketPipe:
+        """The child->parent emulation pipe."""
+        return self.veth.pipe_ba
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r} "
+            f"{self.parent_address} <-> {self.child_address}>"
+        )

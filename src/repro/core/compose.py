@@ -1,0 +1,158 @@
+"""Shell composition: nesting shells like Mahimahi command lines.
+
+``mm-webreplay site mm-link up down mm-delay 40 <browser>`` becomes::
+
+    stack = ShellStack(machine)
+    replay = stack.add_replay(site)
+    stack.add_link(uplink=14, downlink=14)
+    stack.add_delay(0.040)
+    # run the browser in stack.namespace, resolving via replay DNS
+
+Each shell nests inside the previous one's namespace; the application runs
+in the innermost. The stack tracks the replay shell's resolver endpoint so
+browsers can be pointed at it with no extra wiring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.delayshell import DelayShell
+from repro.core.linkshell import LinkShell
+from repro.core.machine import HostMachine
+from repro.core.recordshell import RecordShell
+from repro.core.replayshell import ReplayShell
+from repro.errors import ShellError
+from repro.linkem.overhead import OverheadModel
+from repro.linkem.queues import DropTailQueue
+from repro.net.address import Endpoint
+from repro.net.namespace import NetworkNamespace
+from repro.record.store import RecordedSite
+from repro.transport.host import TransportHost
+
+
+class ShellStack:
+    """A chain of nested shells under one host machine.
+
+    Args:
+        machine: the host everything runs on (provides the root namespace,
+            the address allocator, and the timing profile).
+    """
+
+    def __init__(self, machine: HostMachine) -> None:
+        self.machine = machine
+        self.shells: List = []
+        self._names_used: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # building
+
+    def add_replay(
+        self,
+        site: RecordedSite,
+        single_server: bool = False,
+        **kwargs,
+    ) -> ReplayShell:
+        """Nest a ReplayShell inside the current innermost namespace."""
+        shell = ReplayShell(
+            self.machine.sim, self.namespace, self.machine.allocator,
+            site, machine=self.machine, single_server=single_server,
+            name=self._name("replayshell"), **kwargs,
+        )
+        self.shells.append(shell)
+        return shell
+
+    def add_record(self, store: RecordedSite, **kwargs) -> RecordShell:
+        """Nest a RecordShell inside the current innermost namespace."""
+        shell = RecordShell(
+            self.machine.sim, self.namespace, self.machine.allocator,
+            store, name=self._name("recordshell"), **kwargs,
+        )
+        self.shells.append(shell)
+        return shell
+
+    def add_delay(
+        self,
+        one_way_delay: float,
+        overhead: Optional[OverheadModel] = None,
+    ) -> DelayShell:
+        """Nest a DelayShell inside the current innermost namespace."""
+        shell = DelayShell(
+            self.machine.sim, self.namespace, self.machine.allocator,
+            one_way_delay, overhead=overhead, name=self._name("delayshell"),
+        )
+        self.shells.append(shell)
+        return shell
+
+    def add_loss(
+        self,
+        downlink_loss: float = 0.0,
+        uplink_loss: float = 0.0,
+    ):
+        """Nest a LossShell inside the current innermost namespace."""
+        from repro.core.lossshell import LossShell
+
+        shell = LossShell(
+            self.machine.sim, self.namespace, self.machine.allocator,
+            downlink_loss=downlink_loss, uplink_loss=uplink_loss,
+            name=self._name("lossshell"),
+        )
+        self.shells.append(shell)
+        return shell
+
+    def add_link(
+        self,
+        uplink,
+        downlink,
+        uplink_queue: Optional[DropTailQueue] = None,
+        downlink_queue: Optional[DropTailQueue] = None,
+        overhead: Optional[OverheadModel] = None,
+    ) -> LinkShell:
+        """Nest a LinkShell inside the current innermost namespace."""
+        shell = LinkShell(
+            self.machine.sim, self.namespace, self.machine.allocator,
+            uplink, downlink,
+            uplink_queue=uplink_queue, downlink_queue=downlink_queue,
+            overhead=overhead, name=self._name("linkshell"),
+        )
+        self.shells.append(shell)
+        return shell
+
+    def _name(self, base: str) -> str:
+        count = self._names_used.get(base, 0)
+        self._names_used[base] = count + 1
+        return base if count == 0 else f"{base}-{count}"
+
+    # ------------------------------------------------------------------ #
+    # where things run
+
+    @property
+    def namespace(self) -> NetworkNamespace:
+        """The innermost namespace (where the application runs)."""
+        if self.shells:
+            return self.shells[-1].namespace
+        return self.machine.namespace
+
+    @property
+    def transport(self) -> TransportHost:
+        """Transport host of the innermost namespace."""
+        if self.shells:
+            return self.shells[-1].transport
+        return TransportHost.ensure(self.machine.sim, self.machine.namespace)
+
+    @property
+    def resolver_endpoint(self) -> Endpoint:
+        """The DNS endpoint applications should resolve against.
+
+        Raises:
+            ShellError: if the stack contains no ReplayShell (use the
+                live-web model's resolver instead).
+        """
+        for shell in self.shells:
+            if isinstance(shell, ReplayShell):
+                return shell.resolver_endpoint
+        raise ShellError("no ReplayShell in this stack to resolve against")
+
+    def __repr__(self) -> str:
+        chain = " > ".join(type(s).__name__ for s in self.shells) or "(empty)"
+        return f"<ShellStack {chain}>"

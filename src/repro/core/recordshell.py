@@ -1,0 +1,59 @@
+"""RecordShell: ``mm-webrecord <output-folder> <app>``.
+
+The application runs inside the shell's private namespace; a transparent
+man-in-the-middle proxy runs on the *parent* side (the "host machine" in
+Figure 1a), with REDIRECT rules steering the namespace's outbound HTTP(S)
+through it. Every request-response pair the proxy observes lands in the
+recorded site, one record per exchange. Recording is transparent: the
+application needs no proxy configuration.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Shell
+from repro.net.address import AddressAllocator, Endpoint
+from repro.net.namespace import NetworkNamespace
+from repro.record.proxy import PROXY_PORT, RecordingProxy, Redirector
+from repro.record.store import RecordedSite
+from repro.sim.simulator import Simulator
+from repro.transport.host import TransportHost
+
+
+class RecordShell(Shell):
+    """Record all HTTP(S) traffic leaving a private namespace.
+
+    Args:
+        sim: the simulator.
+        parent: enclosing namespace (the proxy binds here, on the shell's
+            parent-side veth address).
+        allocator: shared shell address allocator.
+        store: recorded site that receives every observed pair.
+        name: shell/namespace name.
+
+    Run the application (browser, HTTP client, anything) inside
+    ``shell.namespace``; read the recording from ``store``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        parent: NetworkNamespace,
+        allocator: AddressAllocator,
+        store: RecordedSite,
+        name: str = "recordshell",
+    ) -> None:
+        super().__init__(sim, parent, allocator, name)
+        self.store = store
+        proxy_endpoint = Endpoint(self.parent_address, PROXY_PORT)
+        self.redirector = Redirector(
+            parent, proxy_endpoint, watch_interface=self.veth.iface_a
+        )
+        parent_transport = TransportHost.ensure(sim, parent)
+        self.proxy = RecordingProxy(
+            sim, parent_transport, self.parent_address, store, self.redirector
+        )
+
+    @property
+    def pairs_recorded(self) -> int:
+        """Exchanges captured so far."""
+        return self.proxy.pairs_recorded

@@ -1,0 +1,25 @@
+"""Synthetic website corpus (the stand-in for the paper's recorded sites).
+
+The paper's experiments run over a corpus of 500 recorded Alexa US Top 500
+pages (https://github.com/ravinet/sites) that we cannot fetch offline.
+:func:`~repro.corpus.alexa.alexa_corpus` generates a seeded synthetic
+corpus calibrated to the statistics the paper reports about the real one
+(§4: median 20 origin servers per site, 95th percentile 51, exactly 9
+single-server sites out of 500), with realistic object counts, sizes, and
+dependency structure.
+
+:func:`~repro.corpus.sitegen.generate_site` builds one site;
+:func:`~repro.corpus.sitegen.named_site` builds the specific pages the
+paper names (cnbc.com, wikihow.com, nytimes.com analogues).
+"""
+
+from repro.corpus.alexa import alexa_corpus, corpus_statistics
+from repro.corpus.sitegen import SyntheticSite, generate_site, named_site
+
+__all__ = [
+    "SyntheticSite",
+    "alexa_corpus",
+    "corpus_statistics",
+    "generate_site",
+    "named_site",
+]

@@ -1,0 +1,23 @@
+"""DNS over the simulated substrate.
+
+ReplayShell answers every hostname from the recorded site with the
+recorded origin IP (Mahimahi runs dnsmasq inside the replay namespace);
+the live-web model runs an authoritative server for its origins. Messages
+use a compact text encoding rather than RFC 1035 wire format — the paper's
+measurements depend on resolution *latency*, not packet layout (see
+DESIGN.md's substitution table).
+"""
+
+from repro.dns.message import DnsQuery, DnsResponse, decode_message, encode_query, encode_response
+from repro.dns.resolver import StubResolver
+from repro.dns.server import DnsServer
+
+__all__ = [
+    "DnsQuery",
+    "DnsResponse",
+    "DnsServer",
+    "StubResolver",
+    "decode_message",
+    "encode_query",
+    "encode_response",
+]

@@ -1,0 +1,89 @@
+"""DNS message model and encoding.
+
+A query asks for the A records of one name; a response carries zero or
+more addresses and an rcode. The wire encoding is a compact text format
+(``Q|<id>|<name>`` / ``R|<id>|<rcode>|<name>|<addr>,<addr>``) whose length
+is close to a real DNS packet for typical names, so the timing it induces
+on links is faithful even though the bit layout is not.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Union
+
+from repro.errors import DnsError
+from repro.net.address import IPv4Address
+
+RCODE_OK = 0
+RCODE_NXDOMAIN = 3
+RCODE_SERVFAIL = 2
+
+
+class DnsQuery(NamedTuple):
+    """An A-record query."""
+
+    qid: int
+    name: str
+
+
+class DnsResponse(NamedTuple):
+    """A response to one query."""
+
+    qid: int
+    rcode: int
+    name: str
+    addresses: tuple
+
+    @property
+    def ok(self) -> bool:
+        """True for a successful answer with at least one address."""
+        return self.rcode == RCODE_OK and bool(self.addresses)
+
+
+def _check_name(name: str) -> str:
+    if not name or "|" in name or "," in name or any(c.isspace() for c in name):
+        raise DnsError(f"invalid DNS name: {name!r}")
+    return name.lower()
+
+
+def encode_query(query: DnsQuery) -> bytes:
+    """Serialize a query."""
+    return f"Q|{query.qid}|{_check_name(query.name)}".encode("ascii")
+
+
+def encode_response(response: DnsResponse) -> bytes:
+    """Serialize a response."""
+    addresses = ",".join(str(a) for a in response.addresses)
+    return (
+        f"R|{response.qid}|{response.rcode}|"
+        f"{_check_name(response.name)}|{addresses}"
+    ).encode("ascii")
+
+
+def decode_message(data: bytes) -> Union[DnsQuery, DnsResponse]:
+    """Parse a wire message into a query or response.
+
+    Raises:
+        DnsError: on any malformed input.
+    """
+    try:
+        text = data.decode("ascii")
+    except UnicodeDecodeError:
+        raise DnsError("non-ASCII DNS message") from None
+    parts = text.split("|")
+    if parts[0] == "Q" and len(parts) == 3:
+        qid_text, name = parts[1], parts[2]
+        if not qid_text.isdigit():
+            raise DnsError(f"bad query id: {qid_text!r}")
+        return DnsQuery(int(qid_text), _check_name(name))
+    if parts[0] == "R" and len(parts) == 5:
+        qid_text, rcode_text, name, addr_text = parts[1:]
+        if not qid_text.isdigit() or not rcode_text.isdigit():
+            raise DnsError(f"bad response fields in {text!r}")
+        addresses: List[IPv4Address] = []
+        if addr_text:
+            addresses = [IPv4Address(a) for a in addr_text.split(",")]
+        return DnsResponse(
+            int(qid_text), int(rcode_text), _check_name(name), tuple(addresses)
+        )
+    raise DnsError(f"malformed DNS message: {text!r}")

@@ -1,0 +1,102 @@
+"""An authoritative DNS server over UDP.
+
+The zone is a plain dict of name → list of addresses. ReplayShell builds
+its zone from the recorded site's hostnames; the live-web model from its
+origin inventory. Unknown names get NXDOMAIN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dns.message import (
+    DnsQuery,
+    DnsResponse,
+    RCODE_NXDOMAIN,
+    RCODE_OK,
+    decode_message,
+    encode_response,
+)
+from repro.errors import DnsError
+from repro.net.address import Endpoint, IPv4Address
+from repro.sim.simulator import Simulator
+from repro.transport.host import TransportHost
+
+DNS_PORT = 53
+
+
+class DnsServer:
+    """Authoritative server for a static zone.
+
+    Args:
+        sim: the simulator.
+        transport: the namespace's transport host.
+        address: local address to bind (port 53).
+        zone: name → addresses. Names are matched case-insensitively.
+        processing_time: seconds of lookup latency per query (default 0).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: TransportHost,
+        address,
+        zone: Dict[str, List[IPv4Address]],
+        processing_time: float = 0.0,
+        port: int = DNS_PORT,
+    ) -> None:
+        self.sim = sim
+        self.address = IPv4Address(address)
+        self.port = port
+        self.processing_time = processing_time
+        self._zone = {
+            name.lower(): [IPv4Address(a) for a in addresses]
+            for name, addresses in zone.items()
+        }
+        self.queries_answered = 0
+        self._socket = transport.udp_socket(
+            self.address, port, on_datagram=self._query_arrived
+        )
+
+    @property
+    def endpoint(self) -> Endpoint:
+        """Where resolvers should send queries."""
+        return Endpoint(self.address, self.port)
+
+    def add_record(self, name: str, addresses: List[IPv4Address]) -> None:
+        """Add or replace a zone entry."""
+        self._zone[name.lower()] = [IPv4Address(a) for a in addresses]
+
+    def lookup(self, name: str) -> Optional[List[IPv4Address]]:
+        """Direct zone lookup (no network) — used by tests and tooling."""
+        return self._zone.get(name.lower())
+
+    def close(self) -> None:
+        """Unbind the server socket."""
+        self._socket.close()
+
+    def _query_arrived(self, data: bytes, source: Endpoint) -> None:
+        try:
+            message = decode_message(data)
+        except DnsError:
+            return
+        if not isinstance(message, DnsQuery):
+            return
+        addresses = self._zone.get(message.name)
+        if addresses:
+            response = DnsResponse(
+                message.qid, RCODE_OK, message.name, tuple(addresses)
+            )
+        else:
+            response = DnsResponse(message.qid, RCODE_NXDOMAIN, message.name, ())
+        self.queries_answered += 1
+        if self.processing_time > 0.0:
+            self.sim.schedule(
+                self.processing_time, self._respond, response, source
+            )
+        else:
+            self._respond(response, source)
+
+    def _respond(self, response: DnsResponse, source: Endpoint) -> None:
+        if not self._socket.closed:
+            self._socket.sendto(encode_response(response), source)

@@ -1,0 +1,109 @@
+"""Exception hierarchy for the Mahimahi reproduction.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch one base class at an API boundary.
+The subtree mirrors the package layout: simulation-kernel errors, network
+substrate errors, transport errors, HTTP errors, and record/replay errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """Errors from the discrete-event kernel (bad schedule, stopped sim)."""
+
+
+class ClockError(SimulationError):
+    """An operation would move the virtual clock backwards."""
+
+
+class NetworkError(ReproError):
+    """Base class for network-substrate errors."""
+
+
+class AddressError(NetworkError):
+    """Malformed or unparseable IPv4 address / CIDR prefix."""
+
+
+class AddressPoolExhausted(NetworkError):
+    """The address allocator ran out of free subnets or addresses."""
+
+
+class RoutingError(NetworkError):
+    """No route to the destination from this namespace."""
+
+
+class InterfaceError(NetworkError):
+    """Interface misconfiguration (duplicate name, not attached, down)."""
+
+
+class NamespaceError(NetworkError):
+    """Namespace misconfiguration or cross-namespace violation."""
+
+
+class TransportError(ReproError):
+    """Base class for transport-layer errors."""
+
+
+class ConnectionReset(TransportError):
+    """The peer reset the connection."""
+
+
+class ConnectionClosed(TransportError):
+    """Operation on a connection that is already closed."""
+
+
+class PortInUse(TransportError):
+    """bind() asked for an (ip, port) pair already bound in the namespace."""
+
+
+class TimeoutError_(TransportError):
+    """A transport-level timeout fired (connect or idle timeout)."""
+
+
+class HttpError(ReproError):
+    """Base class for HTTP errors."""
+
+
+class HttpParseError(HttpError):
+    """The byte stream is not a well-formed HTTP/1.x message."""
+
+
+class HttpProtocolError(HttpError):
+    """Semantically invalid HTTP usage (e.g. body on a bodiless response)."""
+
+
+class DnsError(ReproError):
+    """DNS resolution failure (NXDOMAIN, malformed message)."""
+
+
+class RecordError(ReproError):
+    """Base class for record-store errors."""
+
+
+class StoreFormatError(RecordError):
+    """A recorded-site directory or pair file does not match the format."""
+
+
+class NoMatchingResponse(RecordError):
+    """The replay matcher found no recorded response for a request."""
+
+
+class TraceError(ReproError):
+    """Malformed packet-delivery trace file."""
+
+
+class ShellError(ReproError):
+    """Shell construction or composition error."""
+
+
+class BrowserError(ReproError):
+    """Page-load failure inside the browser model."""
+
+
+class CorpusError(ReproError):
+    """Corpus generation or loading failure."""

@@ -1,0 +1,30 @@
+"""HTTP/1.1: messages, incremental parsing, client and server.
+
+This is the protocol Mahimahi records and replays. Headers are real bytes
+on the wire (they must round-trip through recording, matching, and replay);
+bodies are virtual bytes by default (length-only — content does not affect
+timing). The parser is incremental and symmetric: RecordShell's proxy uses
+it to reconstruct request/response pairs from a byte stream, exactly as
+Mahimahi embeds an HTTP parser in its proxy.
+"""
+
+from repro.http.body import Body
+from repro.http.client import HttpClient
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.http.parser import HttpParser
+from repro.http.serialize import serialize_request, serialize_response
+from repro.http.server import HttpServer
+from repro.http.status import reason_phrase
+
+__all__ = [
+    "Body",
+    "Headers",
+    "HttpClient",
+    "HttpParser",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "reason_phrase",
+    "serialize_request",
+    "serialize_response",
+]

@@ -1,0 +1,211 @@
+"""A persistent-connection HTTP/1.1 client.
+
+One :class:`HttpClient` wraps one TCP connection to one origin and issues
+requests serially (no pipelining — matching the browsers of the paper's
+era, which open parallel connections instead). The browser model's
+per-origin pools are built from these.
+
+TLS is supported through the cost model in :mod:`repro.transport.tls`: pass
+``tls=True`` and the request stream starts after the handshake flights.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.errors import ConnectionClosed
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.parser import HttpParser
+from repro.http.serialize import serialize_request
+from repro.net.address import Endpoint
+from repro.sim.simulator import Simulator
+from repro.transport.host import TransportHost
+from repro.transport.tls import TlsClientSession, TlsConfig
+
+ResponseCallback = Callable[[HttpResponse], None]
+ErrorCallback = Callable[[Exception], None]
+
+
+class HttpClient:
+    """One HTTP connection to one origin.
+
+    Args:
+        sim: the simulator.
+        transport: the local namespace's transport host.
+        origin: server endpoint to connect to.
+        tls: model a TLS handshake before the first request.
+        tls_config: handshake sizes when ``tls`` is set.
+
+    Requests are queued with :meth:`request` and issued strictly one at a
+    time; the connection is reusable immediately after each response
+    (keep-alive). ``on_error`` (assignable) receives transport failures and
+    fails all outstanding requests.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: TransportHost,
+        origin: Endpoint,
+        tls: bool = False,
+        tls_config: Optional[TlsConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.origin = origin
+        self.tls = tls
+        self.on_error: Optional[ErrorCallback] = None
+        self.on_idle: Optional[Callable[[], None]] = None
+        self.requests_sent = 0
+        self.responses_received = 0
+        self._queue: Deque[Tuple[HttpRequest, ResponseCallback]] = deque()
+        self._inflight: Optional[Tuple[HttpRequest, ResponseCallback]] = None
+        self._parser = HttpParser("response")
+        self._parser.on_message = self._response_arrived
+        self._ready = False
+        self._closed = False
+
+        self.conn = transport.connect(origin)
+        self.conn.on_error = self._failed
+        self.conn.on_remote_close = self._remote_closed
+        if tls:
+            self._tls = TlsClientSession(self.conn, tls_config)
+            self._tls.on_established = self._became_ready
+            self._tls.on_data = self._data
+        else:
+            self._tls = None
+            self.conn.on_established = self._became_ready
+            self.conn.on_data = self._data
+
+    # ------------------------------------------------------------------ #
+    # public API
+
+    @property
+    def ready(self) -> bool:
+        """True once the transport (and TLS, if any) is established."""
+        return self._ready
+
+    @property
+    def busy(self) -> bool:
+        """True while a request is outstanding or queued."""
+        return self._inflight is not None or bool(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        """True once the connection is unusable."""
+        return self._closed
+
+    def request(
+        self, request: HttpRequest, on_response: ResponseCallback
+    ) -> None:
+        """Queue a request; ``on_response`` fires with the full response.
+
+        Raises:
+            ConnectionClosed: if the connection has already failed/closed.
+        """
+        if self._closed:
+            raise ConnectionClosed(f"connection to {self.origin} is closed")
+        self._queue.append((request, on_response))
+        self._pump()
+
+    def close(self) -> None:
+        """Close the connection (outstanding requests fail)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.conn.close()
+        except ConnectionClosed:
+            pass
+        self._fail_outstanding(ConnectionClosed("client closed connection"))
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _became_ready(self) -> None:
+        self._ready = True
+        self._pump()
+
+    def _pump(self) -> None:
+        if not self._ready or self._closed or self._inflight is not None:
+            return
+        if not self._queue:
+            return
+        request, callback = self._queue.popleft()
+        self._inflight = (request, callback)
+        self._parser.expect(request.method)
+        sender = self._tls if self._tls is not None else self.conn
+        for piece in serialize_request(request):
+            if isinstance(piece, int):
+                sender.send_virtual(piece)
+            else:
+                sender.send(piece)
+        self.requests_sent += 1
+
+    def _data(self, pieces) -> None:
+        self._parser.feed(pieces)
+
+    def _response_arrived(self, response: HttpResponse) -> None:
+        self.responses_received += 1
+        inflight = self._inflight
+        self._inflight = None
+        if (response.headers.get("Connection") or "").lower() == "close":
+            self._closed = True
+        if inflight is not None:
+            inflight[1](response)
+        if not self._closed:
+            self._pump()
+        if not self.busy and self.on_idle is not None:
+            self.on_idle()
+
+    def _remote_closed(self) -> None:
+        # Server closed: a close-delimited body (if any) is now complete.
+        try:
+            self._parser.finish()
+        except Exception as exc:
+            self._failed(exc)
+            return
+        self._closed = True
+        self._fail_outstanding(ConnectionClosed(
+            f"{self.origin} closed the connection"))
+
+    def _failed(self, exc: Exception) -> None:
+        self._closed = True
+        self._fail_outstanding(exc)
+        if self.on_error is not None:
+            self.on_error(exc)
+
+    def _fail_outstanding(self, exc: Exception) -> None:
+        outstanding = []
+        if self._inflight is not None:
+            outstanding.append(self._inflight)
+            self._inflight = None
+        outstanding.extend(self._queue)
+        self._queue.clear()
+        for __, callback in outstanding:
+            if isinstance(callback, FailableCallback):
+                callback.fail(exc)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("ready" if self._ready else "connecting")
+        return f"<HttpClient {self.origin} {state} sent={self.requests_sent}>"
+
+
+class FailableCallback:
+    """Optional wrapper: a response callback that also wants failures.
+
+    Pass an instance as ``on_response`` to receive ``fail(exc)`` when the
+    connection dies with the request outstanding.
+    """
+
+    def __init__(
+        self, on_response: ResponseCallback, on_failure: ErrorCallback
+    ) -> None:
+        self._on_response = on_response
+        self._on_failure = on_failure
+
+    def __call__(self, response: HttpResponse) -> None:
+        self._on_response(response)
+
+    def fail(self, exc: Exception) -> None:
+        self._on_failure(exc)

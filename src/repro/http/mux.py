@@ -1,0 +1,438 @@
+"""A SPDY-style multiplexed HTTP transport.
+
+The paper's opening use case is "network protocol designers who seek to
+understand the application-level impact of new multiplexing protocols" —
+in 2014 that meant SPDY. This module implements such a protocol over the
+simulated TCP: one connection per origin carrying many concurrent request
+streams, responses interleaved frame by frame.
+
+Framing (text headers for debuggability; sizes comparable to SPDY's
+binary frames):
+
+    MUX <stream-id> <type> <payload-length> <fin>\\n
+
+followed by ``payload-length`` bytes. Types: ``H`` (a serialized HTTP
+message — headers block) and ``D`` (body data). ``fin=1`` closes the
+stream. Response bodies are sliced into :data:`FRAME_CHUNK`-byte DATA
+frames and written round-robin across active streams, which is what gives
+multiplexing its bandwidth-sharing behaviour on a bottleneck.
+
+:class:`MuxClientSession` replaces a pool of six
+:class:`~repro.http.client.HttpClient` connections;
+:class:`MuxHttpServer` is the server half (ReplayShell spawns these when
+constructed with ``protocol="mux"``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.errors import ConnectionClosed, HttpParseError
+from repro.http.client import FailableCallback
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.parser import HttpParser, _PieceBuffer
+from repro.http.serialize import serialize_request, serialize_response
+from repro.net.address import Endpoint, IPv4Address
+from repro.sim.simulator import Simulator
+from repro.transport.host import TransportHost
+from repro.transport.tcp import TcpConnection
+from repro.transport.tls import TlsClientSession, TlsConfig, TlsServerSession
+from repro.transport.wire import Piece, piece_len, pieces_len
+
+#: Bytes of response body per DATA frame (SPDY implementations used
+#: 4-16 KB; interleaving granularity on the wire).
+FRAME_CHUNK = 8 * 1024
+
+
+class _FrameCodec:
+    """Shared incremental frame reader/writer."""
+
+    def __init__(self) -> None:
+        self._buffer = _PieceBuffer()
+        self._pending_header: Optional[tuple] = None
+        self._payload: List[Piece] = []
+
+    @staticmethod
+    def encode(stream_id: int, frame_type: str, payload: List[Piece],
+               fin: bool) -> List[Piece]:
+        length = pieces_len(payload)
+        header = f"MUX {stream_id} {frame_type} {length} {int(fin)}\n"
+        return [header.encode("ascii")] + list(payload)
+
+    def feed(self, pieces: List[Piece], on_frame) -> None:
+        """Consume bytes; call ``on_frame(stream_id, type, payload, fin)``
+        for each complete frame."""
+        for piece in pieces:
+            self._buffer.push(piece)
+        while True:
+            if self._pending_header is None:
+                line = self._buffer.read_line()
+                if line is None:
+                    return
+                parts = line.decode("ascii", "replace").split()
+                if len(parts) != 5 or parts[0] != "MUX":
+                    raise HttpParseError(f"bad mux frame header: {line!r}")
+                try:
+                    header = (int(parts[1]), parts[2], int(parts[3]),
+                              parts[4] == "1")
+                except ValueError:
+                    raise HttpParseError(
+                        f"bad mux frame header: {line!r}") from None
+                self._pending_header = header
+                self._payload = []
+            stream_id, frame_type, length, fin = self._pending_header
+            got = self._buffer.read_up_to(length - pieces_len(self._payload))
+            self._payload.extend(got)
+            if pieces_len(self._payload) < length:
+                return
+            payload = self._payload
+            self._pending_header = None
+            self._payload = []
+            on_frame(stream_id, frame_type, payload, fin)
+
+
+class MuxClientSession:
+    """Client half: one multiplexed connection to one origin.
+
+    Mirrors :class:`~repro.http.client.HttpClient`'s interface (``request``,
+    ``busy``, ``closed``, ``on_error``) but never queues behind an
+    outstanding response — streams are concurrent.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: TransportHost,
+        origin: Endpoint,
+        tls: bool = False,
+        tls_config: Optional[TlsConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.origin = origin
+        self.on_error: Optional[Callable[[Exception], None]] = None
+        self.requests_sent = 0
+        self.responses_received = 0
+        self._codec = _FrameCodec()
+        self._next_stream = 1
+        self._streams: Dict[int, "_ClientStream"] = {}
+        self._ready = False
+        self._closed = False
+        self._queue: Deque[tuple] = deque()
+
+        self.conn = transport.connect(origin)
+        self.conn.on_error = self._failed
+        self.conn.on_remote_close = lambda: self._failed(
+            ConnectionClosed(f"{origin} closed the mux connection"))
+        if tls:
+            self._tls = TlsClientSession(self.conn, tls_config)
+            self._tls.on_established = self._became_ready
+            self._tls.on_data = self._data
+            self._sender = self._tls
+        else:
+            self._tls = None
+            self.conn.on_established = self._became_ready
+            self.conn.on_data = self._data
+            self._sender = self.conn
+
+    @property
+    def ready(self) -> bool:
+        """True once the transport is established."""
+        return self._ready
+
+    @property
+    def busy(self) -> bool:
+        """Streams outstanding? (A mux session is never head-of-line
+        blocked, but callers may still want to know.)"""
+        return bool(self._streams) or bool(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        """True once the connection has failed or been closed."""
+        return self._closed
+
+    @property
+    def active_streams(self) -> int:
+        """Streams with a response still outstanding."""
+        return len(self._streams)
+
+    def request(self, request: HttpRequest, on_response) -> None:
+        """Open a new stream for ``request``; responses may arrive in any
+        order relative to other streams."""
+        if self._closed:
+            raise ConnectionClosed(f"mux session to {self.origin} is closed")
+        if not self._ready:
+            self._queue.append((request, on_response))
+            return
+        self._send_request(request, on_response)
+
+    def close(self) -> None:
+        """Close the session (outstanding streams fail)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.conn.close()
+        except ConnectionClosed:
+            pass
+        self._fail_streams(ConnectionClosed("mux session closed"))
+
+    # ------------------------------------------------------------------ #
+
+    def _became_ready(self) -> None:
+        self._ready = True
+        while self._queue:
+            request, on_response = self._queue.popleft()
+            self._send_request(request, on_response)
+
+    def _send_request(self, request: HttpRequest, on_response) -> None:
+        stream_id = self._next_stream
+        self._next_stream += 2  # odd ids, like SPDY clients
+        self._streams[stream_id] = _ClientStream(request, on_response)
+        payload = serialize_request(request)
+        self._write(_FrameCodec.encode(stream_id, "H", payload, fin=True))
+        self.requests_sent += 1
+
+    def _write(self, pieces: List[Piece]) -> None:
+        for piece in pieces:
+            if isinstance(piece, int):
+                self._sender.send_virtual(piece)
+            else:
+                self._sender.send(piece)
+
+    def _data(self, pieces: List[Piece]) -> None:
+        try:
+            self._codec.feed(pieces, self._frame)
+        except HttpParseError as exc:
+            self._failed(exc)
+
+    def _frame(self, stream_id: int, frame_type: str,
+               payload: List[Piece], fin: bool) -> None:
+        stream = self._streams.get(stream_id)
+        if stream is None:
+            return  # reset/unknown stream: ignore
+        if frame_type == "H":
+            stream.parser.feed(payload)
+        elif frame_type == "D":
+            stream.parser.feed(payload)
+        if fin:
+            messages = stream.parser.pop_messages()
+            del self._streams[stream_id]
+            self.responses_received += 1
+            if messages:
+                stream.on_response(messages[0])
+            else:
+                self._stream_failed(stream, HttpParseError(
+                    "stream finished without a complete response"))
+
+    def _stream_failed(self, stream: "_ClientStream", exc: Exception) -> None:
+        if isinstance(stream.on_response, FailableCallback):
+            stream.on_response.fail(exc)
+
+    def _failed(self, exc: Exception) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._fail_streams(exc)
+        if self.on_error is not None:
+            self.on_error(exc)
+
+    def _fail_streams(self, exc: Exception) -> None:
+        streams = list(self._streams.values())
+        self._streams.clear()
+        pending = list(self._queue)
+        self._queue.clear()
+        for stream in streams:
+            self._stream_failed(stream, exc)
+        for __, on_response in pending:
+            if isinstance(on_response, FailableCallback):
+                on_response.fail(exc)
+
+
+class _ClientStream:
+    __slots__ = ("request", "on_response", "parser")
+
+    def __init__(self, request: HttpRequest, on_response) -> None:
+        self.request = request
+        self.on_response = on_response
+        self.parser = HttpParser("response")
+        self.parser.expect(request.method)
+
+
+class MuxHttpServer:
+    """Server half: accepts mux connections, answers via a handler.
+
+    Interface matches :class:`~repro.http.server.HttpServer` (handler,
+    processing_time, bounded workers), so ReplayShell can spawn either.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: TransportHost,
+        address,
+        port: int,
+        handler: Callable[[HttpRequest], HttpResponse],
+        processing_time=None,
+        tls: bool = False,
+        tls_config: Optional[TlsConfig] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        from repro.http.server import WorkerPool
+
+        self.sim = sim
+        self.address = IPv4Address(address)
+        self.port = port
+        self.handler = handler
+        self.processing_time = processing_time
+        self.tls = tls
+        self.tls_config = tls_config
+        self.requests_served = 0
+        self.connections_accepted = 0
+        self._pool = WorkerPool(sim, max_workers)
+        self._listener = transport.listen(self.address, port, self._accept)
+
+    @property
+    def peak_backlog(self) -> int:
+        """Deepest worker-pool backlog observed."""
+        return self._pool.peak_backlog
+
+    def close(self) -> None:
+        """Stop accepting connections."""
+        self._listener.close()
+
+    def _accept(self, conn: TcpConnection) -> None:
+        self.connections_accepted += 1
+        _MuxServerConnection(self, conn)
+
+
+class _MuxServerConnection:
+    """One accepted mux connection: streams in, interleaved frames out."""
+
+    def __init__(self, server: MuxHttpServer, conn: TcpConnection) -> None:
+        self.server = server
+        self.conn = conn
+        self._codec = _FrameCodec()
+        self._parsers: Dict[int, HttpParser] = {}
+        # Streams with body bytes left to write: round-robin queue of
+        # [stream_id, remaining_pieces] entries.
+        self._write_queue: Deque[list] = deque()
+        self._pumping = False
+        if server.tls:
+            self._tls = TlsServerSession(conn, server.tls_config)
+            self._tls.on_data = self._data
+            self._sender = self._tls
+        else:
+            self._tls = None
+            self._sender = conn
+            conn.on_data = self._data
+        conn.on_error = lambda exc: None
+        conn.on_remote_close = lambda: None
+
+    def _data(self, pieces: List[Piece]) -> None:
+        try:
+            self._codec.feed(pieces, self._frame)
+        except HttpParseError:
+            self.conn.abort()
+
+    def _frame(self, stream_id: int, frame_type: str,
+               payload: List[Piece], fin: bool) -> None:
+        parser = self._parsers.get(stream_id)
+        if parser is None:
+            parser = HttpParser("request")
+            self._parsers[stream_id] = parser
+        parser.feed(payload)
+        if fin:
+            messages = parser.pop_messages()
+            del self._parsers[stream_id]
+            if not messages:
+                return
+            request = messages[0]
+            delay = 0.0
+            if self.server.processing_time is not None:
+                delay = self.server.processing_time(request)
+            self.server._pool.submit(
+                lambda: self._respond(stream_id, request), delay)
+
+    def _respond(self, stream_id: int, request: HttpRequest) -> None:
+        if self.conn.state == "CLOSED":
+            return
+        response = self.server.handler(request)
+        self.server.requests_served += 1
+        # The headers block promises the body length; the body itself
+        # follows in interleaved DATA frames on the same stream.
+        headers = response.headers.copy()
+        body_pieces = response.body.pieces
+        if response.body.length:
+            headers.set("Content-Length", str(response.body.length))
+        head = serialize_response(HttpResponse(
+            response.status, response.reason, headers, body=None,
+            version=response.version,
+        ))
+        fin_now = not body_pieces
+        self._write(_FrameCodec.encode(stream_id, "H", head, fin=fin_now))
+        if body_pieces:
+            self._write_queue.append([stream_id, list(body_pieces)])
+            self._pump()
+
+    def _write(self, pieces: List[Piece]) -> None:
+        for piece in pieces:
+            if isinstance(piece, int):
+                self._sender.send_virtual(piece)
+            else:
+                self._sender.send(piece)
+
+    def _pump(self) -> None:
+        """Round-robin DATA frames across active streams, under TCP
+        backpressure.
+
+        Writing every queued frame at once would serialize streams in the
+        unbounded TCP send buffer (head-of-line blocking — the very thing
+        multiplexing exists to avoid); instead the pump keeps only a small
+        window of frames in the send backlog and resumes when TCP reports
+        the backlog drained.
+        """
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            high_water = 4 * FRAME_CHUNK
+            while self._write_queue:
+                if self.conn.unsent_bytes >= high_water:
+                    self.conn.notify_when_writable(
+                        2 * FRAME_CHUNK, self._pump)
+                    return
+                entry = self._write_queue.popleft()
+                stream_id, remaining = entry
+                frame, rest = _take(remaining, FRAME_CHUNK)
+                fin = not rest
+                self._write(_FrameCodec.encode(stream_id, "D", frame, fin))
+                if rest:
+                    entry[1] = rest
+                    self._write_queue.append(entry)
+        finally:
+            self._pumping = False
+
+
+def _take(pieces: List[Piece], limit: int):
+    """Split ``pieces`` into (first ``limit`` bytes, remainder)."""
+    taken: List[Piece] = []
+    count = 0
+    index = 0
+    while index < len(pieces) and count < limit:
+        piece = pieces[index]
+        length = piece_len(piece)
+        if count + length <= limit:
+            taken.append(piece)
+            count += length
+            index += 1
+        else:
+            cut = limit - count
+            if isinstance(piece, int):
+                taken.append(cut)
+                pieces[index] = piece - cut
+            else:
+                taken.append(piece[:cut])
+                pieces[index] = piece[cut:]
+            count = limit
+    return taken, pieces[index:]

@@ -1,0 +1,221 @@
+"""An HTTP/1.1 server on the simulated transport.
+
+One :class:`HttpServer` binds one (address, port) — ReplayShell spawns one
+per recorded origin, exactly as Mahimahi spawns one Apache per distinct
+IP/port pair. The handler is a callable ``handler(request) -> HttpResponse``;
+per-request processing time (the Apache+CGI cost in the paper's setup)
+comes from an optional ``processing_time(request) -> seconds`` callable so
+machine profiles can scale it.
+
+A server's request processing runs on a bounded worker pool
+(``max_workers``): at most that many requests are "in the CPU" at once,
+the rest queue FIFO across connections. This is the contention that makes
+single-server replay slow — one Apache handling a hundred parallel
+requests queues where twenty Apaches would not — the mechanism behind the
+paper's Table 2 ablation.
+
+Persistent connections are the default; ``Connection: close`` on a request
+closes after the response, like Apache's keep-alive handling. Pipelined
+requests are answered in order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.parser import HttpParser
+from repro.http.serialize import serialize_response
+from repro.net.address import IPv4Address
+from repro.sim.simulator import Simulator
+from repro.transport.host import TransportHost
+from repro.transport.tcp import TcpConnection
+from repro.transport.tls import TlsConfig, TlsServerSession
+
+Handler = Callable[[HttpRequest], HttpResponse]
+ProcessingTime = Callable[[HttpRequest], float]
+
+
+class WorkerPool:
+    """Bounded-concurrency request processing (the Apache+CGI model).
+
+    ``submit(work, delay)`` runs ``work`` after ``delay`` seconds of
+    processing, with at most ``max_workers`` jobs in service; excess jobs
+    queue FIFO. ``max_workers=None`` means unbounded.
+    """
+
+    def __init__(self, sim: Simulator, max_workers: Optional[int]) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers!r}")
+        self.sim = sim
+        self.max_workers = max_workers
+        self.peak_backlog = 0
+        self._active_workers = 0
+        self._backlog: Deque = deque()
+
+    def submit(self, work: Callable[[], None], delay: float) -> None:
+        """Run ``work`` after ``delay`` of processing, respecting the
+        worker limit (excess jobs queue FIFO)."""
+        if (self.max_workers is not None
+                and self._active_workers >= self.max_workers):
+            self._backlog.append((work, delay))
+            if len(self._backlog) > self.peak_backlog:
+                self.peak_backlog = len(self._backlog)
+            return
+        self._start_worker(work, delay)
+
+    def _start_worker(self, work: Callable[[], None], delay: float) -> None:
+        self._active_workers += 1
+        if delay > 0.0:
+            self.sim.schedule(delay, self._finish_worker, work)
+        else:
+            self._finish_worker(work)
+
+    def _finish_worker(self, work: Callable[[], None]) -> None:
+        try:
+            work()
+        finally:
+            self._active_workers -= 1
+            if self._backlog:
+                next_work, next_delay = self._backlog.popleft()
+                self._start_worker(next_work, next_delay)
+
+
+class HttpServer:
+    """An HTTP server bound to one (address, port).
+
+    Args:
+        sim: the simulator.
+        transport: the namespace's transport host.
+        address: local address to bind (must be local to the namespace).
+        port: TCP port.
+        handler: maps a request to a response.
+        processing_time: seconds of simulated server compute per request
+            (default: none). Called per request, so it can depend on the
+            resource or draw jitter.
+        tls: terminate a (cost-model) TLS session on each connection.
+        tls_config: handshake sizes when ``tls`` is set.
+        max_workers: concurrent request-processing slots (None =
+            unbounded). Requests beyond this queue FIFO server-wide.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: TransportHost,
+        address,
+        port: int,
+        handler: Handler,
+        processing_time: Optional[ProcessingTime] = None,
+        tls: bool = False,
+        tls_config: Optional[TlsConfig] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.transport = transport
+        self.address = IPv4Address(address)
+        self.port = port
+        self.handler = handler
+        self.processing_time = processing_time
+        self.tls = tls
+        self.tls_config = tls_config
+        self.max_workers = max_workers
+        self.requests_served = 0
+        self.connections_accepted = 0
+        self.pool = WorkerPool(sim, max_workers)
+        self._listener = transport.listen(
+            self.address, port, self._accept
+        )
+
+    @property
+    def peak_backlog(self) -> int:
+        """Deepest worker-pool backlog observed."""
+        return self.pool.peak_backlog
+
+    def submit(self, work: Callable[[], None], delay: float) -> None:
+        """Run ``work`` on the worker pool (see :class:`WorkerPool`)."""
+        self.pool.submit(work, delay)
+
+    def close(self) -> None:
+        """Stop accepting connections."""
+        self._listener.close()
+
+    def _accept(self, conn: TcpConnection) -> None:
+        self.connections_accepted += 1
+        _ServerConnection(self, conn)
+
+    def __repr__(self) -> str:
+        return (
+            f"<HttpServer {self.address}:{self.port} "
+            f"served={self.requests_served}>"
+        )
+
+
+class _ServerConnection:
+    """Per-connection request loop."""
+
+    def __init__(self, server: HttpServer, conn: TcpConnection) -> None:
+        self.server = server
+        self.conn = conn
+        self.parser = HttpParser("request")
+        self.parser.on_message = self._request_arrived
+        # Responses must go out in request order even if processing times
+        # differ; each entry is [request, response-or-None, close-after].
+        self._pending: Deque[list] = deque()
+        self._closing = False
+        if server.tls:
+            self._tls = TlsServerSession(conn, server.tls_config)
+            self._tls.on_data = self._data
+            self._sender = self._tls
+        else:
+            self._tls = None
+            self._sender = conn
+            conn.on_data = self._data
+        conn.on_remote_close = self._remote_closed
+        conn.on_error = lambda exc: None
+
+    def _data(self, pieces) -> None:
+        self.parser.feed(pieces)
+
+    def _request_arrived(self, request: HttpRequest) -> None:
+        close_after = (
+            (request.headers.get("Connection") or "").lower() == "close"
+            or request.version == "HTTP/1.0"
+        )
+        entry = [request, None, close_after]
+        self._pending.append(entry)
+        delay = 0.0
+        if self.server.processing_time is not None:
+            delay = self.server.processing_time(request)
+        self.server.submit(lambda: self._process(entry), delay)
+
+    def _process(self, entry: list) -> None:
+        request = entry[0]
+        entry[1] = self.server.handler(request)
+        self._flush()
+
+    def _flush(self) -> None:
+        while self._pending and self._pending[0][1] is not None:
+            __, response, close_after = self._pending.popleft()
+            if self.conn.state == "CLOSED":
+                return
+            for piece in serialize_response(response):
+                if isinstance(piece, int):
+                    self._sender.send_virtual(piece)
+                else:
+                    self._sender.send(piece)
+            self.server.requests_served += 1
+            if close_after:
+                self._closing = True
+                self.conn.close()
+                return
+
+    def _remote_closed(self) -> None:
+        # Client half-closed; answer what is pending, then close our side.
+        if not self._pending and not self._closing:
+            self._closing = True
+            try:
+                self.conn.close()
+            except Exception:
+                pass

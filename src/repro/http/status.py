@@ -1,0 +1,45 @@
+"""HTTP status codes and reason phrases."""
+
+from __future__ import annotations
+
+_REASONS = {
+    100: "Continue",
+    101: "Switching Protocols",
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    206: "Partial Content",
+    301: "Moved Permanently",
+    302: "Found",
+    303: "See Other",
+    304: "Not Modified",
+    307: "Temporary Redirect",
+    308: "Permanent Redirect",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    410: "Gone",
+    411: "Length Required",
+    413: "Payload Too Large",
+    414: "URI Too Long",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+    505: "HTTP Version Not Supported",
+}
+
+
+def reason_phrase(status: int) -> str:
+    """The standard reason phrase for ``status`` ("Unknown" if unlisted)."""
+    return _REASONS.get(status, "Unknown")
+
+
+#: Statuses whose responses never carry a body (RFC 7230 §3.3.3).
+BODILESS_STATUSES = frozenset({204, 304}) | frozenset(range(100, 200))

@@ -1,0 +1,149 @@
+"""CoDel active queue management (``mm-link --uplink-queue=codel``).
+
+Mahimahi's mm-link supports CoDel alongside drop-tail; it is the canonical
+answer to the bufferbloat that an unbounded drop-tail queue exhibits on
+slow links. This is the standard algorithm (Nichols & Jacobson, CACM
+2012 / RFC 8289): track each packet's sojourn time; once the queue's
+minimum sojourn has exceeded ``target`` for a full ``interval``, enter a
+dropping state and drop on dequeue at a rate increasing with the square
+root of the drop count.
+
+:class:`CoDelQueue` exposes the same interface as
+:class:`~repro.linkem.queues.DropTailQueue` (push/front/pop/bytes/len),
+with time passed explicitly — the link pipe provides its virtual clock.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.net.packet import Packet
+
+
+class CoDelQueue:
+    """Controlled-delay AQM queue.
+
+    Args:
+        target: acceptable standing queue delay, seconds (default 5 ms).
+        interval: window over which sojourn must stay above target before
+            dropping starts, seconds (default 100 ms).
+        max_packets: hard capacity (tail-drop beyond it; None = unbounded,
+            CoDel itself keeps the queue short).
+    """
+
+    def __init__(
+        self,
+        target: float = 0.005,
+        interval: float = 0.100,
+        max_packets: Optional[int] = None,
+    ) -> None:
+        if target <= 0 or interval <= 0:
+            raise ValueError("target and interval must be positive")
+        self.target = target
+        self.interval = interval
+        self.max_packets = max_packets
+        self._queue: Deque[Tuple[float, Packet]] = deque()
+        self._bytes = 0
+        # CoDel state
+        self._first_above_time = 0.0
+        self._dropping = False
+        self._drop_next = 0.0
+        self._drop_count = 0
+        self.drops = 0
+        self.enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    @property
+    def bytes(self) -> int:
+        """Total bytes currently queued."""
+        return self._bytes
+
+    def push(self, packet: Packet, now: float = 0.0) -> bool:
+        """Enqueue with arrival timestamp; False on hard-capacity drop."""
+        if (self.max_packets is not None
+                and len(self._queue) >= self.max_packets):
+            self.drops += 1
+            return False
+        self._queue.append((now, packet))
+        self._bytes += packet.size
+        self.enqueued += 1
+        return True
+
+    def front(self) -> Packet:
+        """Peek the head-of-line packet (after CoDel's dequeue-time drops
+        are applied by :meth:`pop`; front itself does not drop)."""
+        return self._queue[0][1]
+
+    def pop(self, now: float = 0.0) -> Optional[Packet]:
+        """Dequeue under CoDel: may drop packets and return the first
+        survivor, or None if the queue empties."""
+        packet, ok_to_drop = self._dodequeue(now)
+        if packet is None:
+            self._dropping = False
+            return None
+        if self._dropping:
+            if not ok_to_drop:
+                self._dropping = False
+            else:
+                while (self._dropping and packet is not None
+                       and now >= self._drop_next):
+                    self.drops += 1
+                    self._drop_count += 1
+                    packet, ok_to_drop = self._dodequeue(now)
+                    if not ok_to_drop:
+                        self._dropping = False
+                    else:
+                        self._drop_next = self._control_law(self._drop_next)
+        elif ok_to_drop and (
+            now - self._drop_next < self.interval
+            or now - self._first_above_time >= self.interval
+        ):
+            # Enter dropping state: drop this packet and arm the control law.
+            self.drops += 1
+            packet_after, still_ok = self._dodequeue(now)
+            self._dropping = True
+            if now - self._drop_next < self.interval:
+                self._drop_count = max(self._drop_count - 2, 1)
+            else:
+                self._drop_count = 1
+            self._drop_next = self._control_law(now)
+            packet = packet_after
+            if packet is None:
+                self._dropping = False
+        return packet
+
+    def _dodequeue(self, now: float):
+        """CoDel's dodequeue: pop one packet, report whether its sojourn
+        keeps us in the above-target regime."""
+        if not self._queue:
+            self._first_above_time = 0.0
+            return None, False
+        enqueue_time, packet = self._queue.popleft()
+        self._bytes -= packet.size
+        sojourn = now - enqueue_time
+        if sojourn < self.target:
+            self._first_above_time = 0.0
+            return packet, False
+        if self._first_above_time == 0.0:
+            self._first_above_time = now + self.interval
+            return packet, False
+        return packet, now >= self._first_above_time
+
+    def _control_law(self, base: float) -> float:
+        return base + self.interval / math.sqrt(self._drop_count)
+
+    def clear(self) -> None:
+        """Drop everything queued (not counted as CoDel drops)."""
+        self._queue.clear()
+        self._bytes = 0
+
+    def __repr__(self) -> str:
+        return (f"<CoDelQueue {len(self._queue)}p/{self._bytes}B "
+                f"dropping={self._dropping} drops={self.drops}>")

@@ -1,0 +1,90 @@
+"""Bounded drop-tail packet queues.
+
+Both emulation pipes buffer packets in a :class:`DropTailQueue`. The default
+is unbounded, matching ``mm-delay`` and ``mm-link``'s default infinite
+queues; passing ``max_packets`` or ``max_bytes`` reproduces
+``mm-link --uplink-queue=droptail``-style bounded buffers, which is where
+TCP loss comes from in bandwidth-limited experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.net.packet import Packet
+
+
+class DropTailQueue:
+    """FIFO packet queue that drops arrivals when full.
+
+    Args:
+        max_packets: packet-count capacity (None = unbounded).
+        max_bytes: byte capacity (None = unbounded). A packet is dropped if
+            adding it would exceed either bound.
+    """
+
+    def __init__(
+        self,
+        max_packets: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_packets is not None and max_packets <= 0:
+            raise ValueError(f"max_packets must be positive, got {max_packets!r}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes!r}")
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+        self.max_packets = max_packets
+        self.max_bytes = max_bytes
+        self.drops = 0
+        self.enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    @property
+    def bytes(self) -> int:
+        """Total bytes currently queued."""
+        return self._bytes
+
+    def push(self, packet: Packet, now: float = 0.0) -> bool:
+        """Enqueue; returns False (and counts a drop) if the queue is full.
+
+        ``now`` is accepted for interface parity with timestamping queue
+        disciplines (CoDel); drop-tail ignores it.
+        """
+        if self.max_packets is not None and len(self._queue) >= self.max_packets:
+            self.drops += 1
+            return False
+        if self.max_bytes is not None and self._bytes + packet.size > self.max_bytes:
+            self.drops += 1
+            return False
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self.enqueued += 1
+        return True
+
+    def front(self) -> Packet:
+        """Peek the head-of-line packet (raises IndexError when empty)."""
+        return self._queue[0]
+
+    def pop(self, now: float = 0.0) -> Packet:
+        """Dequeue the head-of-line packet (raises IndexError when empty)."""
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        return packet
+
+    def clear(self) -> None:
+        """Drop everything currently queued (not counted as tail drops)."""
+        self._queue.clear()
+        self._bytes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<DropTailQueue {len(self._queue)}p/{self._bytes}B "
+            f"cap={self.max_packets}p/{self.max_bytes}B drops={self.drops}>"
+        )

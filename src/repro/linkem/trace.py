@@ -1,0 +1,210 @@
+"""Packet-delivery traces (Mahimahi's ``.trace`` format).
+
+A trace is a text file with one integer millisecond timestamp per line.
+Each line is a *packet-delivery opportunity*: the instant at which the
+emulated link can deliver up to one MTU's worth of bytes. Multiple lines
+may carry the same timestamp (several opportunities in one millisecond —
+how high rates are expressed at millisecond granularity). When the trace is
+exhausted it repeats, offset by its final timestamp, exactly as ``mm-link``
+loops its traces.
+
+Two schedule implementations answer "when is the next unconsumed
+opportunity at or after time t?":
+
+* :class:`FileTraceSchedule` — walks a (repeating) explicit trace, with
+  O(log n) fast-forward over idle gaps.
+* :class:`ConstantRateSchedule` — closed-form opportunities for a fixed
+  rate, used where an explicit trace would be needlessly large.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Sequence
+
+from repro.errors import TraceError
+from repro.net.packet import MTU_BYTES
+
+
+class PacketDeliveryTrace:
+    """An immutable parsed trace.
+
+    Args:
+        times_ms: non-decreasing, non-negative integer timestamps. The last
+            timestamp defines the trace period for wrap-around and must be
+            positive.
+    """
+
+    def __init__(self, times_ms: Sequence[int]) -> None:
+        times = [int(t) for t in times_ms]
+        if not times:
+            raise TraceError("trace has no delivery opportunities")
+        previous = 0
+        for t in times:
+            if t < 0:
+                raise TraceError(f"negative timestamp in trace: {t}")
+            if t < previous:
+                raise TraceError(
+                    f"timestamps must be non-decreasing ({t} after {previous})"
+                )
+            previous = t
+        if times[-1] <= 0:
+            raise TraceError("final timestamp (trace period) must be positive")
+        self._times = times
+
+    @property
+    def times_ms(self) -> List[int]:
+        """The opportunity timestamps (copy)."""
+        return list(self._times)
+
+    @property
+    def period_ms(self) -> int:
+        """Wrap-around period: the final timestamp."""
+        return self._times[-1]
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def average_rate_bps(self) -> float:
+        """Mean delivery rate over one period, bits per second."""
+        return len(self._times) * MTU_BYTES * 8 * 1000.0 / self.period_ms
+
+    @property
+    def average_rate_mbps(self) -> float:
+        """Mean delivery rate over one period, Mbit/s."""
+        return self.average_rate_bps / 1e6
+
+    # ------------------------------------------------------------------ #
+    # I/O
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "PacketDeliveryTrace":
+        """Parse trace text; blank lines and ``#`` comments are ignored."""
+        times: List[int] = []
+        for lineno, raw in enumerate(lines, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                times.append(int(line))
+            except ValueError:
+                raise TraceError(
+                    f"line {lineno}: not an integer timestamp: {line!r}"
+                ) from None
+        return cls(times)
+
+    @classmethod
+    def from_file(cls, path) -> "PacketDeliveryTrace":
+        """Load a trace from a file path."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_lines(handle)
+
+    def to_file(self, path) -> None:
+        """Write the trace in Mahimahi's one-integer-per-line format."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for t in self._times:
+                handle.write(f"{t}\n")
+
+    def __repr__(self) -> str:
+        return (
+            f"<PacketDeliveryTrace {len(self._times)} opportunities / "
+            f"{self.period_ms} ms (~{self.average_rate_mbps:.2f} Mbit/s)>"
+        )
+
+
+class FileTraceSchedule:
+    """Sequential opportunity consumer over a repeating trace.
+
+    Args:
+        trace: the parsed trace.
+        start_time: virtual time (seconds) at which the link started; trace
+            timestamp 0 corresponds to this instant.
+    """
+
+    def __init__(self, trace: PacketDeliveryTrace, start_time: float = 0.0) -> None:
+        self._times = trace.times_ms
+        self._period_s = trace.period_ms / 1000.0
+        self._times_s = [t / 1000.0 for t in self._times]
+        self._start = start_time
+        self._cycle = 0
+        self._index = 0
+
+    def next_opportunity(self, now: float) -> float:
+        """Consume and return the next opportunity at or after ``now``.
+
+        Consecutive calls with the same ``now`` return successive
+        opportunities (which may share the same timestamp).
+        """
+        rel = now - self._start
+        if rel < 0.0:
+            rel = 0.0
+        # Fast-forward whole cycles if we are far behind.
+        current_floor = self._cycle * self._period_s
+        if rel > current_floor + self._period_s:
+            self._cycle = int(rel // self._period_s)
+            self._index = 0
+            current_floor = self._cycle * self._period_s
+        while True:
+            if self._index >= len(self._times_s):
+                self._cycle += 1
+                self._index = 0
+                current_floor = self._cycle * self._period_s
+            within = rel - current_floor
+            if within > self._times_s[-1]:
+                self._cycle += 1
+                self._index = 0
+                current_floor = self._cycle * self._period_s
+                continue
+            if self._times_s[self._index] < within:
+                # Skip lapsed opportunities within this cycle in one jump.
+                self._index = bisect.bisect_left(self._times_s, within, self._index)
+                continue
+            opportunity = self._start + current_floor + self._times_s[self._index]
+            self._index += 1
+            # Guard against float rounding placing the opportunity an ulp
+            # before `now`, which the simulator would reject as "the past".
+            return opportunity if opportunity > now else now
+
+
+class ConstantRateSchedule:
+    """Closed-form opportunities for a constant-rate link.
+
+    Args:
+        rate_bps: link rate in bits per second (> 0).
+        start_time: virtual time of the link's first interval.
+
+    Opportunities fall every ``MTU_BYTES * 8 / rate_bps`` seconds, the
+    first one a full interval after ``start_time`` (a link never delivers
+    at the very instant it comes up); each carries the usual one-MTU byte
+    budget.
+    """
+
+    def __init__(self, rate_bps: float, start_time: float = 0.0) -> None:
+        if rate_bps <= 0.0:
+            raise TraceError(f"rate must be positive, got {rate_bps!r}")
+        self.rate_bps = rate_bps
+        self._interval = MTU_BYTES * 8.0 / rate_bps
+        self._start = start_time
+        self._next_k = 1
+
+    @property
+    def interval(self) -> float:
+        """Seconds between successive opportunities."""
+        return self._interval
+
+    def next_opportunity(self, now: float) -> float:
+        """Consume and return the next opportunity at or after ``now``."""
+        rel = now - self._start
+        if rel < 0.0:
+            rel = 0.0
+        k = int(rel / self._interval)
+        if self._start + k * self._interval < now:
+            k += 1
+        if k < self._next_k:
+            k = self._next_k
+        self._next_k = k + 1
+        opportunity = self._start + k * self._interval
+        # Guard against float rounding placing the opportunity an ulp
+        # before `now`, which the simulator would reject as "the past".
+        return opportunity if opportunity > now else now

@@ -1,0 +1,111 @@
+"""Trace-driven link pipe: the heart of LinkShell.
+
+``mm-link up.trace down.trace`` paces each direction of the link according
+to a packet-delivery trace. :class:`TracePipe` is one direction of that.
+
+Semantics (matching Mahimahi's ``link_queue.cc``):
+
+* arriving packets go into a drop-tail queue (unbounded by default);
+* at each delivery opportunity the link gets a byte budget of one MTU;
+* the budget drains the queue front-to-back — several small packets can
+  share one opportunity, and a large packet may need several opportunities,
+  carrying its partial progress across them;
+* budget left over when the queue empties is discarded (an idle link's
+  capacity cannot be banked).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.linkem.overhead import OverheadModel
+from repro.linkem.processing import SerialProcessor
+from repro.linkem.queues import DropTailQueue
+from repro.linkem.trace import ConstantRateSchedule, FileTraceSchedule
+from repro.net.packet import MTU_BYTES, Packet
+from repro.net.pipe import PacketPipe
+from repro.sim.simulator import Simulator
+
+Schedule = Union[FileTraceSchedule, ConstantRateSchedule]
+
+
+class TracePipe(PacketPipe):
+    """One direction of a trace-driven link.
+
+    Args:
+        sim: the simulator.
+        schedule: opportunity source (file trace or constant rate).
+        queue: drop-tail buffer; defaults to unbounded like ``mm-link``.
+        overhead: per-packet forwarding cost; defaults to the calibrated
+            mm-link cost.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        schedule: Schedule,
+        queue: Optional[DropTailQueue] = None,
+        overhead: OverheadModel = None,
+    ) -> None:
+        super().__init__(sim)
+        if overhead is None:
+            overhead = OverheadModel.link_shell()
+        self._schedule = schedule
+        self._queue = queue if queue is not None else DropTailQueue()
+        self._processor = SerialProcessor(overhead.service_time)
+        # The packet currently "on the wire" (partially transmitted across
+        # opportunities). Dequeue-time disciplines (CoDel) decide drops
+        # when a packet is committed to transmission, so the in-flight
+        # packet lives outside the queue.
+        self._current: Optional[Packet] = None
+        self._current_sent = 0
+        self._wake = None
+        self.opportunities_used = 0
+
+    @property
+    def queue(self):
+        """The buffer feeding the link (drop-tail or CoDel)."""
+        return self._queue
+
+    def send(self, packet: Packet) -> None:
+        self.packets_sent += 1
+        processed_at = self._processor.finish_time(self._sim.now)
+        if processed_at > self._sim.now:
+            self._sim.schedule_at(processed_at, self._enqueue, packet)
+        else:
+            self._enqueue(packet)
+
+    def _enqueue(self, packet: Packet) -> None:
+        if not self._queue.push(packet, self._sim.now):
+            self.packets_dropped += 1
+            return
+        if self._wake is None:
+            self._schedule_wake()
+
+    def _schedule_wake(self) -> None:
+        when = self._schedule.next_opportunity(self._sim.now)
+        self._wake = self._sim.schedule_at(when, self._opportunity)
+
+    def _opportunity(self) -> None:
+        self._wake = None
+        self.opportunities_used += 1
+        budget = MTU_BYTES
+        while budget > 0:
+            if self._current is None:
+                if not self._queue:
+                    break
+                self._current = self._queue.pop(self._sim.now)
+                if self._current is None:
+                    # The discipline dropped its way to an empty queue.
+                    break
+                self._current_sent = 0
+            remaining = self._current.size - self._current_sent
+            if remaining <= budget:
+                budget -= remaining
+                packet, self._current = self._current, None
+                self.deliver(packet)
+            else:
+                self._current_sent += budget
+                budget = 0
+        if self._queue or self._current is not None:
+            self._schedule_wake()

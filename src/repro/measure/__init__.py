@@ -1,0 +1,26 @@
+"""Measurement harness: trials, statistics, and report formatting.
+
+:class:`~repro.measure.stats.Sample` holds a set of measurements (page
+load times, usually) and answers the questions every table and figure in
+the paper asks: mean, standard deviation, percentiles, CDFs, and percent
+differences. :func:`~repro.measure.runner.run_page_loads` runs N
+independent page-load trials of a scenario factory;
+:mod:`~repro.measure.report` renders the paper's tables and ASCII CDF
+plots.
+"""
+
+from repro.measure.compare import Comparison, compare_page_loads
+from repro.measure.report import ascii_cdf, format_table, percent_diff
+from repro.measure.runner import ScenarioResult, run_page_loads
+from repro.measure.stats import Sample
+
+__all__ = [
+    "Comparison",
+    "Sample",
+    "ScenarioResult",
+    "ascii_cdf",
+    "compare_page_loads",
+    "format_table",
+    "percent_diff",
+    "run_page_loads",
+]

@@ -1,0 +1,95 @@
+"""Report rendering: the paper's tables and figures as text.
+
+Benches print through these helpers so every reproduced artifact has the
+same shape as its original: Table 1's "mean ± std" grid, Table 2's
+"50th%, 95th%" grid, and the CDF figures as ASCII plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.measure.stats import Sample
+
+
+def percent_diff(a: float, b: float) -> float:
+    """How much larger ``a`` is than ``b``, in percent."""
+    if b == 0.0:
+        raise ValueError("reference value is zero")
+    return (a - b) / b * 100.0
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """A fixed-width text table."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row has {len(row)} cells, expected {columns}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(row)
+        ))
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    samples: Dict[str, Sample],
+    width: int = 64,
+    height: int = 16,
+    unit: str = "ms",
+    scale: float = 1000.0,
+    title: Optional[str] = None,
+) -> str:
+    """Plot one or more CDFs as ASCII (the Figure 2 / Figure 3 format).
+
+    Args:
+        samples: label -> sample; each gets its own marker character.
+        width / height: plot grid size.
+        unit: x-axis unit label.
+        scale: multiply values by this for display (s -> ms by default).
+    """
+    if not samples:
+        raise ValueError("no samples to plot")
+    markers = "*o+x#@%&"
+    x_min = min(s.minimum for s in samples.values()) * scale
+    x_max = max(s.maximum for s in samples.values()) * scale
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+    grid = [[" "] * width for __ in range(height)]
+    for index, (label, sample) in enumerate(samples.items()):
+        marker = markers[index % len(markers)]
+        for value, proportion in sample.cdf():
+            col = int((value * scale - x_min) / (x_max - x_min) * (width - 1))
+            row = int((1.0 - proportion) * (height - 1))
+            grid[row][col] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row_cells in enumerate(grid):
+        proportion = 1.0 - i / (height - 1)
+        lines.append(f"{proportion:4.2f} |" + "".join(row_cells))
+    lines.append("     +" + "-" * width)
+    left = f"{x_min:.0f}{unit}"
+    right = f"{x_max:.0f}{unit}"
+    lines.append("      " + left + " " * max(1, width - len(left) - len(right)) + right)
+    for index, label in enumerate(samples):
+        lines.append(f"      {markers[index % len(markers)]} = {label}")
+    return "\n".join(lines)
+
+
+def mean_pm_std(sample: Sample, scale: float = 1000.0, unit: str = "ms") -> str:
+    """Table 1's cell format: ``7584±120 ms``."""
+    return f"{sample.mean * scale:.0f}±{sample.stddev * scale:.0f} {unit}"

@@ -1,0 +1,79 @@
+"""Trial runners.
+
+Each trial is an independent simulation: the scenario factory gets a trial
+index, builds a fresh world (simulator, shells, browser), starts a page
+load, and hands back the live result. The runner drives the simulator to
+completion and collects page load times. Independent trials keep
+measurements honest — no TCP state, caches, or queue occupancy leak
+between loads, matching how the paper restarts the browser per load.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, NamedTuple, Tuple
+
+from repro.browser.engine import PageLoadResult
+from repro.errors import ReproError
+from repro.measure.stats import Sample
+from repro.sim.simulator import Simulator
+
+#: A scenario factory returns the trial's simulator and its live result.
+ScenarioFactory = Callable[[int], Tuple[Simulator, PageLoadResult]]
+
+#: Wall-clock cap per trial, virtual seconds.
+DEFAULT_TRIAL_TIMEOUT = 600.0
+
+
+class ScenarioResult(NamedTuple):
+    """All trials of one scenario."""
+
+    sample: Sample
+    results: List[PageLoadResult]
+
+    @property
+    def plt(self) -> Sample:
+        """Alias: the page-load-time sample (seconds)."""
+        return self.sample
+
+
+def run_page_loads(
+    factory: ScenarioFactory,
+    trials: int,
+    timeout: float = DEFAULT_TRIAL_TIMEOUT,
+    allow_failures: bool = False,
+) -> ScenarioResult:
+    """Run ``trials`` independent page loads and collect their PLTs.
+
+    Args:
+        factory: builds one trial world; receives the trial index (use it
+            to vary seeds).
+        trials: how many independent loads.
+        timeout: virtual-time budget per trial.
+        allow_failures: when False (default), a load with failed resources
+            raises — silent partial loads would corrupt the measurement.
+
+    Raises:
+        ReproError: on a hung load, or failed resources unless allowed.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials!r}")
+    plts: List[float] = []
+    results: List[PageLoadResult] = []
+    for trial in range(trials):
+        sim, result = factory(trial)
+        sim.run_until(lambda: result.complete, timeout=timeout)
+        if not result.complete:
+            raise ReproError(
+                f"trial {trial}: page load did not finish within "
+                f"{timeout} virtual seconds "
+                f"(loaded={result.resources_loaded}, "
+                f"failed={result.resources_failed})"
+            )
+        if result.resources_failed and not allow_failures:
+            raise ReproError(
+                f"trial {trial}: {result.resources_failed} resources "
+                f"failed: {result.errors[:3]}"
+            )
+        plts.append(result.page_load_time)
+        results.append(result)
+    return ScenarioResult(Sample(plts), results)

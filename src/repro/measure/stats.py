@@ -1,0 +1,99 @@
+"""Sample statistics for measurement results."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+
+class Sample:
+    """An immutable batch of measurements with the usual statistics.
+
+    Values are stored sorted; all statistics are deterministic functions
+    of the sample, so a bench that prints them is reproducible bit-for-bit
+    given the same simulation seed.
+    """
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self._values = sorted(float(v) for v in values)
+        if not self._values:
+            raise ValueError("empty sample")
+
+    @property
+    def values(self) -> List[float]:
+        """The sorted measurements (copy)."""
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean."""
+        return sum(self._values) / len(self._values)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation (n-1); 0 for singletons."""
+        n = len(self._values)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(
+            sum((v - mean) ** 2 for v in self._values) / (n - 1)
+        )
+
+    @property
+    def minimum(self) -> float:
+        """Smallest value."""
+        return self._values[0]
+
+    @property
+    def maximum(self) -> float:
+        """Largest value."""
+        return self._values[-1]
+
+    @property
+    def median(self) -> float:
+        """50th percentile."""
+        return self.percentile(50.0)
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolation percentile, ``p`` in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p!r}")
+        if len(self._values) == 1:
+            return self._values[0]
+        rank = (p / 100.0) * (len(self._values) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return self._values[low]
+        frac = rank - low
+        return self._values[low] * (1 - frac) + self._values[high] * frac
+
+    def cdf(self) -> List[Tuple[float, float]]:
+        """The empirical CDF as (value, cumulative proportion) points."""
+        n = len(self._values)
+        return [(v, (i + 1) / n) for i, v in enumerate(self._values)]
+
+    def relative_stddev(self) -> float:
+        """Standard deviation as a fraction of the mean (Table 1's
+        'within 1.6% of their means')."""
+        mean = self.mean
+        if mean == 0.0:
+            return 0.0
+        return self.stddev / mean
+
+    def __repr__(self) -> str:
+        return (
+            f"<Sample n={len(self)} mean={self.mean:.4f} "
+            f"sd={self.stddev:.4f} p50={self.median:.4f}>"
+        )
+
+
+def percent_difference(a: float, b: float) -> float:
+    """(a - b) / b in percent — how much larger ``a`` is than ``b``."""
+    if b == 0.0:
+        raise ValueError("reference value is zero")
+    return (a - b) / b * 100.0

@@ -1,0 +1,43 @@
+"""Simulated network substrate.
+
+This package replaces the Linux kernel facilities Mahimahi uses — network
+namespaces, veth pairs, routing, NAT — with deterministic in-process
+equivalents. A :class:`~repro.net.namespace.NetworkNamespace` holds
+interfaces and a routing table; :class:`~repro.net.veth.VethPair` connects
+two namespaces through a pair of :class:`~repro.net.pipe.PacketPipe` objects
+(where the link emulators from :mod:`repro.linkem` plug in); and
+:class:`~repro.net.nat.Nat` provides the source NAT a Mahimahi shell applies
+to traffic leaving its private namespace.
+"""
+
+from repro.net.address import (
+    AddressAllocator,
+    Endpoint,
+    IPv4Address,
+    IPv4Network,
+)
+from repro.net.interface import Interface
+from repro.net.namespace import NetworkNamespace
+from repro.net.nat import Nat
+from repro.net.packet import IP_HEADER_BYTES, MTU_BYTES, Packet
+from repro.net.pipe import InstantPipe, PacketPipe
+from repro.net.routing import Route, RoutingTable
+from repro.net.veth import VethPair
+
+__all__ = [
+    "AddressAllocator",
+    "Endpoint",
+    "IP_HEADER_BYTES",
+    "IPv4Address",
+    "IPv4Network",
+    "InstantPipe",
+    "Interface",
+    "MTU_BYTES",
+    "Nat",
+    "NetworkNamespace",
+    "Packet",
+    "PacketPipe",
+    "Route",
+    "RoutingTable",
+    "VethPair",
+]

@@ -1,0 +1,107 @@
+"""Packet capture: tcpdump for the simulated substrate.
+
+A :class:`PacketCapture` taps a namespace's prerouting hook (seeing every
+packet that *enters* the namespace) and records a bounded trace of
+:class:`CapturedPacket` entries plus per-flow statistics. Tests and
+debugging sessions use it to answer "what actually crossed this
+boundary?" without instrumenting the stack by hand.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from repro.net.namespace import NetworkNamespace
+from repro.net.packet import Packet
+
+
+class CapturedPacket(NamedTuple):
+    """One observed packet (header summary, no payload retention)."""
+
+    time: float
+    src: str
+    sport: int
+    dst: str
+    dport: int
+    protocol: str
+    size: int
+    flags: str
+
+    def __str__(self) -> str:
+        flag_text = f" [{self.flags}]" if self.flags else ""
+        return (f"{self.time:.6f} {self.protocol} "
+                f"{self.src}:{self.sport} > {self.dst}:{self.dport} "
+                f"len {self.size}{flag_text}")
+
+
+class PacketCapture:
+    """Observe packets entering one namespace.
+
+    Args:
+        namespace: the tap point.
+        max_packets: retain at most this many entries (older kept,
+            later dropped — counters keep counting).
+        match: optional predicate on the Packet; non-matching packets are
+            counted but not retained.
+    """
+
+    def __init__(
+        self,
+        namespace: NetworkNamespace,
+        max_packets: int = 10_000,
+        match: Optional[Callable[[Packet], bool]] = None,
+    ) -> None:
+        self.namespace = namespace
+        self.max_packets = max_packets
+        self.match = match
+        self.packets: List[CapturedPacket] = []
+        self.total_seen = 0
+        self.total_bytes = 0
+        self.by_protocol: Counter = Counter()
+        self._stopped = False
+        namespace.prerouting_hooks.append(self._observe)
+
+    def _observe(self, packet: Packet, in_interface) -> None:
+        if self._stopped:
+            return
+        self.total_seen += 1
+        self.total_bytes += packet.size
+        self.by_protocol[packet.protocol] += 1
+        if self.match is not None and not self.match(packet):
+            return
+        if len(self.packets) >= self.max_packets:
+            return
+        flags = ""
+        if packet.protocol == "tcp" and packet.payload is not None:
+            flags = getattr(packet.payload, "flags", "")
+        self.packets.append(CapturedPacket(
+            self.namespace.sim.now,
+            str(packet.src), packet.sport,
+            str(packet.dst), packet.dport,
+            packet.protocol, packet.size, flags,
+        ))
+
+    def stop(self) -> None:
+        """Stop observing (retained entries stay available)."""
+        self._stopped = True
+
+    def flows(self) -> Dict[tuple, int]:
+        """Packet counts per (src, sport, dst, dport, protocol) flow."""
+        counts: Counter = Counter()
+        for entry in self.packets:
+            counts[(entry.src, entry.sport, entry.dst, entry.dport,
+                    entry.protocol)] += 1
+        return dict(counts)
+
+    def dump(self, limit: int = 50) -> str:
+        """tcpdump-style text of the first ``limit`` retained packets."""
+        lines = [str(entry) for entry in self.packets[:limit]]
+        if len(self.packets) > limit:
+            lines.append(f"... ({len(self.packets) - limit} more retained, "
+                         f"{self.total_seen} seen)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<PacketCapture ns={self.namespace.name!r} "
+                f"seen={self.total_seen} retained={len(self.packets)}>")

@@ -1,0 +1,101 @@
+"""Source NAT, as applied by every Mahimahi shell.
+
+Each shell NATs traffic leaving its private namespace so that inner
+addresses (carved from 100.64.0.0/10) never leak upstream. The
+:class:`Nat` object attaches to the namespace doing the forwarding and
+masquerades packets leaving through designated interfaces, rewriting the
+source to that interface's own address and remembering the flow so replies
+can be reverse-translated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple, TYPE_CHECKING
+
+from repro.errors import NetworkError
+from repro.net.address import IPv4Address
+from repro.net.interface import Interface
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.namespace import NetworkNamespace
+
+_FIRST_NAT_PORT = 32768
+_LAST_NAT_PORT = 60999
+
+FlowKey = Tuple[str, IPv4Address, int, IPv4Address, int]
+
+
+class Nat:
+    """Masquerading source NAT for one namespace.
+
+    Args:
+        namespace: the forwarding namespace this NAT serves. The constructor
+            installs itself as ``namespace.nat``.
+
+    Call :meth:`masquerade_on` for each egress interface whose address
+    should replace inner sources.
+    """
+
+    def __init__(self, namespace: "NetworkNamespace") -> None:
+        self._namespace = namespace
+        self._masquerade: Set[str] = set()
+        # (proto, inner_src, inner_sport, dst, dport) -> allocated port
+        self._outbound: Dict[FlowKey, int] = {}
+        # (proto, remote, remote_port, nat_port) -> (inner_src, inner_sport)
+        self._inbound: Dict[Tuple[str, IPv4Address, int, int], Tuple[IPv4Address, int]] = {}
+        self._next_port = _FIRST_NAT_PORT
+        self.translations = 0
+        namespace.nat = self
+
+    def masquerade_on(self, interface: Interface) -> None:
+        """Enable masquerading for traffic leaving via ``interface``."""
+        if not interface.addresses:
+            raise NetworkError(
+                f"cannot masquerade on {interface.name}: no address assigned"
+            )
+        self._masquerade.add(interface.name)
+
+    def translate_outbound(self, packet: Packet, out_interface: Interface) -> None:
+        """Rewrite the source of a packet being forwarded out ``out_interface``.
+
+        Packets originated by this namespace itself, and packets leaving via
+        non-masqueraded interfaces, pass through untouched.
+        """
+        if out_interface.name not in self._masquerade:
+            return
+        if self._namespace.is_local(packet.src):
+            return
+        external = out_interface.primary_address
+        key: FlowKey = (packet.protocol, packet.src, packet.sport,
+                        packet.dst, packet.dport)
+        port = self._outbound.get(key)
+        if port is None:
+            port = self._allocate_port()
+            self._outbound[key] = port
+            self._inbound[(packet.protocol, packet.dst, packet.dport, port)] = (
+                packet.src, packet.sport)
+        packet.src = external
+        packet.sport = port
+        self.translations += 1
+
+    def translate_inbound(self, packet: Packet) -> None:
+        """Reverse-translate a reply addressed to a masqueraded flow."""
+        key = (packet.protocol, packet.src, packet.sport, packet.dport)
+        mapping = self._inbound.get(key)
+        if mapping is None:
+            return
+        packet.dst, packet.dport = mapping
+        self.translations += 1
+
+    @property
+    def active_flows(self) -> int:
+        """Number of flows with live translations."""
+        return len(self._outbound)
+
+    def _allocate_port(self) -> int:
+        if self._next_port > _LAST_NAT_PORT:
+            raise NetworkError("NAT port range exhausted")
+        port = self._next_port
+        self._next_port += 1
+        return port

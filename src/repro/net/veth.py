@@ -1,0 +1,60 @@
+"""Virtual ethernet pairs.
+
+A :class:`VethPair` creates one interface in each of two namespaces and
+wires them together through a pair of one-directional
+:class:`~repro.net.pipe.PacketPipe` objects. With the default
+:class:`~repro.net.pipe.InstantPipe` this is a bare veth; a Mahimahi shell
+passes its emulation pipes (delay, trace) instead, which is how DelayShell
+and LinkShell interpose on every packet crossing their boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.interface import Interface
+from repro.net.namespace import NetworkNamespace
+from repro.net.pipe import InstantPipe, PacketPipe
+from repro.sim.simulator import Simulator
+
+
+class VethPair:
+    """Two interfaces in different namespaces joined by pipes.
+
+    Args:
+        sim: the simulator.
+        ns_a / ns_b: namespaces for each end.
+        name_a / name_b: interface names created in each namespace.
+        pipe_ab: pipe carrying packets from a to b (default instant).
+        pipe_ba: pipe carrying packets from b to a (default instant).
+
+    The conventional orientation in this codebase: ``a`` is the *outer*
+    (parent) side, ``b`` the *inner* (child / shell) side, so ``pipe_ab`` is
+    the downlink and ``pipe_ba`` the uplink — matching Mahimahi's trace
+    terminology where the downlink carries traffic toward the application.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ns_a: NetworkNamespace,
+        ns_b: NetworkNamespace,
+        name_a: str,
+        name_b: str,
+        pipe_ab: Optional[PacketPipe] = None,
+        pipe_ba: Optional[PacketPipe] = None,
+    ) -> None:
+        self.sim = sim
+        self.pipe_ab = pipe_ab if pipe_ab is not None else InstantPipe(sim)
+        self.pipe_ba = pipe_ba if pipe_ba is not None else InstantPipe(sim)
+        self.iface_a = Interface(name_a)
+        self.iface_b = Interface(name_b)
+        ns_a.add_interface(self.iface_a)
+        ns_b.add_interface(self.iface_b)
+        self.iface_a.attach_tx(self.pipe_ab)
+        self.iface_b.attach_tx(self.pipe_ba)
+        self.pipe_ab.attach_sink(self.iface_b.receive)
+        self.pipe_ba.attach_sink(self.iface_a.receive)
+
+    def __repr__(self) -> str:
+        return f"<VethPair {self.iface_a!r} <-> {self.iface_b!r}>"

@@ -1,0 +1,142 @@
+"""One recorded request-response exchange.
+
+Mahimahi stores each pair as a protobuf file containing the raw request,
+the raw response, and the connection's original destination (IP/port) —
+the datum that makes multi-origin replay possible. This class is the same
+record with JSON serialization; response bodies can be real (base64) or
+virtual (length only).
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Dict, Optional
+
+from repro.errors import StoreFormatError
+from repro.http.body import Body
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.net.address import IPv4Address
+
+
+class RequestResponsePair:
+    """A recorded exchange and the origin that served it.
+
+    Attributes:
+        scheme: "http" or "https".
+        origin_ip: the server IP the client originally connected to.
+        origin_port: the server port (80 / 443 typically).
+        request / response: the parsed messages.
+    """
+
+    __slots__ = ("scheme", "origin_ip", "origin_port", "request", "response")
+
+    def __init__(
+        self,
+        scheme: str,
+        origin_ip: IPv4Address,
+        origin_port: int,
+        request: HttpRequest,
+        response: HttpResponse,
+    ) -> None:
+        if scheme not in ("http", "https"):
+            raise StoreFormatError(f"unknown scheme: {scheme!r}")
+        self.scheme = scheme
+        self.origin_ip = origin_ip
+        self.origin_port = origin_port
+        self.request = request
+        self.response = response
+
+    @property
+    def host(self) -> Optional[str]:
+        """The request's Host header value (no port)."""
+        return self.request.host
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form."""
+        return {
+            "scheme": self.scheme,
+            "origin_ip": str(self.origin_ip),
+            "origin_port": self.origin_port,
+            "request": _message_to_dict(
+                self.request,
+                first_line=[self.request.method, self.request.uri,
+                            self.request.version],
+            ),
+            "response": _message_to_dict(
+                self.response,
+                first_line=[self.response.version, self.response.status,
+                            self.response.reason],
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RequestResponsePair":
+        """Parse the :meth:`to_dict` form.
+
+        Raises:
+            StoreFormatError: on missing or malformed fields.
+        """
+        try:
+            req_data = data["request"]
+            resp_data = data["response"]
+            method, uri, req_version = req_data["first_line"]
+            resp_version, status, reason = resp_data["first_line"]
+            request = HttpRequest(
+                method, uri,
+                _headers_from_list(req_data["headers"]),
+                _body_from_dict(req_data["body"]),
+                req_version,
+            )
+            response = HttpResponse(
+                int(status), reason,
+                _headers_from_list(resp_data["headers"]),
+                _body_from_dict(resp_data["body"]),
+                resp_version,
+            )
+            return cls(
+                data["scheme"],
+                IPv4Address(data["origin_ip"]),
+                int(data["origin_port"]),
+                request,
+                response,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreFormatError(f"malformed pair record: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return (
+            f"<RequestResponsePair {self.scheme}://{self.host}"
+            f"{self.request.uri} @ {self.origin_ip}:{self.origin_port} "
+            f"-> {self.response.status} ({self.response.body.length}B)>"
+        )
+
+
+def _message_to_dict(message, first_line) -> Dict[str, Any]:
+    body: Body = message.body
+    body_dict: Dict[str, Any] = {"length": body.length}
+    if body.length and body.is_fully_real:
+        body_dict["content_b64"] = base64.b64encode(body.as_bytes()).decode("ascii")
+    return {
+        "first_line": list(first_line),
+        "headers": [[name, value] for name, value in message.headers],
+        "body": body_dict,
+    }
+
+
+def _headers_from_list(items) -> Headers:
+    return Headers((name, value) for name, value in items)
+
+
+def _body_from_dict(data: Dict[str, Any]) -> Body:
+    length = int(data["length"])
+    content = data.get("content_b64")
+    if content is not None:
+        raw = base64.b64decode(content)
+        if len(raw) != length:
+            raise StoreFormatError(
+                f"body length {length} does not match content ({len(raw)}B)"
+            )
+        return Body.from_bytes(raw)
+    if length == 0:
+        return Body.empty()
+    return Body.virtual(length)

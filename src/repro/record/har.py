@@ -1,0 +1,140 @@
+"""HAR (HTTP Archive) export.
+
+Web-measurement tooling speaks HAR: browser devtools, waterfall viewers,
+and analysis pipelines all consume it. This module renders a recorded
+site — optionally joined with a page load's timings — as a HAR 1.2
+document, so measurements taken inside the simulator can be inspected
+with standard waterfall tools.
+
+Virtual bodies export their size with no text (mirroring HAR's own
+``bodySize``-without-content convention).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.record.store import RecordedSite
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.browser.engine import PageLoadResult
+
+HAR_VERSION = "1.2"
+CREATOR = {"name": "repro-mahimahi", "version": "1.0.0"}
+
+#: Fixed epoch for startedDateTime rendering: HAR wants wall-clock ISO
+#: timestamps; the simulator has only virtual seconds, so exports anchor
+#: virtual time zero here (any fixed anchor keeps waterfalls correct).
+EPOCH = "2014-08-17T00:00:00"
+
+
+def _iso(virtual_seconds: float) -> str:
+    whole = int(virtual_seconds)
+    millis = int(round((virtual_seconds - whole) * 1000))
+    if millis >= 1000:
+        whole += 1
+        millis -= 1000
+    hours, rem = divmod(whole, 3600)
+    minutes, seconds = divmod(rem, 60)
+    return (f"{EPOCH[:11]}{hours:02d}:{minutes:02d}:{seconds:02d}."
+            f"{millis:03d}Z")
+
+
+def _headers(message) -> List[Dict[str, str]]:
+    return [{"name": name, "value": value} for name, value in message.headers]
+
+
+def _entry(pair, started: float, duration_ms: float) -> Dict[str, Any]:
+    request = pair.request
+    response = pair.response
+    url = f"{pair.scheme}://{pair.host or pair.origin_ip}{request.uri}"
+    body = response.body
+    entry: Dict[str, Any] = {
+        "startedDateTime": _iso(started),
+        "time": round(duration_ms, 3),
+        "request": {
+            "method": request.method,
+            "url": url,
+            "httpVersion": request.version,
+            "headers": _headers(request),
+            "queryString": [],
+            "headersSize": -1,
+            "bodySize": request.body.length,
+        },
+        "response": {
+            "status": response.status,
+            "statusText": response.reason,
+            "httpVersion": response.version,
+            "headers": _headers(response),
+            "content": {
+                "size": body.length,
+                "mimeType": response.headers.get("Content-Type", ""),
+            },
+            "redirectURL": response.headers.get("Location", ""),
+            "headersSize": -1,
+            "bodySize": body.length,
+        },
+        "cache": {},
+        "timings": {"send": 0, "wait": round(duration_ms, 3), "receive": 0},
+        "serverIPAddress": str(pair.origin_ip),
+    }
+    if body.length and body.is_fully_real:
+        entry["response"]["content"]["text"] = body.as_bytes().decode(
+            "utf-8", "replace")
+    return entry
+
+
+def to_har(
+    store: RecordedSite,
+    result: Optional["PageLoadResult"] = None,
+) -> Dict[str, Any]:
+    """Build a HAR dict for a recorded site.
+
+    Args:
+        store: the recorded exchanges.
+        result: a page load over this recording; when given, each entry
+            gets that load's request start and duration, and a ``pages``
+            record carries the measured onLoad time. Without it, entries
+            are exported untimed in recording order.
+    """
+    timings = result.timings if result is not None else {}
+    entries = []
+    for pair in store.pairs:
+        url = f"{pair.scheme}://{pair.host or pair.origin_ip}{pair.request.path}"
+        started, finished = 0.0, 0.0
+        for timed_url, (t0, t1) in timings.items():
+            timed_base = timed_url.split("?", 1)[0]
+            if timed_base == url:
+                started, finished = t0, max(t1, t0)
+                break
+        entry = _entry(pair, started, (finished - started) * 1000.0)
+        if result is not None:
+            entry["pageref"] = "page_1"
+        entries.append(entry)
+    entries.sort(key=lambda e: e["startedDateTime"])
+
+    log: Dict[str, Any] = {
+        "version": HAR_VERSION,
+        "creator": dict(CREATOR),
+        "entries": entries,
+    }
+    if result is not None:
+        log["pages"] = [{
+            "startedDateTime": _iso(result.started_at),
+            "id": "page_1",
+            "title": store.name,
+            "pageTimings": {
+                "onLoad": round(result.page_load_time * 1000.0, 3)
+                if result.complete else -1,
+                "onContentLoad": -1,
+            },
+        }]
+    return {"log": log}
+
+
+def save_har(store: RecordedSite, path,
+             result: Optional["PageLoadResult"] = None) -> None:
+    """Write a HAR file for ``store`` (and optionally one load of it)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_har(store, result), handle, indent=2)

@@ -1,0 +1,92 @@
+"""The replay request matcher (Mahimahi's CGI script).
+
+On replay, every incoming request is compared against the recorded set:
+
+1. A request matching a recorded request's **host and full URI exactly**
+   returns that recording's response.
+2. Otherwise, among recordings with the **same host and same path**
+   (URI up to '?'), the one whose query string shares the **longest common
+   prefix** with the incoming query wins — dynamic URLs (cache busters,
+   timestamps) still hit the right resource.
+3. No candidate at all → 404, so unrecorded resources fail fast instead of
+   hanging the page load.
+
+This mirrors the matching semantics of Mahimahi's ``replayserver``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.http.body import Body
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.record.entry import RequestResponsePair
+
+
+class MatchResult(NamedTuple):
+    """Outcome of one match attempt."""
+
+    response: HttpResponse
+    pair: Optional[RequestResponsePair]
+    exact: bool
+
+
+def _common_prefix_len(a: str, b: str) -> int:
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return i
+
+
+class RequestMatcher:
+    """Matches incoming requests against a recorded set.
+
+    Every ReplayShell server holds one matcher over the *entire* recorded
+    site (each Apache in Mahimahi can serve the whole folder), so requests
+    that arrive at the "wrong" origin — as happens in single-server mode —
+    still resolve.
+    """
+
+    def __init__(self, pairs: List[RequestResponsePair]) -> None:
+        self._by_exact: Dict[Tuple[Optional[str], str], RequestResponsePair] = {}
+        self._by_path: Dict[Tuple[Optional[str], str], List[RequestResponsePair]] = {}
+        for pair in pairs:
+            exact_key = (pair.host, pair.request.uri)
+            # First recording wins, matching Mahimahi's scan order.
+            self._by_exact.setdefault(exact_key, pair)
+            path_key = (pair.host, pair.request.path)
+            self._by_path.setdefault(path_key, []).append(pair)
+        self.exact_hits = 0
+        self.prefix_hits = 0
+        self.misses = 0
+
+    def match(self, request: HttpRequest) -> MatchResult:
+        """Find the response for ``request`` (falls back to 404)."""
+        host = request.host
+        exact = self._by_exact.get((host, request.uri))
+        if exact is not None:
+            self.exact_hits += 1
+            return MatchResult(exact.response, exact, True)
+        candidates = self._by_path.get((host, request.path), [])
+        if candidates:
+            query = request.query
+            best = max(
+                candidates,
+                key=lambda p: _common_prefix_len(p.request.query, query),
+            )
+            self.prefix_hits += 1
+            return MatchResult(best.response, best, False)
+        self.misses += 1
+        return MatchResult(_not_found(request), None, False)
+
+
+def _not_found(request: HttpRequest) -> HttpResponse:
+    body = Body.from_bytes(
+        f"no recorded response for {request.method} {request.uri}".encode()
+    )
+    headers = Headers([
+        ("Content-Type", "text/plain"),
+        ("Content-Length", str(body.length)),
+    ])
+    return HttpResponse(404, headers=headers, body=body)

@@ -1,0 +1,134 @@
+"""Recorded-site folders.
+
+A recorded site is a directory: ``site.json`` with metadata plus one
+``pair-NNNNN.json`` per request-response exchange — the JSON analogue of
+Mahimahi's recorded folders of protobuf files. The store also answers the
+two questions ReplayShell asks: which (IP, port) origins existed, and which
+hostnames map to which recorded IP.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import StoreFormatError
+from repro.net.address import IPv4Address
+from repro.record.entry import RequestResponsePair
+
+_SITE_FILE = "site.json"
+_PAIR_PREFIX = "pair-"
+_FORMAT_VERSION = 1
+
+
+class RecordedSite:
+    """An in-memory recorded site, loadable from / savable to a folder.
+
+    Args:
+        name: site label (e.g. "www.example.com").
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._pairs: List[RequestResponsePair] = []
+
+    # ------------------------------------------------------------------ #
+    # content
+
+    def add_pair(self, pair: RequestResponsePair) -> None:
+        """Append one recorded exchange."""
+        self._pairs.append(pair)
+
+    @property
+    def pairs(self) -> List[RequestResponsePair]:
+        """All recorded exchanges, in recording order (copy)."""
+        return list(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def origins(self) -> Set[Tuple[IPv4Address, int]]:
+        """Distinct (IP, port) pairs seen while recording — the servers
+        ReplayShell must spawn."""
+        return {(p.origin_ip, p.origin_port) for p in self._pairs}
+
+    def hostnames(self) -> Dict[str, IPv4Address]:
+        """hostname → recorded IP (first recorded wins, like a DNS pin)."""
+        mapping: Dict[str, IPv4Address] = {}
+        for pair in self._pairs:
+            host = pair.host
+            if host is not None and host not in mapping:
+                mapping[host] = pair.origin_ip
+        return mapping
+
+    def total_response_bytes(self) -> int:
+        """Sum of response body lengths (site weight)."""
+        return sum(p.response.body.length for p in self._pairs)
+
+    def pairs_for_origin(
+        self, ip: IPv4Address, port: int
+    ) -> List[RequestResponsePair]:
+        """Exchanges served by one origin (note: Mahimahi gives every
+        replay server the whole store; this is for tooling/tests)."""
+        return [
+            p for p in self._pairs
+            if p.origin_ip == ip and p.origin_port == port
+        ]
+
+    # ------------------------------------------------------------------ #
+    # persistence
+
+    def save(self, directory) -> None:
+        """Write the site folder (created if needed, pairs overwritten)."""
+        os.makedirs(directory, exist_ok=True)
+        metadata = {
+            "format_version": _FORMAT_VERSION,
+            "name": self.name,
+            "pair_count": len(self._pairs),
+        }
+        with open(os.path.join(directory, _SITE_FILE), "w",
+                  encoding="utf-8") as handle:
+            json.dump(metadata, handle, indent=2)
+        for index, pair in enumerate(self._pairs):
+            path = os.path.join(directory, f"{_PAIR_PREFIX}{index:05d}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(pair.to_dict(), handle)
+
+    @classmethod
+    def load(cls, directory) -> "RecordedSite":
+        """Read a site folder.
+
+        Raises:
+            StoreFormatError: on a missing/malformed folder.
+        """
+        site_path = os.path.join(directory, _SITE_FILE)
+        try:
+            with open(site_path, "r", encoding="utf-8") as handle:
+                metadata = json.load(handle)
+        except FileNotFoundError:
+            raise StoreFormatError(f"not a recorded site: {directory}") from None
+        except json.JSONDecodeError as exc:
+            raise StoreFormatError(f"corrupt {_SITE_FILE}: {exc}") from exc
+        if metadata.get("format_version") != _FORMAT_VERSION:
+            raise StoreFormatError(
+                f"unsupported format version {metadata.get('format_version')!r}"
+            )
+        site = cls(str(metadata.get("name", os.path.basename(directory))))
+        for filename in sorted(os.listdir(directory)):
+            if not filename.startswith(_PAIR_PREFIX):
+                continue
+            path = os.path.join(directory, filename)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise StoreFormatError(f"corrupt pair file {filename}: {exc}") from exc
+            site.add_pair(RequestResponsePair.from_dict(data))
+        return site
+
+    def __repr__(self) -> str:
+        return (
+            f"<RecordedSite {self.name!r} pairs={len(self._pairs)} "
+            f"origins={len(self.origins())}>"
+        )

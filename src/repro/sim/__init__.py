@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction runs on a single virtual clock owned by a
+:class:`~repro.sim.simulator.Simulator`. Components never sleep or read wall
+time; they schedule callbacks. Determinism is guaranteed by (a) a stable
+tie-break on simultaneous events and (b) named, seeded random streams from
+:class:`~repro.sim.random.RandomStreams`.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.random import RandomStreams, stable_seed
+from repro.sim.simulator import Simulator
+from repro.sim.timers import PeriodicTask, Timer
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "PeriodicTask",
+    "RandomStreams",
+    "Simulator",
+    "Timer",
+    "VirtualClock",
+    "stable_seed",
+]

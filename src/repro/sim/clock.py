@@ -1,0 +1,46 @@
+"""The virtual clock.
+
+A :class:`VirtualClock` is a monotonically non-decreasing float of seconds
+since the start of the simulation. Only the simulator advances it; components
+hold a reference and read :attr:`now`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClockError
+
+
+class VirtualClock:
+    """Monotonic simulated time in seconds.
+
+    The clock starts at ``0.0``. :meth:`advance_to` refuses to move backwards,
+    which turns event-ordering bugs into loud failures instead of silent
+    causality violations.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises:
+            ClockError: if ``time`` is earlier than the current time.
+        """
+        if time < self._now:
+            raise ClockError(
+                f"clock cannot move backwards: {time!r} < {self._now!r}"
+            )
+        self._now = time
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now!r})"

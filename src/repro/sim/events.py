@@ -1,0 +1,110 @@
+"""Event objects and the pending-event queue.
+
+The queue is a binary heap ordered by ``(time, sequence)``. The sequence
+number is a global insertion counter, so two events scheduled for the same
+instant fire in the order they were scheduled — the property that makes the
+whole simulation deterministic.
+
+Cancellation is lazy: a cancelled event stays in the heap but is skipped when
+popped. This keeps ``cancel`` O(1), which matters because TCP retransmission
+timers are cancelled on almost every ACK.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are handed back to callers as handles; the only public operations
+    are :meth:`cancel` and inspecting :attr:`time` / :attr:`cancelled`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will never fire."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time:.6f} #{self.seq} {name}{state}>"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by (time, insertion sequence)."""
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]
+    ) -> Event:
+        """Insert a callback to fire at ``time``; returns a cancellable handle."""
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises:
+            IndexError: if the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook called by the simulator when it cancels an event."""
+        self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,184 @@
+"""The discrete-event simulator.
+
+One :class:`Simulator` instance owns the virtual clock and the event queue
+for an entire emulated world (all namespaces, links, connections, browsers).
+Components schedule callbacks; ``run`` drains the queue in causal order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.random import RandomStreams
+
+
+class Simulator:
+    """Single-clock discrete-event simulator.
+
+    Args:
+        seed: master seed for the simulation's random streams. Two simulators
+            built with the same seed and the same scheduling calls produce
+            bit-identical behaviour.
+
+    Example:
+        >>> sim = Simulator(seed=1)
+        >>> fired = []
+        >>> _ = sim.schedule(0.5, fired.append, "hello")
+        >>> sim.run()
+        >>> (sim.now, fired)
+        (0.5, ['hello'])
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._clock = VirtualClock()
+        self._queue = EventQueue()
+        self._streams = RandomStreams(seed)
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._clock.now
+
+    @property
+    def streams(self) -> RandomStreams:
+        """Named, seeded random streams for this simulation."""
+        return self._streams
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed so far (diagnostic)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Live events still queued."""
+        return len(self._queue)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Raises:
+            SimulationError: if ``delay`` is negative.
+        """
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay!r}")
+        return self._queue.push(self._clock.now + delay, callback, args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is before the current time.
+        """
+        if time < self._clock.now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time!r} < now={self._clock.now!r}"
+            )
+        return self._queue.push(time, callback, args)
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at the current instant (after pending
+        same-time events already in the queue)."""
+        return self._queue.push(self._clock.now, callback, args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event. Cancelling twice is a no-op."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    def step(self) -> bool:
+        """Execute the single earliest event. Returns False if queue empty."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        self._clock.advance_to(event.time)
+        self._events_processed += 1
+        event.callback(*event.args)
+        return True
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Run until the queue is empty.
+
+        Args:
+            until: stop once the next event would be after this virtual time;
+                the clock is then advanced exactly to ``until``.
+            max_events: safety valve — raise SimulationError if more than this
+                many events execute (catches accidental infinite loops).
+
+        Raises:
+            SimulationError: on re-entrant run, or when max_events is hit.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                self._clock.advance_to(event.time)
+                self._events_processed += 1
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"run() exceeded max_events={max_events}; "
+                        "likely an event loop that never drains"
+                    )
+                event.callback(*event.args)
+            if until is not None and until > self._clock.now:
+                self._clock.advance_to(until)
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float) -> None:
+        """Run for ``duration`` seconds of virtual time from now."""
+        self.run(until=self._clock.now + duration)
+
+    def run_until(
+        self, predicate: Callable[[], bool], timeout: Optional[float] = None
+    ) -> bool:
+        """Run until ``predicate()`` becomes true (checked after each event).
+
+        Returns True if the predicate fired, False on queue exhaustion or
+        timeout expiry.
+        """
+        deadline = None if timeout is None else self._clock.now + timeout
+        if predicate():
+            return True
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                return predicate()
+            if deadline is not None and next_time > deadline:
+                self._clock.advance_to(deadline)
+                return predicate()
+            if not self.step():
+                return predicate()
+            if predicate():
+                return True
+
+    def reset(self) -> None:
+        """Drop all pending events (the clock keeps its value)."""
+        self._queue.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now:.6f}, pending={self.pending_events}, "
+            f"processed={self._events_processed})"
+        )

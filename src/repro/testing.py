@@ -1,0 +1,142 @@
+"""Test and example scaffolding: tiny prebuilt topologies.
+
+:class:`TwoHostWorld` wires the minimal interesting network — two
+namespaces joined by one veth pair whose pipes you choose — with a
+transport host on each side. Unit tests, examples, and docs all build on
+it, so the boilerplate of addresses/routes lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.linkem.overhead import OverheadModel
+from repro.net.address import Endpoint, IPv4Address
+from repro.net.namespace import NetworkNamespace
+from repro.net.pipe import PacketPipe
+from repro.net.veth import VethPair
+from repro.sim.simulator import Simulator
+from repro.transport.host import TransportHost
+from repro.transport.tcp import TcpConfig
+
+
+class ScriptedLossPipe(PacketPipe):
+    """A delay pipe that drops chosen packets (for loss-path testing).
+
+    Args:
+        sim: the simulator.
+        one_way_delay: fixed delay for delivered packets.
+        drop_indices: 0-based indices (in arrival order) of packets to
+            drop. Every packet counts — SYNs, ACKs, data — so tests can
+            target exactly the packet they mean.
+    """
+
+    def __init__(self, sim, one_way_delay: float, drop_indices) -> None:
+        super().__init__(sim)
+        self.one_way_delay = one_way_delay
+        self._drop = set(drop_indices)
+        self._index = 0
+        self.dropped_uids = []
+
+    def send(self, packet) -> None:
+        index = self._index
+        self._index += 1
+        self.packets_sent += 1
+        if index in self._drop:
+            self.packets_dropped += 1
+            self.dropped_uids.append(packet.uid)
+            return
+        self._sim.schedule(self.one_way_delay, self.deliver, packet)
+
+
+class ReorderPipe(PacketPipe):
+    """A delay pipe that adds random extra delay to some packets,
+    reordering them past later sends (for out-of-order-path testing).
+
+    Args:
+        sim: the simulator.
+        one_way_delay: base delay.
+        rng: randomness source.
+        reorder_probability: chance a packet is held an extra
+            ``extra_delay`` seconds, letting packets behind it overtake.
+    """
+
+    def __init__(self, sim, one_way_delay: float, rng,
+                 reorder_probability: float = 0.1,
+                 extra_delay: float = 0.005) -> None:
+        super().__init__(sim)
+        self.one_way_delay = one_way_delay
+        self._rng = rng
+        self.reorder_probability = reorder_probability
+        self.extra_delay = extra_delay
+        self.reordered = 0
+
+    def send(self, packet) -> None:
+        self.packets_sent += 1
+        delay = self.one_way_delay
+        if self._rng.random() < self.reorder_probability:
+            delay += self.extra_delay
+            self.reordered += 1
+        self._sim.schedule(delay, self.deliver, packet)
+
+
+class TwoHostWorld:
+    """Two namespaces, one veth, a transport host each.
+
+    Layout::
+
+        client (10.0.0.1/24) --[pipe_ab / pipe_ba]-- server (10.0.0.2/24)
+
+    ``pipe_ab`` carries client->server traffic; ``pipe_ba`` the reverse.
+    Defaults are instant pipes (a bare veth).
+    """
+
+    CLIENT_ADDR = "10.0.0.1"
+    SERVER_ADDR = "10.0.0.2"
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        pipe_ab: Optional[PacketPipe] = None,
+        pipe_ba: Optional[PacketPipe] = None,
+        tcp_config: Optional[TcpConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.client_ns = NetworkNamespace(self.sim, "client")
+        self.server_ns = NetworkNamespace(self.sim, "server")
+        self.veth = VethPair(
+            self.sim, self.client_ns, self.server_ns,
+            "veth-c", "veth-s", pipe_ab=pipe_ab, pipe_ba=pipe_ba,
+        )
+        self.veth.iface_a.add_address(self.CLIENT_ADDR, 24)
+        self.veth.iface_b.add_address(self.SERVER_ADDR, 24)
+        self.client = TransportHost(self.sim, self.client_ns, tcp_config)
+        self.server = TransportHost(self.sim, self.server_ns, tcp_config)
+
+    @property
+    def server_endpoint(self) -> Endpoint:
+        """Endpoint for the conventional server port 80."""
+        return Endpoint(IPv4Address(self.SERVER_ADDR), 80)
+
+    def endpoint(self, port: int) -> Endpoint:
+        """Server endpoint on an arbitrary port."""
+        return Endpoint(IPv4Address(self.SERVER_ADDR), port)
+
+
+def delayed_world(
+    one_way_delay: float,
+    tcp_config: Optional[TcpConfig] = None,
+    seed: int = 0,
+) -> TwoHostWorld:
+    """A :class:`TwoHostWorld` whose veth adds a symmetric fixed delay
+    (ideal delay elements: no per-packet overhead)."""
+    from repro.linkem.delay import DelayPipe
+
+    sim = Simulator(seed=seed)
+    return TwoHostWorld(
+        sim=sim,
+        pipe_ab=DelayPipe(sim, one_way_delay, OverheadModel.none()),
+        pipe_ba=DelayPipe(sim, one_way_delay, OverheadModel.none()),
+        tcp_config=tcp_config,
+    )

@@ -1,0 +1,159 @@
+"""TLS as a latency/byte cost model (no cryptography).
+
+Mahimahi records and replays HTTPS by terminating TLS at its
+man-in-the-middle proxy; what matters to measurement is the *cost* of TLS —
+handshake round trips and the certificate bytes crossing the emulated link —
+not the cryptography. :class:`TlsClientSession` / :class:`TlsServerSession`
+wrap a :class:`~repro.transport.tcp.TcpConnection` and exchange
+realistically sized virtual flights (ClientHello, ServerHello+certificate,
+Finished) before declaring the session established; afterwards application
+data passes through unchanged.
+
+This reproduces TLS 1.2's two extra round trips. Record framing overhead
+(~1-2% of bytes) is deliberately not modelled; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.transport.tcp import TcpConnection
+from repro.transport.wire import Piece, piece_len
+
+
+@dataclass(frozen=True)
+class TlsConfig:
+    """Sizes of the handshake flights, bytes.
+
+    Defaults approximate a TLS 1.2 handshake with a typical 2-certificate
+    chain.
+    """
+
+    client_hello_bytes: int = 300
+    server_flight_bytes: int = 3400
+    client_finished_bytes: int = 130
+    server_finished_bytes: int = 60
+
+
+class _TlsSession:
+    """Shared plumbing: swallow handshake bytes, then pass data through."""
+
+    def __init__(self, conn: TcpConnection, config: TlsConfig) -> None:
+        self.conn = conn
+        self.config = config
+        self.established = False
+        self.on_established: Optional[Callable[[], None]] = None
+        self.on_data: Optional[Callable[[List[Piece]], None]] = None
+        self._expecting = 0
+        self._pending_app: List[Piece] = []
+        conn.on_data = self._data_arrived
+
+    def send(self, data: bytes) -> None:
+        """Send application bytes (queued until the handshake completes —
+        interleaving app data with handshake flights would corrupt the
+        peer's stream framing)."""
+        if self.established:
+            self.conn.send(data)
+        else:
+            self._pending_app.append(data)
+
+    def send_virtual(self, length: int) -> None:
+        """Send virtual application bytes (queued until established)."""
+        if self.established:
+            self.conn.send_virtual(length)
+        else:
+            self._pending_app.append(int(length))
+
+    def _data_arrived(self, pieces: List[Piece]) -> None:
+        queue: List[Piece] = list(pieces)
+        app: List[Piece] = []
+        while queue:
+            piece = queue.pop(0)
+            if self.established:
+                app.append(piece)
+                continue
+            # Consume handshake bytes; the remainder of a piece that spans
+            # a flight boundary is pushed back and reconsidered (it may be
+            # the next flight, or post-handshake application data).
+            length = piece_len(piece)
+            take = min(length, self._expecting)
+            if take == 0:
+                # Bytes arriving while no flight is expected: surface them
+                # rather than spinning (defensive; a well-behaved peer never
+                # sends ahead of the handshake protocol).
+                app.append(piece)
+                continue
+            self._expecting -= take
+            rest = length - take
+            if rest:
+                remainder: Piece = rest if isinstance(piece, int) else piece[take:]
+                queue.insert(0, remainder)
+            if take > 0 and self._expecting == 0:
+                self._flight_complete()
+        if app and self.on_data is not None:
+            self.on_data(app)
+
+    def _flight_complete(self) -> None:
+        raise NotImplementedError
+
+    def _become_established(self) -> None:
+        self.established = True
+        pending, self._pending_app = self._pending_app, []
+        for piece in pending:
+            if isinstance(piece, int):
+                self.conn.send_virtual(piece)
+            else:
+                self.conn.send(piece)
+        if self.on_established is not None:
+            self.on_established()
+
+
+class TlsClientSession(_TlsSession):
+    """Client side: drives the handshake once TCP is established."""
+
+    def __init__(self, conn: TcpConnection, config: Optional[TlsConfig] = None) -> None:
+        super().__init__(conn, config if config is not None else TlsConfig())
+        self._phase = "hello"
+        if conn.established_at is not None:
+            self._start()
+        else:
+            previous = conn.on_established
+            def _chain() -> None:
+                if previous is not None:
+                    previous()
+                self._start()
+            conn.on_established = _chain
+
+    def _start(self) -> None:
+        self.conn.send_virtual(self.config.client_hello_bytes)
+        self._expecting = self.config.server_flight_bytes
+        self._phase = "await_server_flight"
+
+    def _flight_complete(self) -> None:
+        if self._phase == "await_server_flight":
+            self.conn.send_virtual(self.config.client_finished_bytes)
+            self._expecting = self.config.server_finished_bytes
+            self._phase = "await_server_finished"
+        elif self._phase == "await_server_finished":
+            self._phase = "done"
+            self._become_established()
+
+
+class TlsServerSession(_TlsSession):
+    """Server side: responds to the client's flights."""
+
+    def __init__(self, conn: TcpConnection, config: Optional[TlsConfig] = None) -> None:
+        super().__init__(conn, config if config is not None else TlsConfig())
+        self._phase = "await_hello"
+        self._expecting = self.config.client_hello_bytes
+
+    def _flight_complete(self) -> None:
+        if self._phase == "await_hello":
+            self.conn.send_virtual(self.config.server_flight_bytes)
+            self._expecting = self.config.client_finished_bytes
+            self._phase = "await_finished"
+        elif self._phase == "await_finished":
+            self.conn.send_virtual(self.config.server_finished_bytes)
+            self._phase = "done"
+            self._become_established()

@@ -1,0 +1,88 @@
+"""Minimal UDP sockets (DNS rides on these).
+
+A :class:`UdpSocket` is a bound (address, port) endpoint with a
+``sendto``/callback interface. Datagrams carry real bytes — DNS messages
+are tiny and must be parsed — wrapped in :class:`UdpDatagram`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.errors import ConnectionClosed
+from repro.net.address import Endpoint
+from repro.net.packet import Packet, udp_packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.transport.host import TransportHost
+
+
+class UdpDatagram:
+    """Payload of a "udp" packet: just bytes."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"<UdpDatagram {len(self.data)}B>"
+
+
+class UdpSocket:
+    """A bound UDP endpoint.
+
+    Assign ``on_datagram(data, source_endpoint)`` (or pass it at creation
+    through :meth:`TransportHost.udp_socket`) to receive traffic.
+    """
+
+    def __init__(
+        self,
+        host: "TransportHost",
+        local: Endpoint,
+        on_datagram: Optional[Callable[[bytes, Endpoint], None]] = None,
+    ) -> None:
+        self.host = host
+        self.local = local
+        self.on_datagram = on_datagram
+        self.closed = False
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+
+    def sendto(self, data: bytes, remote: Endpoint) -> None:
+        """Send one datagram.
+
+        Raises:
+            ConnectionClosed: if the socket has been closed.
+        """
+        if self.closed:
+            raise ConnectionClosed("sendto() on closed UDP socket")
+        packet = udp_packet(
+            self.local.address, remote.address,
+            self.local.port, remote.port,
+            UdpDatagram(data), len(data),
+        )
+        self.datagrams_sent += 1
+        self.host.send_packet(packet)
+
+    def datagram_arrived(self, packet: Packet) -> None:
+        """Entry point from the host demux."""
+        if self.closed:
+            return
+        self.datagrams_received += 1
+        if self.on_datagram is not None:
+            datagram: UdpDatagram = packet.payload
+            self.on_datagram(datagram.data, Endpoint(packet.src, packet.sport))
+
+    def close(self) -> None:
+        """Unbind the socket."""
+        if not self.closed:
+            self.closed = True
+            self.host.udp_socket_closed(self)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"<UdpSocket {self.local} {state}>"

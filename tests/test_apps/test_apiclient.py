@@ -1,0 +1,128 @@
+"""Tests for the beyond-browsers API client (paper §4, "Beyond browsers")."""
+
+import pytest
+
+from repro.apps import ApiClient, ApiWorkload, make_api_site
+from repro.core import HostMachine, ShellStack
+from repro.sim import Simulator
+
+
+def replay_run(workload=ApiWorkload(), build=None, seed=0):
+    store = make_api_site(workload)
+    sim = Simulator(seed=seed)
+    machine = HostMachine(sim)
+    stack = ShellStack(machine)
+    stack.add_replay(store)
+    if build is not None:
+        build(stack)
+    app = ApiClient(sim, stack.transport, stack.resolver_endpoint, workload)
+    app.launch()
+    sim.run_until(lambda: app.done, timeout=300)
+    return app
+
+
+class TestApiSite:
+    def test_store_shape(self):
+        workload = ApiWorkload(feed_items=5)
+        store = make_api_site(workload)
+        # session + feed + 5 items + 5 thumbnails
+        assert len(store) == 12
+        assert len(store.origins()) == 2
+        assert set(store.hostnames()) == {workload.api_host,
+                                          workload.cdn_host}
+
+
+class TestApiClientReplay:
+    def test_launch_completes(self):
+        app = replay_run()
+        assert app.done
+        assert not app.errors
+        assert app.requests_completed == 2 + 2 * 12
+        assert app.time_to_interactive > 0
+
+    def test_sequence_is_dependent(self):
+        # Feed can't start before session: with a DelayShell the TTI must
+        # include at least 3 serial request round trips (session, feed,
+        # then the fan-out).
+        app = replay_run(build=lambda s: s.add_delay(0.050))
+        assert app.time_to_interactive > 3 * 0.100
+
+    def test_connection_pool_bound(self):
+        workload = ApiWorkload(feed_items=20, max_connections=2)
+        app = replay_run(workload)
+        assert not app.errors
+        assert all(len(pool) <= 2 for pool in app._pools.values())
+
+    def test_network_conditions_shape_tti(self):
+        fast = replay_run(build=lambda s: s.add_link(20, 20))
+        slow = replay_run(build=lambda s: s.add_link(0.5, 0.5))
+        assert slow.time_to_interactive > 2 * fast.time_to_interactive
+
+    def test_deterministic(self):
+        a = replay_run(seed=4).time_to_interactive
+        b = replay_run(seed=4).time_to_interactive
+        assert a == b
+
+    def test_loss_shell_slows_but_completes(self):
+        clean = replay_run(build=lambda s: s.add_delay(0.030))
+        lossy = replay_run(build=lambda s: (
+            s.add_loss(downlink_loss=0.05, uplink_loss=0.05),
+            s.add_delay(0.030)))
+        assert not lossy.errors
+        assert lossy.time_to_interactive >= clean.time_to_interactive
+
+    def test_tti_unavailable_before_done(self):
+        from repro.errors import ReproError
+        store = make_api_site()
+        sim = Simulator(seed=0)
+        machine = HostMachine(sim)
+        stack = ShellStack(machine)
+        stack.add_replay(store)
+        app = ApiClient(sim, stack.transport, stack.resolver_endpoint)
+        with pytest.raises(ReproError):
+            app.time_to_interactive
+
+
+class TestApiClientRecordPath:
+    def test_record_then_replay_app_traffic(self):
+        # The app's live traffic is recorded by RecordShell; the recording
+        # then replays the app byte-for-byte (beyond browsers, full cycle).
+        from repro.record import RecordedSite
+        from repro.web import Internet
+        from repro.corpus.sitegen import SyntheticSite
+
+        workload = ApiWorkload(feed_items=6)
+        truth = make_api_site(workload)
+        sim = Simulator(seed=1)
+        internet = Internet(sim)
+        # Install the app backend as live origins.
+        from repro.record.matcher import RequestMatcher
+        matcher = RequestMatcher(truth.pairs)
+        for host, ip in truth.hostnames().items():
+            origin = internet.add_origin(host, ip,
+                                         internet.default_rtt(host))
+            origin.serve(matcher, ports=[80])
+        machine = HostMachine(sim)
+        internet.attach_machine(machine)
+
+        store = RecordedSite("app-recording")
+        stack = ShellStack(machine)
+        stack.add_record(store)
+        app = ApiClient(sim, stack.transport, internet.resolver_endpoint,
+                        workload)
+        app.launch()
+        sim.run_until(lambda: app.done, timeout=300)
+        assert not app.errors
+        assert len(store) == len(truth)
+
+        # Replay the recording for a second app instance.
+        sim2 = Simulator(seed=2)
+        machine2 = HostMachine(sim2)
+        stack2 = ShellStack(machine2)
+        stack2.add_replay(store)
+        app2 = ApiClient(sim2, stack2.transport, stack2.resolver_endpoint,
+                         workload)
+        app2.launch()
+        sim2.run_until(lambda: app2.done, timeout=300)
+        assert not app2.errors
+        assert app2.requests_completed == app.requests_completed

@@ -1,0 +1,117 @@
+"""Unit tests for URLs, resources, and page models."""
+
+import pytest
+
+from repro.browser.resources import PageModel, Resource, Url
+from repro.errors import BrowserError
+
+
+class TestUrl:
+    def test_parse_http(self):
+        url = Url.parse("http://www.example.com/path?q=1")
+        assert url == Url("http", "www.example.com", 80, "/path?q=1")
+
+    def test_parse_https_default_port(self):
+        assert Url.parse("https://x.com/").port == 443
+
+    def test_parse_explicit_port(self):
+        url = Url.parse("http://x.com:8080/a")
+        assert url.port == 8080
+        assert not url.default_port
+
+    def test_parse_no_path(self):
+        assert Url.parse("http://x.com").path == "/"
+
+    def test_host_lowercased(self):
+        assert Url.parse("http://WWW.X.COM/").host == "www.x.com"
+
+    def test_origin_string(self):
+        assert Url.parse("https://x.com/a").origin == "https://x.com:443"
+
+    def test_str_omits_default_port(self):
+        assert str(Url.parse("http://x.com/a")) == "http://x.com/a"
+        assert str(Url.parse("http://x.com:81/a")) == "http://x.com:81/a"
+
+    @pytest.mark.parametrize("bad", [
+        "ftp://x.com/", "x.com/path", "http://", "http://x.com:abc/",
+    ])
+    def test_bad_urls_rejected(self, bad):
+        with pytest.raises(BrowserError):
+            Url.parse(bad)
+
+
+def resource(path, kind="image", size=1000, children=None):
+    return Resource(Url.parse(f"http://x.com{path}"), kind, size,
+                    children=children)
+
+
+class TestResource:
+    def test_fields(self):
+        r = resource("/a.jpg", size=5000)
+        assert r.size == 5000
+        assert r.kind == "image"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(BrowserError):
+            resource("/x", kind="wasm")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(BrowserError):
+            resource("/x", size=-1)
+
+
+class TestPageModel:
+    def _page(self):
+        img = resource("/i.jpg")
+        css = resource("/s.css", kind="css", children=[
+            resource("/f.woff2", kind="font")])
+        root = Resource(Url.parse("http://x.com/"), "html", 50_000,
+                        children=[css, img])
+        return PageModel(root, name="test")
+
+    def test_root_must_be_html(self):
+        with pytest.raises(BrowserError):
+            PageModel(resource("/x.css", kind="css"))
+
+    def test_resource_iteration_unique(self):
+        page = self._page()
+        urls = [str(r.url) for r in page.resources()]
+        assert len(urls) == len(set(urls)) == 4
+
+    def test_shared_child_counted_once(self):
+        shared = resource("/shared.jpg")
+        a = resource("/a.css", kind="css", children=[shared])
+        b = resource("/b.css", kind="css", children=[shared])
+        root = Resource(Url.parse("http://x.com/"), "html", 100,
+                        children=[a, b])
+        assert PageModel(root).resource_count == 4
+
+    def test_total_bytes(self):
+        page = self._page()
+        assert page.total_bytes == 50_000 + 1000 + 1000 + 1000
+
+    def test_depth(self):
+        assert self._page().depth() == 3
+
+    def test_origins(self):
+        img_cdn = Resource(Url.parse("http://cdn.x.com/i.jpg"), "image", 10)
+        root = Resource(Url.parse("http://x.com/"), "html", 10,
+                        children=[img_cdn])
+        assert set(PageModel(root).origins()) == {
+            "http://x.com:80", "http://cdn.x.com:80"}
+
+    def test_cycle_detected(self):
+        a = resource("/a.css", kind="css")
+        b = resource("/b.css", kind="css", children=[a])
+        a.children.append(b)
+        root = Resource(Url.parse("http://x.com/"), "html", 10, children=[a])
+        with pytest.raises(BrowserError):
+            PageModel(root)
+
+    def test_diamond_is_not_a_cycle(self):
+        shared = resource("/d.jpg")
+        a = resource("/a.css", kind="css", children=[shared])
+        b = resource("/b.js", kind="js", children=[shared])
+        root = Resource(Url.parse("http://x.com/"), "html", 10,
+                        children=[a, b])
+        PageModel(root)  # must not raise

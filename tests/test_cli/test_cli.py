@@ -1,0 +1,226 @@
+"""Tests for the mm-* command-line tools."""
+
+import os
+
+import pytest
+
+from repro.cli import (
+    mm_corpus,
+    mm_delay,
+    mm_link,
+    mm_loss,
+    mm_trace,
+    mm_webrecord,
+    mm_webreplay,
+)
+from repro.cli.common import CliError, page_from_recording, parse_trace_or_rate
+from repro.corpus import generate_site
+from repro.linkem import PacketDeliveryTrace
+
+
+@pytest.fixture(scope="module")
+def recorded_dir(tmp_path_factory):
+    """A small recorded site on disk (made by mm-webrecord)."""
+    directory = tmp_path_factory.mktemp("sites") / "rec"
+    code = mm_webrecord.run(
+        ["--seed", "5", "--origins", "5", "--scale", "0.5",
+         str(directory), "http://www.clitest.com/"], [])
+    assert code == 0
+    return str(directory)
+
+
+class TestMmWebrecord:
+    def test_records_site(self, recorded_dir, capsys):
+        assert os.path.exists(os.path.join(recorded_dir, "site.json"))
+
+    def test_rejects_nesting(self):
+        with pytest.raises(CliError):
+            mm_webrecord.run(["out", "http://x.com/"],
+                             [("delay", {"delay": 0.01})])
+
+    def test_usage_error(self):
+        with pytest.raises(CliError):
+            mm_webrecord.run([], [])
+
+
+class TestMmWebreplayLoad:
+    def test_full_pipeline(self, recorded_dir, capsys):
+        code = mm_webreplay.run(
+            [recorded_dir, "mm-link", "14", "14", "mm-delay", "40", "load"],
+            [])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "page load time:" in out
+        assert "replay" in out and "link" in out and "delay" in out
+
+    def test_single_server_flag(self, recorded_dir, capsys):
+        code = mm_webreplay.run([
+            "--single-server", recorded_dir, "load"], [])
+        assert code == 0
+        assert "!single" in capsys.readouterr().out
+
+    def test_mux_protocol_flag(self, recorded_dir, capsys):
+        code = mm_webreplay.run([
+            "--protocol=mux", recorded_dir, "mm-delay", "20", "load"], [])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "!mux" in out
+        assert "page load time" in out
+
+    def test_bad_protocol_rejected(self, recorded_dir):
+        with pytest.raises(CliError):
+            mm_webreplay.run(["--protocol=quic", recorded_dir, "load"], [])
+
+    def test_load_without_replay_rejected(self):
+        with pytest.raises(CliError):
+            mm_delay.run(["40", "load"], [])
+
+    def test_missing_directory_rejected(self):
+        with pytest.raises(CliError):
+            mm_webreplay.run(["/nonexistent-dir", "load"], [])
+
+    def test_fetch_single_url(self, recorded_dir, capsys):
+        code = mm_webreplay.run(
+            [recorded_dir, "fetch", "http://www.clitest.com/"], [])
+        assert code == 0
+        assert "ok in" in capsys.readouterr().out
+
+    def test_no_app_command_prints_stack(self, recorded_dir, capsys):
+        code = mm_webreplay.run([recorded_dir], [])
+        assert code == 0
+        assert "no application command" in capsys.readouterr().out
+
+
+class TestMmDelayMmLink:
+    def test_delay_parses(self, recorded_dir, capsys):
+        code = mm_webreplay.run([recorded_dir, "mm-delay", "0", "load"], [])
+        assert code == 0
+
+    def test_delay_rejects_garbage(self):
+        with pytest.raises(CliError):
+            mm_delay.run(["fast"], [])
+
+    def test_delay_rejects_negative(self):
+        with pytest.raises(CliError):
+            mm_delay.run(["-5"], [])
+
+    def test_link_queue_options(self, recorded_dir, capsys):
+        code = mm_webreplay.run(
+            [recorded_dir, "mm-link", "5", "5", "--downlink-queue=50",
+             "--uplink-queue=50", "load"], [])
+        assert code == 0
+
+    def test_link_rejects_bad_queue(self):
+        with pytest.raises(CliError):
+            mm_link.run(["5", "5", "--downlink-queue=zero", "load"], [])
+
+    def test_link_codel_queue(self, recorded_dir, capsys):
+        code = mm_webreplay.run(
+            [recorded_dir, "mm-link", "5", "5", "--downlink-queue=codel",
+             "load"], [])
+        assert code == 0
+        assert "page load time" in capsys.readouterr().out
+
+    def test_link_rejects_unknown_flag(self):
+        with pytest.raises(CliError):
+            mm_link.run(["5", "5", "--mystery=1", "load"], [])
+
+    def test_unknown_inner_command(self):
+        with pytest.raises(CliError):
+            mm_delay.run(["40", "mm-teleport"], [])
+
+
+class TestMmLoss:
+    def test_lossy_load(self, recorded_dir, capsys):
+        code = mm_webreplay.run(
+            [recorded_dir, "mm-loss", "downlink", "0.01",
+             "mm-delay", "20", "load"], [])
+        assert code == 0
+        assert "page load time" in capsys.readouterr().out
+
+    def test_both_directions(self, recorded_dir, capsys):
+        code = mm_webreplay.run(
+            [recorded_dir, "mm-loss", "both", "0.005", "load"], [])
+        assert code == 0
+
+    def test_bad_direction(self):
+        with pytest.raises(CliError):
+            mm_loss.run(["sideways", "0.1"], [])
+
+    def test_bad_rate(self):
+        with pytest.raises(CliError):
+            mm_loss.run(["uplink", "2.0"], [])
+        with pytest.raises(CliError):
+            mm_loss.run(["uplink", "lots"], [])
+
+
+class TestMmTrace:
+    def test_constant_generation(self, tmp_path, capsys):
+        out = tmp_path / "c.trace"
+        assert mm_trace.run(
+            ["constant", "--rate", "12", "--out", str(out)], []) == 0
+        trace = PacketDeliveryTrace.from_file(out)
+        assert trace.average_rate_mbps == pytest.approx(12, rel=0.05)
+
+    def test_cellular_generation(self, tmp_path, capsys):
+        out = tmp_path / "lte.trace"
+        assert mm_trace.run(
+            ["cellular", "--mean", "8", "--duration", "20000",
+             "--out", str(out)], []) == 0
+        assert PacketDeliveryTrace.from_file(out).period_ms == 20000
+
+    def test_info(self, tmp_path, capsys):
+        out = tmp_path / "c.trace"
+        mm_trace.run(["constant", "--rate", "5", "--out", str(out)], [])
+        assert mm_trace.run(["info", str(out)], []) == 0
+        assert "Mbit/s" in capsys.readouterr().out
+
+    def test_trace_file_used_by_mm_link(self, recorded_dir, tmp_path, capsys):
+        out = tmp_path / "c.trace"
+        mm_trace.run(["constant", "--rate", "14", "--out", str(out)], [])
+        code = mm_webreplay.run(
+            [recorded_dir, "mm-link", str(out), str(out), "load"], [])
+        assert code == 0
+
+    def test_usage(self):
+        with pytest.raises(CliError):
+            mm_trace.run(["constant"], [])
+
+
+class TestMmCorpus:
+    def test_generate_and_stats(self, tmp_path, capsys):
+        out = tmp_path / "corpus"
+        code = mm_corpus.run(
+            ["generate", "--out", str(out), "--size", "6", "--singles", "1",
+             "--scale", "0.3"], [])
+        assert code == 0
+        assert len(os.listdir(out)) == 6
+        code = mm_corpus.run(["stats", str(out)], [])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "sites: 6" in text
+        assert "single-server sites: 1" in text
+
+    def test_stats_missing_dir(self):
+        with pytest.raises(CliError):
+            mm_corpus.run(["stats", "/nonexistent"], [])
+
+
+class TestHelpers:
+    def test_parse_trace_or_rate_number(self):
+        assert parse_trace_or_rate("14") == 14.0
+
+    def test_parse_trace_or_rate_rejects_nonpositive(self):
+        with pytest.raises(CliError):
+            parse_trace_or_rate("0")
+
+    def test_page_from_recording_covers_all_pairs(self):
+        site = generate_site("pfr.com", seed=6, n_origins=5)
+        store = site.to_recorded_site()
+        page = page_from_recording(store)
+        assert page.resource_count == len(store)
+
+    def test_page_from_recording_needs_root(self):
+        from repro.record.store import RecordedSite
+        with pytest.raises(CliError):
+            page_from_recording(RecordedSite("empty"))

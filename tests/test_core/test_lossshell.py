@@ -1,0 +1,100 @@
+"""Tests for LossShell (mm-loss)."""
+
+import pytest
+
+from repro.core import HostMachine, LossShell, ShellStack
+from repro.corpus import generate_site
+from repro.errors import ShellError
+from repro.net.address import Endpoint
+from repro.sim import Simulator
+from repro.transport.host import TransportHost
+from repro.transport.wire import pieces_len
+
+
+class TestLossShell:
+    def test_invalid_rate_rejected(self):
+        sim = Simulator()
+        machine = HostMachine(sim)
+        with pytest.raises(ShellError):
+            LossShell(sim, machine.namespace, machine.allocator,
+                      downlink_loss=1.5)
+
+    def test_zero_loss_is_transparent(self):
+        sim = Simulator(seed=0)
+        machine = HostMachine(sim)
+        host_transport = TransportHost.ensure(sim, machine.namespace)
+        stack = ShellStack(machine)
+        shell = stack.add_loss()
+        server_addr = machine.namespace.any_local_address()
+        total = [0]
+
+        def on_conn(conn):
+            conn.on_data = lambda p: conn.send_virtual(100_000)
+        host_transport.listen(server_addr, 80, on_conn)
+        conn = stack.transport.connect(Endpoint(server_addr, 80))
+        conn.on_established = lambda: conn.send(b"GET")
+        conn.on_data = lambda p: total.__setitem__(0, total[0] + pieces_len(p))
+        sim.run_until(lambda: total[0] >= 100_000, timeout=30)
+        assert total[0] == 100_000
+        assert shell.downlink_pipe.packets_dropped == 0
+
+    def test_loss_causes_retransmissions(self):
+        sim = Simulator(seed=0)
+        machine = HostMachine(sim)
+        host_transport = TransportHost.ensure(sim, machine.namespace)
+        stack = ShellStack(machine)
+        shell = stack.add_loss(downlink_loss=0.05)
+        server_addr = machine.namespace.any_local_address()
+        server_conns = []
+
+        def on_conn(conn):
+            server_conns.append(conn)
+            conn.on_data = lambda p: conn.send_virtual(500_000)
+        host_transport.listen(server_addr, 80, on_conn)
+        conn = stack.transport.connect(Endpoint(server_addr, 80))
+        total = [0]
+        conn.on_established = lambda: conn.send(b"GET")
+        conn.on_data = lambda p: total.__setitem__(0, total[0] + pieces_len(p))
+        sim.run_until(lambda: total[0] >= 500_000, timeout=120)
+        assert total[0] == 500_000  # reliability survives 5% loss
+        assert shell.downlink_pipe.packets_dropped > 0
+        assert server_conns[0].retransmissions > 0
+
+    def test_page_load_through_lossy_link(self):
+        site = generate_site("lossy.com", seed=60, n_origins=6)
+        from repro.browser import Browser
+        sim = Simulator(seed=0)
+        machine = HostMachine(sim)
+        stack = ShellStack(machine)
+        stack.add_replay(site.to_recorded_site())
+        stack.add_loss(downlink_loss=0.02, uplink_loss=0.02)
+        stack.add_delay(0.020)
+        browser = Browser(sim, stack.transport, stack.resolver_endpoint,
+                          machine=machine)
+        result = browser.load(site.page)
+        sim.run_until(lambda: result.complete, timeout=600)
+        assert result.complete
+        assert result.resources_failed == 0
+
+    def test_loss_is_reproducible(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            machine = HostMachine(sim)
+            stack = ShellStack(machine)
+            shell = stack.add_loss(downlink_loss=0.1)
+            host_transport = TransportHost.ensure(sim, machine.namespace)
+            server_addr = machine.namespace.any_local_address()
+
+            def on_conn(conn):
+                conn.on_data = lambda p: conn.send_virtual(200_000)
+            host_transport.listen(server_addr, 80, on_conn)
+            conn = stack.transport.connect(Endpoint(server_addr, 80))
+            total = [0]
+            conn.on_established = lambda: conn.send(b"GET")
+            conn.on_data = lambda p: total.__setitem__(
+                0, total[0] + pieces_len(p))
+            sim.run_until(lambda: total[0] >= 200_000, timeout=120)
+            return sim.now, shell.downlink_pipe.packets_dropped
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)

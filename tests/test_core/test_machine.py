@@ -1,0 +1,92 @@
+"""Unit tests for machine profiles and host machines."""
+
+import pytest
+
+from repro.core.machine import HostMachine, MachineProfile
+from repro.sim import RandomStreams, Simulator
+
+
+class TestMachineProfile:
+    def test_reference_is_unit_factor(self):
+        profile = MachineProfile.reference()
+        assert profile.cpu_factor == 1.0
+
+    def test_cpu_factor_scales(self):
+        fast = MachineProfile(cpu_factor=1.0, jitter_stddev=0.0)
+        slow = MachineProfile(cpu_factor=2.0, jitter_stddev=0.0)
+        rng = RandomStreams(0).stream("t")
+        assert slow.compute_time(0.1, rng) == pytest.approx(
+            2 * fast.compute_time(0.1, rng))
+
+    def test_zero_base_is_zero(self):
+        rng = RandomStreams(0).stream("t")
+        assert MachineProfile().compute_time(0.0, rng) == 0.0
+
+    def test_jitter_spreads_but_centres(self):
+        profile = MachineProfile(jitter_stddev=0.05)
+        rng = RandomStreams(1).stream("t")
+        samples = [profile.compute_time(1.0, rng) for _ in range(500)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(1.0, rel=0.02)
+        assert max(samples) > min(samples)
+
+    def test_jitter_never_negative_or_tiny(self):
+        profile = MachineProfile(jitter_stddev=5.0)  # absurd jitter
+        rng = RandomStreams(2).stream("t")
+        assert all(profile.compute_time(1.0, rng) >= 0.5 for _ in range(200))
+
+
+class TestHostMachine:
+    def test_namespace_and_allocator(self):
+        sim = Simulator()
+        machine = HostMachine(sim)
+        assert machine.namespace.name == "host"
+        subnet, a, b = machine.allocator.allocate_subnet()
+        assert subnet.prefix_len == 30
+
+    def test_compute_time_uses_profile(self):
+        sim = Simulator()
+        machine = HostMachine(
+            sim, MachineProfile(cpu_factor=3.0, jitter_stddev=0.0,
+                                trial_jitter_stddev=0.0))
+        assert machine.compute_time(0.01) == pytest.approx(0.03)
+
+    def test_trial_factor_constant_within_run(self):
+        sim = Simulator(seed=5)
+        machine = HostMachine(
+            sim, MachineProfile(jitter_stddev=0.0, trial_jitter_stddev=0.05))
+        a = machine.compute_time(0.01)
+        b = machine.compute_time(0.01)
+        assert a == b  # same run: one trial factor, zero per-op jitter
+
+    def test_trial_factor_varies_across_runs(self):
+        def factor(seed):
+            sim = Simulator(seed=seed)
+            return HostMachine(sim).trial_factor
+        assert factor(1) != factor(2)
+
+    def test_keyed_draws_independent_of_order(self):
+        # Common random numbers: the jitter for key K is the same whether
+        # K is drawn first or last.
+        def draw(order):
+            sim = Simulator(seed=3)
+            machine = HostMachine(sim)
+            return {k: machine.compute_time(0.01, key=k) for k in order}
+        forward = draw(["a", "b", "c"])
+        backward = draw(["c", "b", "a"])
+        assert forward == backward
+
+    def test_two_machines_same_seed_reproducible(self):
+        def draw(seed):
+            sim = Simulator(seed=seed)
+            machine = HostMachine(sim)
+            return [machine.compute_time(0.01) for _ in range(5)]
+        assert draw(7) == draw(7)
+        assert draw(7) != draw(8)
+
+    def test_machines_have_independent_noise(self):
+        sim = Simulator()
+        a = HostMachine(sim, MachineProfile(name="m1"), name="host-1")
+        b = HostMachine(sim, MachineProfile(name="m2"), name="host-2")
+        assert [a.compute_time(0.01) for _ in range(3)] != \
+               [b.compute_time(0.01) for _ in range(3)]

@@ -1,0 +1,154 @@
+"""Tests for synthetic site and corpus generation (experiment C1)."""
+
+import random
+
+import pytest
+
+from repro.corpus.alexa import alexa_corpus, corpus_statistics
+from repro.corpus.sitegen import (
+    draw_origin_count,
+    generate_site,
+    ip_for_host,
+    named_site,
+)
+from repro.errors import CorpusError
+from repro.net.address import IPv4Address, IPv4Network
+
+
+class TestIpForHost:
+    def test_deterministic(self):
+        assert ip_for_host("www.x.com") == ip_for_host("www.x.com")
+
+    def test_distinct_hosts_distinct_ips(self):
+        ips = {str(ip_for_host(f"h{i}.x.com")) for i in range(200)}
+        assert len(ips) == 200
+
+    def test_in_public_block(self):
+        assert ip_for_host("www.x.com") in IPv4Network("23.0.0.0/8")
+
+
+class TestGenerateSite:
+    def test_deterministic_from_seed(self):
+        a = generate_site("d.com", seed=1, n_origins=5)
+        b = generate_site("d.com", seed=1, n_origins=5)
+        assert [str(r.url) for r in a.page.resources()] == \
+               [str(r.url) for r in b.page.resources()]
+        assert [r.size for r in a.page.resources()] == \
+               [r.size for r in b.page.resources()]
+
+    def test_different_seeds_differ(self):
+        a = generate_site("d.com", seed=1, n_origins=5)
+        b = generate_site("d.com", seed=2, n_origins=5)
+        assert [r.size for r in a.page.resources()] != \
+               [r.size for r in b.page.resources()]
+
+    def test_origin_count_honoured(self):
+        for n in (1, 2, 7, 20, 51):
+            site = generate_site("n.com", seed=3, n_origins=n)
+            assert site.origin_count == n
+
+    def test_single_origin_site_one_hostname(self):
+        site = generate_site("solo.com", seed=4, n_origins=1)
+        assert len(site.host_ips) == 1
+        assert all(r.url.host == "www.solo.com"
+                   for r in site.page.resources())
+
+    def test_scale_grows_page(self):
+        small = generate_site("s.com", seed=5, n_origins=10, scale=0.5)
+        large = generate_site("s.com", seed=5, n_origins=10, scale=2.0)
+        assert large.page.resource_count > small.page.resource_count
+        assert large.page.total_bytes > small.page.total_bytes
+
+    def test_recording_consistent_with_page(self):
+        site = generate_site("c.com", seed=6, n_origins=8)
+        store = site.to_recorded_site()
+        assert len(store) == site.page.resource_count
+        by_uri = {(p.host, p.request.uri): p for p in store.pairs}
+        for resource in site.page.resources():
+            key = (resource.url.host, resource.url.path)
+            assert key in by_uri
+            assert by_uri[key].response.body.length == resource.size
+
+    def test_html_body_is_real_others_virtual(self):
+        site = generate_site("b.com", seed=7, n_origins=4)
+        store = site.to_recorded_site()
+        for pair in store.pairs:
+            if pair.request.uri == "/":
+                assert pair.response.body.is_fully_real
+            else:
+                assert not pair.response.body.is_fully_real
+
+    def test_https_mode(self):
+        site = generate_site("sec.com", seed=8, n_origins=4, https=True)
+        store = site.to_recorded_site()
+        assert all(p.scheme == "https" for p in store.pairs)
+        assert all(p.origin_port == 443 for p in store.pairs)
+
+    def test_invalid_origin_count_rejected(self):
+        with pytest.raises(CorpusError):
+            generate_site("x.com", seed=0, n_origins=0)
+
+    def test_page_depth_at_least_three(self):
+        # HTML -> css/js -> font/xhr chains must exist for realistic
+        # critical paths.
+        site = generate_site("deep.com", seed=9, n_origins=15, scale=1.5)
+        assert site.page.depth() >= 3
+
+
+class TestOriginDistribution:
+    def test_matches_paper_statistics(self):
+        rng = random.Random(0)
+        counts = sorted(draw_origin_count(rng) for _ in range(4000))
+        median = counts[len(counts) // 2]
+        p95 = counts[int(0.95 * len(counts))]
+        assert 17 <= median <= 23          # paper: 20
+        assert 43 <= p95 <= 60             # paper: 51
+
+
+class TestNamedSites:
+    def test_presets_exist(self):
+        for name in ("cnbc", "wikihow", "nytimes"):
+            site = named_site(name)
+            assert site.page.resource_count > 10
+
+    def test_cnbc_heavier_than_wikihow(self):
+        # Table 1: CNBC's PLT is ~1.6x wikiHow's; the pages must differ
+        # accordingly in weight.
+        cnbc = named_site("cnbc")
+        wikihow = named_site("wikihow")
+        assert cnbc.page.total_bytes > 1.3 * wikihow.page.total_bytes
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(CorpusError):
+            named_site("myspace")
+
+    def test_seed_varies_instances(self):
+        a = named_site("nytimes", seed=0)
+        b = named_site("nytimes", seed=1)
+        assert [r.size for r in a.page.resources()] != \
+               [r.size for r in b.page.resources()]
+
+
+class TestAlexaCorpus:
+    def test_c1_statistics(self):
+        # Experiment C1 at reduced scale: the generator must hit the
+        # paper's numbers by construction.
+        sites = alexa_corpus(seed=0, size=120, single_origin_sites=2,
+                             scale=0.3)
+        stats = corpus_statistics(sites)
+        assert stats["sites"] == 120
+        assert stats["single_server_sites"] == 2
+        assert 14 <= stats["median_origins"] <= 26
+
+    def test_deterministic(self):
+        a = alexa_corpus(seed=3, size=10, single_origin_sites=1, scale=0.2)
+        b = alexa_corpus(seed=3, size=10, single_origin_sites=1, scale=0.2)
+        assert [s.origin_count for s in a] == [s.origin_count for s in b]
+
+    def test_more_singles_than_sites_rejected(self):
+        with pytest.raises(CorpusError):
+            alexa_corpus(size=2, single_origin_sites=3)
+
+    def test_statistics_empty_rejected(self):
+        with pytest.raises(CorpusError):
+            corpus_statistics([])

@@ -1,0 +1,23 @@
+"""Run the doctests embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.net.address
+import repro.sim.random
+import repro.sim.simulator
+
+MODULES = [
+    repro.net.address,
+    repro.sim.random,
+    repro.sim.simulator,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

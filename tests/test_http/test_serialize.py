@@ -1,0 +1,86 @@
+"""Unit tests for HTTP serialization."""
+
+import pytest
+
+from repro.http.body import Body
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.http.serialize import (
+    message_wire_length,
+    serialize_headers,
+    serialize_request,
+    serialize_response,
+)
+
+
+class TestSerializeHeaders:
+    def test_block_layout(self):
+        text = serialize_headers("GET / HTTP/1.1",
+                                 Headers([("Host", "h"), ("A", "1")]))
+        assert text == b"GET / HTTP/1.1\r\nHost: h\r\nA: 1\r\n\r\n"
+
+    def test_empty_headers(self):
+        assert serialize_headers("HTTP/1.1 200 OK", Headers()) == \
+            b"HTTP/1.1 200 OK\r\n\r\n"
+
+
+class TestSerializeRequest:
+    def test_no_body_no_content_length(self):
+        pieces = serialize_request(HttpRequest("GET", "/",
+                                               Headers([("Host", "h")])))
+        assert len(pieces) == 1
+        assert b"Content-Length" not in pieces[0]
+
+    def test_body_gets_content_length(self):
+        request = HttpRequest("POST", "/", Headers([("Host", "h")]),
+                              Body.from_bytes(b"12345"))
+        pieces = serialize_request(request)
+        assert b"Content-Length: 5" in pieces[0]
+        assert pieces[1] == b"12345"
+
+    def test_existing_content_length_kept(self):
+        request = HttpRequest(
+            "POST", "/", Headers([("Host", "h"), ("Content-Length", "5")]),
+            Body.from_bytes(b"12345"))
+        pieces = serialize_request(request)
+        assert pieces[0].count(b"Content-Length") == 1
+
+    def test_virtual_body_piece(self):
+        request = HttpRequest("POST", "/", Headers([("Host", "h")]),
+                              Body.virtual(1000))
+        pieces = serialize_request(request)
+        assert pieces[1] == 1000
+
+
+class TestSerializeResponse:
+    def test_basic(self):
+        response = HttpResponse(200, body=Body.virtual(10))
+        pieces = serialize_response(response)
+        assert pieces[0].startswith(b"HTTP/1.1 200 OK\r\n")
+        assert pieces[1] == 10
+
+    def test_bodiless_status_drops_body(self):
+        response = HttpResponse(304, body=Body.virtual(500))
+        pieces = serialize_response(response)
+        assert len(pieces) == 1
+        assert b"Content-Length" not in pieces[0]
+
+    def test_transfer_encoding_suppresses_content_length(self):
+        response = HttpResponse(
+            200, headers=Headers([("Transfer-Encoding", "chunked")]),
+            body=Body.from_bytes(b"4\r\nWiki\r\n0\r\n\r\n"))
+        pieces = serialize_response(response)
+        assert b"Content-Length" not in pieces[0]
+
+
+class TestWireLength:
+    def test_counts_real_and_virtual(self):
+        response = HttpResponse(200, body=Body.virtual(1000))
+        pieces = serialize_response(response)
+        total = message_wire_length(pieces)
+        assert total == len(pieces[0]) + 1000
+
+    def test_length_independent_of_virtualness(self):
+        real = HttpResponse(200, body=Body.from_bytes(b"x" * 500))
+        virtual = HttpResponse(200, body=Body.virtual(500))
+        assert message_wire_length(serialize_response(real)) == \
+            message_wire_length(serialize_response(virtual))

@@ -1,0 +1,88 @@
+"""Unit tests for synthetic trace generators."""
+
+import random
+
+import pytest
+
+from repro.errors import TraceError
+from repro.linkem.generators import cellular_trace, constant_rate_trace
+from repro.net.packet import MTU_BYTES
+
+
+class TestConstantRateTrace:
+    @pytest.mark.parametrize("rate", [1.0, 5.0, 14.0, 25.0, 100.0, 1000.0])
+    def test_average_rate_close_to_target(self, rate):
+        trace = constant_rate_trace(rate, duration_ms=2000)
+        assert trace.average_rate_mbps == pytest.approx(rate, rel=0.02)
+
+    def test_slow_rate_needs_duration(self):
+        # 0.1 Mbit/s delivers one MTU every 120 ms; 60 ms is too short.
+        with pytest.raises(TraceError):
+            constant_rate_trace(0.1, duration_ms=60)
+        trace = constant_rate_trace(0.1, duration_ms=10_000)
+        assert len(trace) >= 80
+
+    def test_timestamps_bounded_by_duration(self):
+        trace = constant_rate_trace(50.0, duration_ms=500)
+        assert trace.period_ms == 500
+        assert all(0 <= t <= 500 for t in trace.times_ms)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(TraceError):
+            constant_rate_trace(0.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(TraceError):
+            constant_rate_trace(10.0, duration_ms=0)
+
+    def test_deterministic(self):
+        a = constant_rate_trace(14.0, 1000)
+        b = constant_rate_trace(14.0, 1000)
+        assert a.times_ms == b.times_ms
+
+
+class TestCellularTrace:
+    def test_mean_rate_near_target(self):
+        trace = cellular_trace(random.Random(1), duration_ms=120_000,
+                               mean_mbps=9.0)
+        # Mean reversion keeps the long-run average in the right decade.
+        assert 4.0 < trace.average_rate_mbps < 18.0
+
+    def test_rate_varies_over_time(self):
+        trace = cellular_trace(random.Random(2), duration_ms=60_000,
+                               mean_mbps=9.0, volatility=0.4)
+        # Count opportunities per second; a varying link has varying counts.
+        counts = {}
+        for t in trace.times_ms:
+            counts[t // 1000] = counts.get(t // 1000, 0) + 1
+        values = list(counts.values())
+        assert max(values) > 1.5 * min(values)
+
+    def test_respects_floor_and_ceiling(self):
+        trace = cellular_trace(random.Random(3), duration_ms=60_000,
+                               mean_mbps=5.0, volatility=1.0,
+                               floor_mbps=1.0, ceiling_mbps=10.0,
+                               coherence_ms=500)
+        # Per-window rate cannot exceed ceiling: check max opportunities
+        # in any 500 ms window.
+        counts = {}
+        for t in trace.times_ms:
+            counts[t // 500] = counts.get(t // 500, 0) + 1
+        max_bytes_per_window = max(counts.values()) * MTU_BYTES
+        assert max_bytes_per_window * 8 / 0.5 <= 11e6  # 10 + slack
+
+    def test_deterministic_given_rng(self):
+        a = cellular_trace(random.Random(7), duration_ms=10_000)
+        b = cellular_trace(random.Random(7), duration_ms=10_000)
+        assert a.times_ms == b.times_ms
+
+    def test_monotonic_timestamps(self):
+        trace = cellular_trace(random.Random(9), duration_ms=30_000)
+        times = trace.times_ms
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(TraceError):
+            cellular_trace(random.Random(0), duration_ms=0)
+        with pytest.raises(TraceError):
+            cellular_trace(random.Random(0), mean_mbps=1.0, floor_mbps=2.0)

@@ -1,0 +1,84 @@
+"""Unit tests for the drop-tail queue."""
+
+import pytest
+
+from repro.linkem.queues import DropTailQueue
+from repro.net.address import IPv4Address
+from repro.net.packet import tcp_packet
+
+
+def packet(data_len=1000):
+    return tcp_packet(IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2"),
+                      1, 2, None, data_len=data_len)
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        q = DropTailQueue()
+        packets = [packet() for _ in range(5)]
+        for p in packets:
+            assert q.push(p)
+        assert [q.pop() for _ in range(5)] == packets
+
+    def test_byte_accounting(self):
+        q = DropTailQueue()
+        q.push(packet(1000))
+        q.push(packet(200))
+        assert q.bytes == (1000 + 40) + (200 + 40)
+        q.pop()
+        assert q.bytes == 240
+
+    def test_packet_limit(self):
+        q = DropTailQueue(max_packets=2)
+        assert q.push(packet())
+        assert q.push(packet())
+        assert not q.push(packet())
+        assert q.drops == 1
+        assert len(q) == 2
+
+    def test_byte_limit(self):
+        q = DropTailQueue(max_bytes=1500)
+        assert q.push(packet(1000))   # 1040 bytes
+        assert not q.push(packet(1000))
+        assert q.push(packet(100))    # 140 fits
+        assert q.drops == 1
+
+    def test_drain_frees_capacity(self):
+        q = DropTailQueue(max_packets=1)
+        q.push(packet())
+        assert not q.push(packet())
+        q.pop()
+        assert q.push(packet())
+
+    def test_front_peeks(self):
+        q = DropTailQueue()
+        p = packet()
+        q.push(p)
+        assert q.front() is p
+        assert len(q) == 1
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            DropTailQueue().pop()
+
+    def test_clear(self):
+        q = DropTailQueue()
+        q.push(packet())
+        q.clear()
+        assert len(q) == 0
+        assert q.bytes == 0
+        assert not q
+
+    def test_enqueued_counter(self):
+        q = DropTailQueue(max_packets=1)
+        q.push(packet())
+        q.push(packet())
+        assert q.enqueued == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_packets": 0}, {"max_packets": -1},
+        {"max_bytes": 0}, {"max_bytes": -5},
+    ])
+    def test_bad_limits_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DropTailQueue(**kwargs)

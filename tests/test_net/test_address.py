@@ -1,0 +1,141 @@
+"""Unit tests for IPv4 addresses, networks, and the shell allocator."""
+
+import pytest
+
+from repro.errors import AddressError, AddressPoolExhausted
+from repro.net.address import AddressAllocator, Endpoint, IPv4Address, IPv4Network
+
+
+class TestIPv4Address:
+    def test_parse_dotted_quad(self):
+        assert IPv4Address("1.2.3.4").value == 0x01020304
+
+    def test_from_int(self):
+        assert str(IPv4Address(0x64400001)) == "100.64.0.1"
+
+    def test_roundtrip(self):
+        for text in ("0.0.0.0", "255.255.255.255", "10.0.0.1", "100.64.0.1"):
+            assert str(IPv4Address(text)) == text
+
+    def test_copy_constructor(self):
+        a = IPv4Address("1.2.3.4")
+        assert IPv4Address(a) == a
+
+    @pytest.mark.parametrize("bad", [
+        "1.2.3", "1.2.3.4.5", "1.2.3.256", "a.b.c.d", "1..2.3", "",
+        "1.2.3.-4",
+    ])
+    def test_bad_strings_rejected(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address(bad)
+
+    @pytest.mark.parametrize("bad", [-1, 1 << 32])
+    def test_out_of_range_ints_rejected(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address(bad)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Address(1.5)
+
+    def test_ordering_and_hash(self):
+        a, b = IPv4Address("1.0.0.1"), IPv4Address("1.0.0.2")
+        assert a < b
+        assert a <= a
+        assert len({a, IPv4Address("1.0.0.1")}) == 1
+
+    def test_addition(self):
+        assert IPv4Address("10.0.0.1") + 5 == IPv4Address("10.0.0.6")
+
+    def test_dict_key(self):
+        d = {IPv4Address("9.9.9.9"): "x"}
+        assert d[IPv4Address("9.9.9.9")] == "x"
+
+
+class TestIPv4Network:
+    def test_parse_cidr(self):
+        net = IPv4Network("100.64.0.0/10")
+        assert net.prefix_len == 10
+        assert str(net) == "100.64.0.0/10"
+
+    def test_host_bits_masked(self):
+        assert IPv4Network("10.1.2.3/24") == IPv4Network("10.1.2.0/24")
+
+    def test_contains(self):
+        net = IPv4Network("10.0.0.0/8")
+        assert IPv4Address("10.255.0.1") in net
+        assert IPv4Address("11.0.0.1") not in net
+
+    def test_contains_accepts_strings(self):
+        assert "192.168.1.5" in IPv4Network("192.168.0.0/16")
+
+    def test_num_addresses(self):
+        assert IPv4Network("10.0.0.0/30").num_addresses == 4
+        assert IPv4Network("10.0.0.0/32").num_addresses == 1
+
+    def test_hosts_skips_network_and_broadcast(self):
+        hosts = list(IPv4Network("10.0.0.0/30").hosts())
+        assert hosts == [IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2")]
+
+    def test_hosts_slash_31_and_32(self):
+        assert len(list(IPv4Network("10.0.0.0/31").hosts())) == 2
+        assert list(IPv4Network("10.0.0.7/32").hosts()) == [IPv4Address("10.0.0.7")]
+
+    def test_subnets(self):
+        subnets = list(IPv4Network("10.0.0.0/24").subnets(26))
+        assert len(subnets) == 4
+        assert str(subnets[1]) == "10.0.0.64/26"
+
+    def test_subnets_shorter_prefix_rejected(self):
+        with pytest.raises(AddressError):
+            list(IPv4Network("10.0.0.0/24").subnets(16))
+
+    @pytest.mark.parametrize("bad", ["10.0.0.0", "10.0.0.0/33", "10.0.0.0/x"])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Network(bad)
+
+    def test_default_route_prefix(self):
+        net = IPv4Network("0.0.0.0/0")
+        assert IPv4Address("8.8.8.8") in net
+
+
+class TestEndpoint:
+    def test_fields_and_str(self):
+        ep = Endpoint(IPv4Address("10.0.0.1"), 80)
+        assert ep.address == IPv4Address("10.0.0.1")
+        assert ep.port == 80
+        assert str(ep) == "10.0.0.1:80"
+
+    def test_equality_and_hash(self):
+        a = Endpoint(IPv4Address("10.0.0.1"), 80)
+        b = Endpoint(IPv4Address("10.0.0.1"), 80)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestAddressAllocator:
+    def test_allocates_from_cgn_pool(self):
+        allocator = AddressAllocator()
+        subnet, first, second = allocator.allocate_subnet()
+        assert subnet.prefix_len == 30
+        assert first in IPv4Network("100.64.0.0/10")
+        assert second in IPv4Network("100.64.0.0/10")
+        assert first != second
+
+    def test_sequential_subnets_disjoint(self):
+        allocator = AddressAllocator()
+        nets = [allocator.allocate_subnet()[0] for _ in range(10)]
+        all_hosts = set()
+        for net in nets:
+            hosts = set(str(h) for h in net.hosts())
+            assert not (hosts & all_hosts)
+            all_hosts |= hosts
+        assert allocator.allocated_subnets == 10
+
+    def test_exhaustion(self):
+        allocator = AddressAllocator("10.0.0.0/28")  # four /30s
+        for _ in range(4):
+            allocator.allocate_subnet()
+        with pytest.raises(AddressPoolExhausted):
+            allocator.allocate_subnet()

@@ -1,0 +1,80 @@
+"""Tests for the packet-capture tap."""
+
+import pytest
+
+from repro.net.capture import PacketCapture
+from repro.testing import delayed_world
+from repro.transport.wire import pieces_len
+
+
+def run_transfer(world, total_bytes=50_000):
+    def on_conn(conn):
+        conn.on_data = lambda p: conn.send_virtual(total_bytes)
+    world.server.listen(None, 80, on_conn)
+    conn = world.client.connect(world.server_endpoint)
+    got = [0]
+    conn.on_established = lambda: conn.send(b"GET")
+    conn.on_data = lambda p: got.__setitem__(0, got[0] + pieces_len(p))
+    world.sim.run_until(lambda: got[0] >= total_bytes, timeout=30)
+    return conn
+
+
+class TestPacketCapture:
+    def test_sees_handshake_and_data(self):
+        world = delayed_world(0.010)
+        capture = PacketCapture(world.server_ns)
+        run_transfer(world)
+        assert capture.total_seen > 30
+        assert capture.by_protocol["tcp"] == capture.total_seen
+        # First packet into the server is the SYN.
+        assert "S" in capture.packets[0].flags
+
+    def test_flow_accounting(self):
+        world = delayed_world(0.010)
+        capture = PacketCapture(world.server_ns)
+        conn = run_transfer(world)
+        flows = capture.flows()
+        key = (str(conn.local.address), conn.local.port,
+               str(conn.remote.address), conn.remote.port, "tcp")
+        assert flows.get(key, 0) > 0
+
+    def test_match_filter(self):
+        world = delayed_world(0.010)
+        capture = PacketCapture(world.server_ns,
+                                match=lambda p: p.dport == 9999)
+        run_transfer(world)
+        assert capture.packets == []
+        assert capture.total_seen > 0
+
+    def test_retention_bound(self):
+        world = delayed_world(0.010)
+        capture = PacketCapture(world.server_ns, max_packets=5)
+        run_transfer(world)
+        assert len(capture.packets) == 5
+        assert capture.total_seen > 5
+
+    def test_stop(self):
+        world = delayed_world(0.010)
+        capture = PacketCapture(world.server_ns)
+        capture.stop()
+        run_transfer(world)
+        assert capture.total_seen == 0
+
+    def test_dump_format(self):
+        world = delayed_world(0.010)
+        capture = PacketCapture(world.server_ns)
+        run_transfer(world)
+        text = capture.dump(limit=3)
+        assert "tcp" in text
+        assert "> " in text
+        assert "more retained" in text
+
+    def test_capture_does_not_perturb_measurement(self):
+        # Observation must be free: same transfer, same completion time.
+        def run(with_capture):
+            world = delayed_world(0.010, seed=3)
+            if with_capture:
+                PacketCapture(world.server_ns)
+            run_transfer(world)
+            return world.sim.now
+        assert run(False) == run(True)

@@ -1,0 +1,59 @@
+"""Tests for the per-namespace forwarding-delay knob."""
+
+import pytest
+
+from repro.net.address import IPv4Address
+from repro.net.namespace import NetworkNamespace
+from repro.net.packet import tcp_packet
+from repro.net.veth import VethPair
+from repro.sim import Simulator
+
+
+def three_hop_chain(sim, middle_delay=0.0):
+    a = NetworkNamespace(sim, "a")
+    b = NetworkNamespace(sim, "b")
+    c = NetworkNamespace(sim, "c")
+    v1 = VethPair(sim, a, b, "a-b", "b-a")
+    v1.iface_a.add_address("10.0.0.1", 30)
+    v1.iface_b.add_address("10.0.0.2", 30)
+    v2 = VethPair(sim, b, c, "b-c", "c-b")
+    v2.iface_a.add_address("10.0.1.1", 30)
+    v2.iface_b.add_address("10.0.1.2", 30)
+    a.routes.add("10.0.1.0/30", v1.iface_a)
+    b.forwarding_delay = middle_delay
+    got = []
+    c.attach_transport(lambda p: got.append(sim.now))
+    return a, got
+
+
+class TestForwardingDelay:
+    def test_zero_by_default(self):
+        sim = Simulator()
+        a, got = three_hop_chain(sim)
+        a.originate(tcp_packet(IPv4Address("10.0.0.1"),
+                               IPv4Address("10.0.1.2"), 1, 2, None, 0))
+        sim.run()
+        assert got == [0.0]
+
+    def test_delay_applied_on_forward(self):
+        sim = Simulator()
+        a, got = three_hop_chain(sim, middle_delay=0.004)
+        a.originate(tcp_packet(IPv4Address("10.0.0.1"),
+                               IPv4Address("10.0.1.2"), 1, 2, None, 0))
+        sim.run()
+        assert got == [pytest.approx(0.004)]
+
+    def test_originated_packets_not_delayed(self):
+        sim = Simulator()
+        a, got = three_hop_chain(sim, middle_delay=0.004)
+        # Packets *originated by* the delayed namespace are not forwarded
+        # traffic and skip the forwarding charge.
+        b_like = None
+        # Instead: originate from A (whose forwarding_delay is 0) — the
+        # delay belongs to B only, asserted above; here assert A's own
+        # originate path is instant up to B's charge.
+        a.forwarding_delay = 0.100  # must not apply to its own packets
+        a.originate(tcp_packet(IPv4Address("10.0.0.1"),
+                               IPv4Address("10.0.1.2"), 1, 2, None, 0))
+        sim.run()
+        assert got == [pytest.approx(0.004)]

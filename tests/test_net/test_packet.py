@@ -1,0 +1,59 @@
+"""Unit tests for the packet model."""
+
+import pytest
+
+from repro.net.address import IPv4Address
+from repro.net.packet import (
+    IP_HEADER_BYTES,
+    MTU_BYTES,
+    Packet,
+    TCP_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+    tcp_packet,
+    udp_packet,
+)
+
+SRC = IPv4Address("10.0.0.1")
+DST = IPv4Address("10.0.0.2")
+
+
+class TestPacket:
+    def test_basic_fields(self):
+        p = Packet(SRC, DST, 1234, 80, "tcp", None, 100)
+        assert (p.src, p.dst, p.sport, p.dport) == (SRC, DST, 1234, 80)
+        assert p.size == 100
+        assert p.ttl == 64
+
+    def test_unique_uids(self):
+        a = Packet(SRC, DST, 1, 2, "tcp", None, 40)
+        b = Packet(SRC, DST, 1, 2, "tcp", None, 40)
+        assert a.uid != b.uid
+
+    def test_flow_tuples(self):
+        p = Packet(SRC, DST, 1234, 80, "tcp", None, 40)
+        assert p.flow == ("tcp", SRC, 1234, DST, 80)
+        assert p.reply_flow() == ("tcp", DST, 80, SRC, 1234)
+
+    def test_size_below_ip_header_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(SRC, DST, 0, 0, "tcp", None, IP_HEADER_BYTES - 1)
+
+    def test_size_above_mtu_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(SRC, DST, 0, 0, "tcp", None, MTU_BYTES + 1)
+
+
+class TestBuilders:
+    def test_tcp_packet_size(self):
+        p = tcp_packet(SRC, DST, 1, 2, None, data_len=1000)
+        assert p.size == IP_HEADER_BYTES + TCP_HEADER_BYTES + 1000
+        assert p.protocol == "tcp"
+
+    def test_tcp_full_segment_fits_mtu(self):
+        p = tcp_packet(SRC, DST, 1, 2, None, data_len=1460)
+        assert p.size == MTU_BYTES
+
+    def test_udp_packet_size(self):
+        p = udp_packet(SRC, DST, 1, 2, None, data_len=100)
+        assert p.size == IP_HEADER_BYTES + UDP_HEADER_BYTES + 100
+        assert p.protocol == "udp"

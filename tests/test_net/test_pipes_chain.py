@@ -1,0 +1,91 @@
+"""Tests for pipe composition (ChainPipe) and pipe bookkeeping."""
+
+import pytest
+
+from repro.linkem.delay import DelayPipe
+from repro.linkem.overhead import OverheadModel
+from repro.net.address import IPv4Address
+from repro.net.packet import tcp_packet
+from repro.net.pipe import ChainPipe, InstantPipe
+from repro.sim import Simulator
+
+
+def packet():
+    return tcp_packet(IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2"),
+                      1, 2, None, data_len=100)
+
+
+class TestInstantPipe:
+    def test_delivers_via_event_loop(self):
+        sim = Simulator()
+        pipe = InstantPipe(sim)
+        got = []
+        pipe.attach_sink(got.append)
+        pipe.send(packet())
+        assert got == []          # not synchronous...
+        sim.run()
+        assert len(got) == 1      # ...but same virtual instant
+        assert sim.now == 0.0
+
+    def test_counters(self):
+        sim = Simulator()
+        pipe = InstantPipe(sim)
+        pipe.attach_sink(lambda p: None)
+        for _ in range(3):
+            pipe.send(packet())
+        sim.run()
+        assert pipe.packets_sent == 3
+        assert pipe.packets_delivered == 3
+        assert pipe.bytes_delivered == 3 * 140
+
+
+class TestChainPipe:
+    def test_stages_compose_delays(self):
+        sim = Simulator()
+        chain = ChainPipe(sim, [
+            DelayPipe(sim, 0.010, OverheadModel.none()),
+            DelayPipe(sim, 0.025, OverheadModel.none()),
+        ])
+        got = []
+        chain.attach_sink(lambda p: got.append(sim.now))
+        chain.send(packet())
+        sim.run()
+        assert got == [pytest.approx(0.035)]
+
+    def test_order_preserved_through_chain(self):
+        sim = Simulator()
+        chain = ChainPipe(sim, [
+            InstantPipe(sim),
+            DelayPipe(sim, 0.005, OverheadModel.none()),
+            InstantPipe(sim),
+        ])
+        got = []
+        chain.attach_sink(lambda p: got.append(p.uid))
+        sent = [packet() for _ in range(10)]
+        for p in sent:
+            chain.send(p)
+        sim.run()
+        assert got == [p.uid for p in sent]
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            ChainPipe(Simulator(), [])
+
+    def test_stages_property(self):
+        sim = Simulator()
+        stages = [InstantPipe(sim), InstantPipe(sim)]
+        chain = ChainPipe(sim, stages)
+        assert chain.stages == stages
+
+
+class TestOverheadModel:
+    def test_presets(self):
+        assert OverheadModel.none().service_time == 0.0
+        assert OverheadModel.delay_shell().service_time > 0.0
+        assert (OverheadModel.link_shell().service_time
+                > OverheadModel.delay_shell().service_time)
+
+    def test_frozen(self):
+        model = OverheadModel.none()
+        with pytest.raises(Exception):
+            model.service_time = 1.0

@@ -1,0 +1,77 @@
+"""Unit tests for longest-prefix-match routing."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.net.address import IPv4Address
+from repro.net.interface import Interface
+from repro.net.routing import RoutingTable
+
+
+def iface(name="eth0"):
+    return Interface(name)
+
+
+class TestRoutingTable:
+    def test_exact_match(self):
+        table = RoutingTable()
+        out = iface()
+        table.add("10.0.0.0/24", out)
+        assert table.lookup("10.0.0.7").interface is out
+
+    def test_longest_prefix_wins(self):
+        table = RoutingTable()
+        broad, narrow = iface("broad"), iface("narrow")
+        table.add("10.0.0.0/8", broad)
+        table.add("10.1.0.0/16", narrow)
+        assert table.lookup("10.1.2.3").interface is narrow
+        assert table.lookup("10.2.0.1").interface is broad
+
+    def test_insertion_order_irrelevant(self):
+        table = RoutingTable()
+        broad, narrow = iface("broad"), iface("narrow")
+        table.add("10.1.0.0/16", narrow)
+        table.add("10.0.0.0/8", broad)
+        assert table.lookup("10.1.2.3").interface is narrow
+
+    def test_default_route(self):
+        table = RoutingTable()
+        default = iface("wan")
+        table.add_default(default)
+        assert table.lookup("8.8.8.8").interface is default
+
+    def test_no_route_raises(self):
+        table = RoutingTable()
+        with pytest.raises(RoutingError):
+            table.lookup("8.8.8.8")
+
+    def test_try_lookup_returns_none(self):
+        assert RoutingTable().try_lookup("8.8.8.8") is None
+
+    def test_remove(self):
+        table = RoutingTable()
+        route = table.add("10.0.0.0/24", iface())
+        table.remove(route)
+        assert table.try_lookup("10.0.0.1") is None
+
+    def test_remove_missing_raises(self):
+        table = RoutingTable()
+        route = table.add("10.0.0.0/24", iface())
+        table.remove(route)
+        with pytest.raises(RoutingError):
+            table.remove(route)
+
+    def test_via_recorded(self):
+        table = RoutingTable()
+        gw = IPv4Address("10.0.0.254")
+        route = table.add("0.0.0.0/0", iface(), via=gw)
+        assert route.via == gw
+
+    def test_len_iter_dump(self):
+        table = RoutingTable()
+        table.add("10.0.0.0/24", iface("a"))
+        table.add_default(iface("b"))
+        assert len(table) == 2
+        assert len(list(table)) == 2
+        dump = table.dump()
+        assert "10.0.0.0/24" in dump and "0.0.0.0/0" in dump

@@ -1,0 +1,159 @@
+"""Cross-module property tests on core invariants (hypothesis)."""
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.dns.message import DnsQuery, DnsResponse, decode_message, encode_query, encode_response
+from repro.linkem.trace import ConstantRateSchedule, FileTraceSchedule, PacketDeliveryTrace
+from repro.measure.stats import Sample
+from repro.net.address import IPv4Address, IPv4Network
+from repro.net.packet import MTU_BYTES
+
+
+dns_names = st.from_regex(r"[a-z0-9]([a-z0-9.-]{0,40}[a-z0-9])?",
+                          fullmatch=True)
+
+
+class TestDnsMessageProperties:
+    @given(st.integers(min_value=0, max_value=10 ** 9), dns_names)
+    @settings(max_examples=150, deadline=None)
+    def test_query_roundtrip(self, qid, name):
+        query = DnsQuery(qid, name)
+        decoded = decode_message(encode_query(query))
+        assert decoded.qid == qid
+        assert decoded.name == name.lower()
+
+    @given(
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.integers(min_value=0, max_value=5),
+        dns_names,
+        st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                 max_size=4),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_response_roundtrip(self, qid, rcode, name, raw_addresses):
+        addresses = tuple(IPv4Address(a) for a in raw_addresses)
+        response = DnsResponse(qid, rcode, name, addresses)
+        decoded = decode_message(encode_response(response))
+        assert decoded.qid == qid
+        assert decoded.rcode == rcode
+        assert decoded.addresses == addresses
+
+
+@st.composite
+def trace_times(draw):
+    deltas = draw(st.lists(st.integers(min_value=0, max_value=50),
+                           min_size=1, max_size=60))
+    times, now = [], 0
+    for delta in deltas:
+        now += delta
+        times.append(now)
+    assume(times[-1] > 0)
+    return times
+
+
+class TestTraceProperties:
+    @given(trace_times())
+    @settings(max_examples=150, deadline=None)
+    def test_file_roundtrip(self, times):
+        trace = PacketDeliveryTrace(times)
+        lines = [f"{t}\n" for t in trace.times_ms]
+        reparsed = PacketDeliveryTrace.from_lines(lines)
+        assert reparsed.times_ms == trace.times_ms
+
+    @given(trace_times(), st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=150, deadline=None)
+    def test_schedule_monotonic_and_never_past(self, times, start_at):
+        schedule = FileTraceSchedule(PacketDeliveryTrace(times))
+        now = start_at
+        previous = -1.0
+        for __ in range(100):
+            opportunity = schedule.next_opportunity(now)
+            assert opportunity >= now
+            assert opportunity >= previous
+            previous = opportunity
+            now = opportunity
+
+    @given(trace_times())
+    @settings(max_examples=100, deadline=None)
+    def test_wrap_preserves_long_run_rate(self, times):
+        trace = PacketDeliveryTrace(times)
+        schedule = FileTraceSchedule(trace)
+        # Consume ~five periods' worth of opportunities back-to-back.
+        n = len(trace) * 5
+        now = 0.0
+        for __ in range(n):
+            now = schedule.next_opportunity(now)
+        expected_duration = 5 * trace.period_ms / 1000.0
+        # Allow two extra periods of slack: a trace whose opportunities
+        # cluster at the end of its period shifts every cycle right.
+        assert now <= expected_duration + 2 * trace.period_ms / 1000.0
+
+    @given(st.floats(min_value=0.1, max_value=1000.0),
+           st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=100, deadline=None)
+    def test_constant_rate_interval(self, mbps, jump_to):
+        schedule = ConstantRateSchedule(mbps * 1e6)
+        a = schedule.next_opportunity(jump_to)
+        b = schedule.next_opportunity(a)
+        interval = MTU_BYTES * 8 / (mbps * 1e6)
+        assert math.isclose(b - a, interval, rel_tol=1e-6) or b >= a
+
+
+class TestNetworkProperties:
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_address_string_roundtrip(self, value):
+        address = IPv4Address(value)
+        assert IPv4Address(str(address)) == address
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1),
+           st.integers(min_value=0, max_value=32))
+    @settings(max_examples=200, deadline=None)
+    def test_network_contains_its_base(self, value, prefix_len):
+        network = IPv4Network(IPv4Address(value), prefix_len)
+        assert network.network_address in network
+        assert network.num_addresses == 1 << (32 - prefix_len)
+
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_subnet_partition(self, base):
+        # /24s of a /16 partition it: every address is in exactly one.
+        network = IPv4Network(IPv4Address((base >> 8) << 16), 16)
+        subnets = list(network.subnets(24))
+        assert len(subnets) == 256
+        probe = IPv4Address(network.network_address.value + (base & 0xFFFF))
+        assert sum(1 for s in subnets if probe in s) == 1
+
+
+class TestSampleProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=2, max_size=200))
+    @settings(max_examples=150, deadline=None)
+    def test_agrees_with_numpy(self, values):
+        import numpy
+
+        sample = Sample(values)
+        assert math.isclose(sample.mean, float(numpy.mean(values)),
+                            rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(sample.stddev,
+                            float(numpy.std(values, ddof=1)),
+                            rel_tol=1e-7, abs_tol=1e-7)
+        for p in (0, 25, 50, 90, 95, 100):
+            assert math.isclose(
+                sample.percentile(p),
+                float(numpy.percentile(values, p, method="linear")),
+                rel_tol=1e-9, abs_tol=1e-6,
+            )
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e3,
+                              allow_nan=False), min_size=1, max_size=100),
+           st.floats(min_value=0.001, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_scaling_invariance(self, values, factor):
+        sample = Sample(values)
+        scaled = Sample([v * factor for v in values])
+        assert math.isclose(scaled.median, sample.median * factor,
+                            rel_tol=1e-9)
+        assert math.isclose(scaled.mean, sample.mean * factor, rel_tol=1e-9)

@@ -1,0 +1,93 @@
+"""Tests for HAR export."""
+
+import json
+
+import pytest
+
+from repro.browser import Browser
+from repro.core import HostMachine, ShellStack
+from repro.corpus import generate_site
+from repro.record.har import save_har, to_har
+from repro.sim import Simulator
+
+
+@pytest.fixture(scope="module")
+def loaded_site():
+    site = generate_site("har.com", seed=55, n_origins=5)
+    store = site.to_recorded_site()
+    sim = Simulator(seed=0)
+    machine = HostMachine(sim)
+    stack = ShellStack(machine)
+    stack.add_replay(store)
+    stack.add_delay(0.020)
+    browser = Browser(sim, stack.transport, stack.resolver_endpoint,
+                      machine=machine)
+    result = browser.load(site.page)
+    sim.run_until(lambda: result.complete, timeout=300)
+    assert result.complete and result.resources_failed == 0
+    return site, store, result
+
+
+class TestToHar:
+    def test_structure(self, loaded_site):
+        site, store, result = loaded_site
+        har = to_har(store, result)
+        log = har["log"]
+        assert log["version"] == "1.2"
+        assert len(log["entries"]) == len(store)
+        assert log["pages"][0]["title"] == "har.com"
+
+    def test_onload_matches_measured_plt(self, loaded_site):
+        site, store, result = loaded_site
+        har = to_har(store, result)
+        on_load = har["log"]["pages"][0]["pageTimings"]["onLoad"]
+        assert on_load == pytest.approx(result.page_load_time * 1000, abs=0.01)
+
+    def test_entries_carry_timings(self, loaded_site):
+        site, store, result = loaded_site
+        har = to_har(store, result)
+        timed = [e for e in har["log"]["entries"] if e["time"] > 0]
+        assert len(timed) == len(store)
+
+    def test_entries_sorted_by_start(self, loaded_site):
+        site, store, result = loaded_site
+        entries = to_har(store, result)["log"]["entries"]
+        starts = [e["startedDateTime"] for e in entries]
+        assert starts == sorted(starts)
+
+    def test_root_document_start_is_first(self, loaded_site):
+        site, store, result = loaded_site
+        entries = to_har(store, result)["log"]["entries"]
+        assert entries[0]["request"]["url"].endswith("har.com/")
+
+    def test_real_html_body_included_virtual_omitted(self, loaded_site):
+        site, store, result = loaded_site
+        entries = to_har(store, result)["log"]["entries"]
+        html = next(e for e in entries
+                    if e["response"]["content"]["mimeType"].startswith("text/html"))
+        assert "text" in html["response"]["content"]
+        image = next(e for e in entries
+                     if e["response"]["content"]["mimeType"] == "image/jpeg")
+        assert "text" not in image["response"]["content"]
+        assert image["response"]["content"]["size"] > 0
+
+    def test_untimed_export_without_result(self, loaded_site):
+        site, store, __ = loaded_site
+        har = to_har(store)
+        assert "pages" not in har["log"]
+        assert len(har["log"]["entries"]) == len(store)
+
+    def test_server_ip_recorded(self, loaded_site):
+        site, store, result = loaded_site
+        entries = to_har(store, result)["log"]["entries"]
+        assert all(e["serverIPAddress"].count(".") == 3 for e in entries)
+
+
+class TestSaveHar:
+    def test_file_is_valid_json(self, loaded_site, tmp_path):
+        site, store, result = loaded_site
+        path = tmp_path / "load.har"
+        save_har(store, path, result)
+        with open(path) as handle:
+            parsed = json.load(handle)
+        assert parsed["log"]["creator"]["name"] == "repro-mahimahi"

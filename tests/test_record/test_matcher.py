@@ -1,0 +1,99 @@
+"""Unit tests for the replay request matcher (Mahimahi CGI semantics)."""
+
+from repro.http.body import Body
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.net.address import IPv4Address
+from repro.record.entry import RequestResponsePair
+from repro.record.matcher import RequestMatcher
+
+
+def pair(host, uri, tag):
+    request = HttpRequest("GET", uri, Headers([("Host", host)]))
+    response = HttpResponse(
+        200, headers=Headers([("X-Tag", tag)]), body=Body.virtual(10))
+    return RequestResponsePair(
+        "http", IPv4Address("23.0.0.1"), 80, request, response)
+
+
+def ask(matcher, host, uri):
+    return matcher.match(HttpRequest("GET", uri, Headers([("Host", host)])))
+
+
+class TestExactMatching:
+    def test_exact_uri_match(self):
+        matcher = RequestMatcher([pair("h.com", "/a", "A"),
+                                  pair("h.com", "/b", "B")])
+        result = ask(matcher, "h.com", "/b")
+        assert result.exact
+        assert result.response.headers.get("X-Tag") == "B"
+        assert matcher.exact_hits == 1
+
+    def test_host_distinguishes(self):
+        matcher = RequestMatcher([pair("a.com", "/x", "A"),
+                                  pair("b.com", "/x", "B")])
+        assert ask(matcher, "b.com", "/x").response.headers.get("X-Tag") == "B"
+
+    def test_exact_match_includes_query(self):
+        matcher = RequestMatcher([pair("h.com", "/s?q=1", "Q1"),
+                                  pair("h.com", "/s?q=2", "Q2")])
+        result = ask(matcher, "h.com", "/s?q=2")
+        assert result.exact
+        assert result.response.headers.get("X-Tag") == "Q2"
+
+    def test_first_recording_wins_on_duplicates(self):
+        matcher = RequestMatcher([pair("h.com", "/dup", "FIRST"),
+                                  pair("h.com", "/dup", "SECOND")])
+        assert ask(matcher, "h.com", "/dup").response.headers.get(
+            "X-Tag") == "FIRST"
+
+
+class TestPrefixMatching:
+    def test_longest_common_query_prefix_wins(self):
+        matcher = RequestMatcher([
+            pair("h.com", "/s?session=abc&t=1", "ONE"),
+            pair("h.com", "/s?session=xyz&t=2", "TWO"),
+        ])
+        result = ask(matcher, "h.com", "/s?session=xyz&t=99")
+        assert not result.exact
+        assert result.response.headers.get("X-Tag") == "TWO"
+        assert matcher.prefix_hits == 1
+
+    def test_same_path_required_for_fallback(self):
+        matcher = RequestMatcher([pair("h.com", "/a?x=1", "A")])
+        result = ask(matcher, "h.com", "/b?x=1")
+        assert result.pair is None
+        assert result.response.status == 404
+
+    def test_query_only_difference_falls_back(self):
+        matcher = RequestMatcher([pair("h.com", "/page?cachebust=111", "A")])
+        result = ask(matcher, "h.com", "/page?cachebust=222")
+        assert result.response.headers.get("X-Tag") == "A"
+
+    def test_no_query_request_matches_queryless_candidate(self):
+        matcher = RequestMatcher([
+            pair("h.com", "/p", "PLAIN"),
+            pair("h.com", "/p?extra=1", "EXTRA"),
+        ])
+        # Exact match exists for /p.
+        assert ask(matcher, "h.com", "/p").exact
+
+
+class TestMisses:
+    def test_unknown_path_404(self):
+        matcher = RequestMatcher([pair("h.com", "/known", "A")])
+        result = ask(matcher, "h.com", "/unknown")
+        assert result.response.status == 404
+        assert matcher.misses == 1
+
+    def test_unknown_host_404(self):
+        matcher = RequestMatcher([pair("h.com", "/x", "A")])
+        assert ask(matcher, "other.com", "/x").response.status == 404
+
+    def test_404_body_names_request(self):
+        matcher = RequestMatcher([])
+        result = ask(matcher, "h.com", "/ghost")
+        assert b"/ghost" in result.response.body.as_bytes()
+
+    def test_empty_matcher(self):
+        matcher = RequestMatcher([])
+        assert ask(matcher, "any.com", "/").response.status == 404

@@ -1,0 +1,144 @@
+"""Unit tests for the recorded-site store and pair serialization."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import StoreFormatError
+from repro.http.body import Body
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.net.address import IPv4Address
+from repro.record.entry import RequestResponsePair
+from repro.record.store import RecordedSite
+
+
+def make_pair(host="www.example.com", uri="/", ip="23.0.0.1", port=80,
+              scheme="http", body=None):
+    request = HttpRequest("GET", uri, Headers([("Host", host)]))
+    response = HttpResponse(
+        200,
+        headers=Headers([("Content-Type", "text/html")]),
+        body=body if body is not None else Body.virtual(1000),
+    )
+    return RequestResponsePair(scheme, IPv4Address(ip), port, request, response)
+
+
+class TestRequestResponsePair:
+    def test_dict_roundtrip_virtual_body(self):
+        pair = make_pair()
+        restored = RequestResponsePair.from_dict(pair.to_dict())
+        assert restored.scheme == "http"
+        assert restored.origin_ip == IPv4Address("23.0.0.1")
+        assert restored.request == pair.request
+        assert restored.response.body.length == 1000
+        assert not restored.response.body.is_fully_real
+
+    def test_dict_roundtrip_real_body(self):
+        pair = make_pair(body=Body.from_bytes(b"<html>x</html>"))
+        restored = RequestResponsePair.from_dict(pair.to_dict())
+        assert restored.response.body.as_bytes() == b"<html>x</html>"
+
+    def test_dict_is_json_safe(self):
+        pair = make_pair(body=Body.from_bytes(bytes(range(256))))
+        text = json.dumps(pair.to_dict())
+        restored = RequestResponsePair.from_dict(json.loads(text))
+        assert restored.response.body.as_bytes() == bytes(range(256))
+
+    def test_host_property(self):
+        assert make_pair(host="cdn.example.com").host == "cdn.example.com"
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(StoreFormatError):
+            make_pair(scheme="ftp")
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(StoreFormatError):
+            RequestResponsePair.from_dict({"scheme": "http"})
+
+    def test_length_mismatch_rejected(self):
+        data = make_pair(body=Body.from_bytes(b"abc")).to_dict()
+        data["response"]["body"]["length"] = 99
+        with pytest.raises(StoreFormatError):
+            RequestResponsePair.from_dict(data)
+
+
+class TestRecordedSite:
+    def test_origins_and_hostnames(self):
+        site = RecordedSite("test")
+        site.add_pair(make_pair(host="www.x.com", ip="23.0.0.1"))
+        site.add_pair(make_pair(host="cdn.x.com", ip="23.0.0.2", uri="/a.js"))
+        site.add_pair(make_pair(host="cdn.x.com", ip="23.0.0.2", uri="/b.js"))
+        assert site.origins() == {
+            (IPv4Address("23.0.0.1"), 80), (IPv4Address("23.0.0.2"), 80),
+        }
+        assert site.hostnames() == {
+            "www.x.com": IPv4Address("23.0.0.1"),
+            "cdn.x.com": IPv4Address("23.0.0.2"),
+        }
+
+    def test_first_recording_pins_hostname(self):
+        site = RecordedSite("test")
+        site.add_pair(make_pair(host="www.x.com", ip="23.0.0.1"))
+        site.add_pair(make_pair(host="www.x.com", ip="23.0.0.99", uri="/2"))
+        assert site.hostnames()["www.x.com"] == IPv4Address("23.0.0.1")
+
+    def test_total_response_bytes(self):
+        site = RecordedSite("test")
+        site.add_pair(make_pair(body=Body.virtual(100)))
+        site.add_pair(make_pair(uri="/2", body=Body.virtual(250)))
+        assert site.total_response_bytes() == 350
+
+    def test_pairs_for_origin(self):
+        site = RecordedSite("test")
+        site.add_pair(make_pair(ip="23.0.0.1"))
+        site.add_pair(make_pair(ip="23.0.0.2", uri="/other"))
+        assert len(site.pairs_for_origin(IPv4Address("23.0.0.1"), 80)) == 1
+
+    def test_save_load_roundtrip(self, tmp_path):
+        site = RecordedSite("www.example.com")
+        site.add_pair(make_pair(body=Body.from_bytes(b"<html></html>")))
+        site.add_pair(make_pair(uri="/style.css", body=Body.virtual(5000)))
+        directory = tmp_path / "recorded"
+        site.save(directory)
+        loaded = RecordedSite.load(directory)
+        assert loaded.name == "www.example.com"
+        assert len(loaded) == 2
+        assert loaded.pairs[0].response.body.as_bytes() == b"<html></html>"
+        assert loaded.pairs[1].request.uri == "/style.css"
+
+    def test_save_creates_one_file_per_pair(self, tmp_path):
+        site = RecordedSite("test")
+        for i in range(3):
+            site.add_pair(make_pair(uri=f"/{i}"))
+        site.save(tmp_path / "out")
+        files = sorted(os.listdir(tmp_path / "out"))
+        assert files == ["pair-00000.json", "pair-00001.json",
+                         "pair-00002.json", "site.json"]
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(StoreFormatError):
+            RecordedSite.load(tmp_path / "nonexistent")
+
+    def test_load_corrupt_site_file(self, tmp_path):
+        directory = tmp_path / "bad"
+        directory.mkdir()
+        (directory / "site.json").write_text("{not json")
+        with pytest.raises(StoreFormatError):
+            RecordedSite.load(directory)
+
+    def test_load_corrupt_pair_file(self, tmp_path):
+        site = RecordedSite("test")
+        site.add_pair(make_pair())
+        site.save(tmp_path / "out")
+        (tmp_path / "out" / "pair-00000.json").write_text("{broken")
+        with pytest.raises(StoreFormatError):
+            RecordedSite.load(tmp_path / "out")
+
+    def test_unsupported_format_version(self, tmp_path):
+        directory = tmp_path / "vfuture"
+        directory.mkdir()
+        (directory / "site.json").write_text(
+            json.dumps({"format_version": 999, "name": "x"}))
+        with pytest.raises(StoreFormatError):
+            RecordedSite.load(directory)

@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import ClockError, SimulationError
+from repro.sim import Simulator, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            VirtualClock(-1.0)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_advance_backwards_rejected(self):
+        clock = VirtualClock()
+        clock.advance_to(2.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(1.0)
+
+    def test_advance_to_same_time_ok(self):
+        clock = VirtualClock()
+        clock.advance_to(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+
+class TestScheduling:
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(0.5, fired.append, "b")
+        sim.run()
+        assert fired == ["b", "a"]
+        assert sim.now == 1.0
+
+    def test_same_time_fifo_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(20):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == list(range(20))
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [2.0]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        sim.cancel(handle)
+        sim.run()
+        assert fired == []
+        assert sim.pending_events == 0
+
+    def test_double_cancel_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.cancel(handle)
+        sim.cancel(handle)
+        assert sim.pending_events == 0
+
+    def test_events_chain(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(("first", sim.now))
+            sim.schedule(0.5, second)
+
+        def second():
+            fired.append(("second", sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == [("first", 1.0), ("second", 1.5)]
+
+
+class TestRunVariants:
+    def test_run_until_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "late")
+        sim.run(until=2.0)
+        assert fired == ["early"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_for(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.run_for(4.0)
+        assert sim.now == 5.0
+
+    def test_run_until_predicate(self):
+        sim = Simulator()
+        box = []
+        sim.schedule(1.0, box.append, 1)
+        sim.schedule(2.0, box.append, 2)
+        sim.schedule(3.0, box.append, 3)
+        assert sim.run_until(lambda: len(box) >= 2)
+        assert sim.now == 2.0
+        assert box == [1, 2]
+
+    def test_run_until_predicate_timeout(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        assert not sim.run_until(lambda: False, timeout=1.0)
+        assert sim.now == 1.0
+
+    def test_run_until_queue_exhaustion(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert not sim.run_until(lambda: False)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.call_soon(loop)
+
+        sim.call_soon(loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_step(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "x")
+        assert sim.step()
+        assert fired == ["x"]
+        assert not sim.step()
+
+    def test_counters(self):
+        sim = Simulator()
+        for delay in (0.1, 0.2, 0.3):
+            sim.schedule(delay, lambda: None)
+        assert sim.pending_events == 3
+        sim.run()
+        assert sim.events_processed == 3
+        assert sim.pending_events == 0

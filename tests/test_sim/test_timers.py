@@ -1,0 +1,106 @@
+"""Unit tests for Timer and PeriodicTask."""
+
+import pytest
+
+from repro.sim import PeriodicTask, Simulator, Timer
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_restart_supersedes(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.schedule(1.0, timer.start, 5.0)
+        sim.run()
+        assert fired == [6.0]
+
+    def test_stop(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        timer.stop()
+        sim.run()
+        assert fired == []
+        assert not timer.armed
+
+    def test_stop_unarmed_is_noop(self):
+        sim = Simulator()
+        Timer(sim, lambda: None).stop()
+
+    def test_armed_and_deadline(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        assert timer.deadline is None
+        timer.start(3.0)
+        assert timer.armed
+        assert timer.deadline == 3.0
+        sim.run()
+        assert not timer.armed
+
+    def test_rearm_from_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def on_fire():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(1.0)
+
+        timer = Timer(sim, on_fire)
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestPeriodicTask:
+    def test_ticks_at_interval(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 0.5, lambda: ticks.append(sim.now))
+        task.start()
+        sim.run(until=2.0)
+        task.stop()
+        assert ticks == [0.5, 1.0, 1.5, 2.0]
+
+    def test_fire_now(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        task.start(fire_now=True)
+        sim.run(until=2.0)
+        task.stop()
+        assert ticks == [0.0, 1.0, 2.0]
+
+    def test_stop_halts_ticks(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        task.start()
+        sim.schedule(2.5, task.stop)
+        sim.run()
+        assert ticks == [1.0, 2.0]
+        assert not task.running
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        task = PeriodicTask(sim, 1.0, lambda: None)
+        task.start()
+        with pytest.raises(ValueError):
+            task.start()
+        task.stop()
+
+    def test_nonpositive_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 0.0, lambda: None)

@@ -1,0 +1,71 @@
+"""TCP teardown state-machine coverage: simultaneous close, CLOSING."""
+
+import pytest
+
+from repro.testing import delayed_world
+
+
+def connected_pair(delay=0.010):
+    world = delayed_world(delay)
+    server_conns = []
+    world.server.listen(None, 80, server_conns.append)
+    client = world.client.connect(world.server_endpoint)
+    world.sim.run_until(lambda: bool(server_conns), timeout=5)
+    return world, client, server_conns[0]
+
+
+class TestSimultaneousClose:
+    def test_both_sides_close_at_once(self):
+        world, client, server = connected_pair()
+        closed = []
+        client.on_close = lambda: closed.append("client")
+        server.on_close = lambda: closed.append("server")
+        # Both FINs cross in flight: the CLOSING path on each side.
+        client.close()
+        server.close()
+        world.sim.run_for(5.0)
+        assert client.state == "CLOSED"
+        assert server.state == "CLOSED"
+        assert sorted(closed) == ["client", "server"]
+
+    def test_close_with_data_in_both_directions(self):
+        world, client, server = connected_pair()
+        got_client, got_server = [], []
+        client.on_data = got_client.extend
+        server.on_data = got_server.extend
+        client.send(b"to-server")
+        server.send(b"to-client")
+        client.close()
+        server.close()
+        world.sim.run_for(5.0)
+        from repro.transport.wire import pieces_to_bytes
+        assert pieces_to_bytes(got_server) == b"to-server"
+        assert pieces_to_bytes(got_client) == b"to-client"
+        assert client.state == "CLOSED"
+        assert server.state == "CLOSED"
+
+    def test_half_close_allows_continued_receive(self):
+        # Client closes its sending side; the server can still stream a
+        # response before closing its own (half-close semantics).
+        world, client, server = connected_pair()
+        got = []
+        client.on_data = got.extend
+        remote_closed = []
+        server.on_remote_close = lambda: remote_closed.append(True)
+        client.close()
+        world.sim.run_until(lambda: bool(remote_closed), timeout=5)
+        assert server.state == "CLOSE_WAIT"
+        server.send_virtual(30_000)
+        server.close()
+        world.sim.run_for(5.0)
+        from repro.transport.wire import pieces_len
+        assert pieces_len(got) == 30_000
+        assert server.state == "CLOSED"
+        assert client.state == "CLOSED"
+
+    def test_repeated_close_is_idempotent(self):
+        world, client, server = connected_pair()
+        client.close()
+        client.close()
+        world.sim.run_for(2.0)
+        assert client.state in ("FIN_WAIT_1", "FIN_WAIT_2", "CLOSED")
