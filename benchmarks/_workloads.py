@@ -4,13 +4,13 @@ from __future__ import annotations
 
 import os
 from functools import lru_cache
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.browser import Browser
 from repro.core import HostMachine, MachineProfile, ShellStack
-from repro.corpus import alexa_corpus, generate_site, named_site
+from repro.corpus import alexa_corpus
 from repro.corpus.sitegen import SyntheticSite
-from repro.linkem import OverheadModel
+from repro.measure.parallel import ParallelRunner, default_workers
 from repro.sim import Simulator
 
 
@@ -22,6 +22,60 @@ def bench_scale() -> float:
 def scaled(full_count: int, minimum: int = 3) -> int:
     """Scale a paper-size trial count."""
     return max(minimum, int(round(full_count * bench_scale())))
+
+
+def bench_workers() -> int:
+    """Worker-process count for trial-parallel benches (0 = all cores)."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    if workers == 0:
+        return default_workers()
+    return max(1, workers)
+
+
+def trial_runner() -> ParallelRunner:
+    """The trial runner every bench shares, sized by REPRO_BENCH_WORKERS."""
+    return ParallelRunner(workers=bench_workers())
+
+
+def site_store(site: SyntheticSite):
+    """The site's recorded store, built once and cached on the site.
+
+    Benches call this *before* handing a factory to the runner so that
+    forked workers inherit the already-built store instead of each
+    rebuilding it.
+    """
+    store = getattr(site, "_bench_store", None)
+    if store is None:
+        store = site.to_recorded_site()
+        site._bench_store = store
+    return store
+
+
+def page_load_factory(
+    sites,
+    build: Callable,
+    profile: Optional[MachineProfile] = None,
+):
+    """A :data:`~repro.measure.runner.ScenarioFactory` over a site list.
+
+    Trial ``i`` loads ``sites[i]`` through a stack built by
+    ``build(stack, store)`` in a fresh world seeded with ``i`` — the
+    seed/site pairing every corpus bench uses, made runner-shaped so the
+    same code path drives serial and parallel runs.
+    """
+    stores = [site_store(site) for site in sites]
+
+    def factory(trial: int):
+        site, store = sites[trial], stores[trial]
+        sim = Simulator(seed=trial)
+        machine = HostMachine(sim, profile)
+        stack = ShellStack(machine)
+        build(stack, store)
+        browser = Browser(sim, stack.transport, stack.resolver_endpoint,
+                          machine=machine)
+        return sim, browser.load(site.page)
+
+    return factory
 
 
 @lru_cache(maxsize=None)
@@ -44,11 +98,7 @@ def load_once(
     sim = Simulator(seed=seed)
     machine = HostMachine(sim, profile)
     stack = ShellStack(machine)
-    build_store = getattr(site, "_bench_store", None)
-    if build_store is None:
-        build_store = site.to_recorded_site()
-        site._bench_store = build_store
-    build(stack, build_store)
+    build(stack, site_store(site))
     browser = Browser(sim, stack.transport, stack.resolver_endpoint,
                       machine=machine)
     result = browser.load(site.page)

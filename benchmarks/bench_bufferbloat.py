@@ -20,7 +20,6 @@ from repro.measure import Sample
 from repro.measure.report import format_table
 from repro.net.address import Endpoint
 from repro.sim import Simulator
-from repro.transport.host import TransportHost
 
 SITE = generate_site("bloated.com", seed=123, n_origins=8, scale=0.7)
 STORE = SITE.to_recorded_site()

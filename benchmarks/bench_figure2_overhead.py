@@ -8,29 +8,29 @@ numbers.
 
 from benchmarks._workloads import (
     corpus,
-    load_once,
+    page_load_factory,
     replay_alone,
     replay_delay0,
     replay_link1000,
     scaled,
+    trial_runner,
 )
-from repro.measure import Sample
 from repro.measure.report import ascii_cdf
 
 
 def run_experiment():
     sites = corpus(scaled(500, minimum=30))
+    runner = trial_runner()
     samples = {}
     for label, build in (
         ("ReplayShell", replay_alone),
         ("DelayShell 0 ms", replay_delay0),
         ("LinkShell 1000 Mbits/s", replay_link1000),
     ):
-        plts = [
-            load_once(site, build, seed=index).page_load_time
-            for index, site in enumerate(sites)
-        ]
-        samples[label] = Sample(plts)
+        scenario = runner.run_page_loads(
+            page_load_factory(sites, build), trials=len(sites), timeout=900
+        )
+        samples[label] = scenario.sample
     return samples
 
 

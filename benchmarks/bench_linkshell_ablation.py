@@ -20,7 +20,6 @@ from repro.linkem.queues import DropTailQueue
 from repro.linkem.tracelink import TracePipe
 from repro.measure import Sample
 from repro.measure.report import format_table
-from repro.net.packet import MTU_BYTES, Packet
 from repro.sim import Simulator
 
 SITE = generate_site("ablation.com", seed=88, n_origins=8)

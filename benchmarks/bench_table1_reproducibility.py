@@ -9,11 +9,10 @@ and a 0.3%-faster one with its own independent timing noise — and each
 load runs the full ReplayShell > LinkShell > DelayShell stack.
 """
 
-from benchmarks._workloads import scaled
+from benchmarks._workloads import scaled, trial_runner
 from repro.browser import Browser
 from repro.core import HostMachine, MachineProfile, ShellStack
 from repro.corpus import named_site
-from repro.measure import Sample
 from repro.measure.report import format_table, mean_pm_std
 from repro.sim import Simulator
 
@@ -30,9 +29,9 @@ ONE_WAY_DELAY = 0.040
 
 
 def measure(site, profile, trials):
-    plts = []
     store = site.to_recorded_site()
-    for trial in range(trials):
+
+    def factory(trial):
         sim = Simulator(seed=trial)
         machine = HostMachine(sim, profile)
         stack = ShellStack(machine)
@@ -41,11 +40,9 @@ def measure(site, profile, trials):
         stack.add_delay(ONE_WAY_DELAY)
         browser = Browser(sim, stack.transport, stack.resolver_endpoint,
                           machine=machine)
-        result = browser.load(site.page)
-        sim.run_until(lambda: result.complete, timeout=900)
-        assert result.complete and result.resources_failed == 0
-        plts.append(result.page_load_time)
-    return Sample(plts)
+        return sim, browser.load(site.page)
+
+    return trial_runner().run_page_loads(factory, trials, timeout=900).sample
 
 
 def run_experiment():

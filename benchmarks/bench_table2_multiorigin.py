@@ -12,7 +12,12 @@ distribution *across sites* of the per-site inflation yields the 50th and
 95th percentiles, matching the paper's corpus-wide methodology.
 """
 
-from benchmarks._workloads import corpus, load_once, scaled
+from benchmarks._workloads import (
+    corpus,
+    page_load_factory,
+    scaled,
+    trial_runner,
+)
 from repro.measure import Sample
 from repro.measure.report import format_table
 
@@ -38,22 +43,26 @@ def _build(single):
 
 def run_experiment():
     sites = corpus(scaled(60, minimum=12))
+    runner = trial_runner()
     cells = {}
     for rate in RATES:
         for delay in DELAYS:
-            inflations = []
-            for index, site in enumerate(sites):
-                multi = load_once(
-                    site,
-                    lambda stack, store: _build(False)(stack, store, rate, delay),
-                    seed=index,
-                ).page_load_time
-                single = load_once(
-                    site,
-                    lambda stack, store: _build(True)(stack, store, rate, delay),
-                    seed=index,
-                ).page_load_time
-                inflations.append((single - multi) / multi * 100)
+            arms = []
+            for single in (False, True):
+                build = _build(single)
+                factory = page_load_factory(
+                    sites,
+                    lambda stack, store, r=rate, d=delay, b=build:
+                        b(stack, store, r, d),
+                )
+                arms.append(runner.run_page_loads(
+                    factory, trials=len(sites), timeout=900))
+            multi_arm, single_arm = arms
+            inflations = [
+                (s.page_load_time - m.page_load_time)
+                / m.page_load_time * 100
+                for m, s in zip(multi_arm.results, single_arm.results)
+            ]
             cells[(rate, delay)] = Sample(inflations)
     return cells
 

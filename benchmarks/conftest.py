@@ -10,6 +10,14 @@ distribution) make the suite take tens of minutes in pure Python; the
 ``REPRO_BENCH_SCALE`` environment variable (default 0.25) scales trial
 counts down proportionally. ``REPRO_BENCH_SCALE=1.0`` reproduces the
 paper-size runs; EXPERIMENTS.md records numbers from such a run.
+
+Parallelism: ``REPRO_BENCH_WORKERS`` (default 1 — serial, the historical
+behaviour) fans each experiment's independent page loads out over that
+many worker processes via
+:class:`repro.measure.parallel.ParallelRunner`. Per-trial seeding and
+trial ordering are preserved, so reported statistics are bit-identical
+at any worker count; ``REPRO_BENCH_WORKERS=0`` means one worker per
+available core.
 """
 
 import os
@@ -27,6 +35,16 @@ def bench_scale() -> float:
 def scaled(full_count: int, minimum: int = 3) -> int:
     """Scale a paper-size trial count."""
     return max(minimum, int(round(full_count * bench_scale())))
+
+
+def bench_workers() -> int:
+    """Worker-process count for trial-parallel benches (0 = all cores)."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    if workers == 0:
+        from repro.measure.parallel import default_workers
+
+        return default_workers()
+    return max(1, workers)
 
 
 @pytest.fixture

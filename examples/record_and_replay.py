@@ -21,7 +21,6 @@ from repro import (
     Browser, HostMachine, Internet, RecordedSite, ShellStack, Simulator,
     generate_site,
 )
-from repro.transport.host import TransportHost
 
 
 def record(site, seed=0):

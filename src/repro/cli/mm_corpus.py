@@ -2,8 +2,14 @@
 
 Subcommands::
 
-    mm-corpus generate --out DIR [--size N] [--singles K] [--scale S] [--seed X]
+    mm-corpus generate --out DIR [--size N] [--singles K] [--scale S]
+                       [--seed X] [--workers W]
     mm-corpus stats DIR
+
+``--workers`` materialises recorded sites (synthesis + save) over that
+many worker processes; each site is an independent deterministic function
+of the corpus seed, so the output is identical at any worker count.
+``--workers 0`` uses every available core.
 """
 
 from __future__ import annotations
@@ -13,10 +19,11 @@ from typing import List
 
 from repro.cli.common import CliError, ShellSpec, main_wrapper
 from repro.corpus import alexa_corpus, corpus_statistics
+from repro.measure.parallel import default_workers, parallel_map
 from repro.record.store import RecordedSite
 
 USAGE = ("usage: mm-corpus generate --out DIR [--size N] [--singles K] "
-         "[--scale S] [--seed X] | mm-corpus stats DIR")
+         "[--scale S] [--seed X] [--workers W] | mm-corpus stats DIR")
 
 
 def run(argv: List[str], specs: List[ShellSpec]) -> int:
@@ -33,7 +40,7 @@ def run(argv: List[str], specs: List[ShellSpec]) -> int:
 
 
 def _generate(argv: List[str]) -> int:
-    out, size, singles, scale, seed = None, 500, 9, 1.0, 0
+    out, size, singles, scale, seed, workers = None, 500, 9, 1.0, 0, 1
     rest = list(argv)
     while rest:
         flag = rest.pop(0)
@@ -47,17 +54,28 @@ def _generate(argv: List[str]) -> int:
             scale = float(rest.pop(0))
         elif flag == "--seed":
             seed = int(rest.pop(0))
+        elif flag == "--workers":
+            workers = int(rest.pop(0))
         else:
             raise CliError(f"{USAGE}\nunknown option {flag!r}")
     if out is None:
         raise CliError(USAGE)
+    if workers == 0:
+        workers = default_workers()
+    if workers < 0:
+        raise CliError(f"{USAGE}\n--workers must be >= 0")
     sites = alexa_corpus(seed=seed, size=size, single_origin_sites=singles,
                          scale=scale)
     os.makedirs(out, exist_ok=True)
-    for site in sites:
+
+    def materialise(index: int) -> None:
+        site = sites[index]
         site.to_recorded_site().save(os.path.join(out, site.name))
+
+    parallel_map(materialise, len(sites), workers=workers)
     stats = corpus_statistics(sites)
-    print(f"generated {len(sites)} sites in {out}")
+    print(f"generated {len(sites)} sites in {out}"
+          + (f" ({workers} workers)" if workers > 1 else ""))
     _print_stats(stats)
     return 0
 

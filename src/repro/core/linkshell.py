@@ -14,7 +14,6 @@ from typing import Optional, Union
 
 from repro.core.base import Shell
 from repro.linkem.overhead import OverheadModel
-from repro.linkem.queues import DropTailQueue
 from repro.linkem.trace import (
     ConstantRateSchedule,
     FileTraceSchedule,

@@ -162,7 +162,8 @@ def generate_site(
         path = f"/{kind}/res{counter[0]:04d}.{_EXT[kind]}"
         return Resource(url(host, path), kind, max(64, size), children=children)
 
-    sized = lambda lo, hi: int(rng.uniform(lo, hi) * scale)
+    def sized(lo: float, hi: float) -> int:
+        return int(rng.uniform(lo, hi) * scale)
 
     # Fonts and XHRs hang off stylesheets and scripts (discovery depth 3).
     n_css = max(1, int(rng.uniform(2, 6) * math.sqrt(scale)))

@@ -73,7 +73,8 @@ class Headers:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Headers):
             return NotImplemented
-        normalize = lambda items: [(n.lower(), v) for n, v in items]
+        def normalize(items):
+            return [(n.lower(), v) for n, v in items]
         return normalize(self._items) == normalize(other._items)
 
     def copy(self) -> "Headers":

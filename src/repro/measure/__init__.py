@@ -4,23 +4,34 @@
 load times, usually) and answers the questions every table and figure in
 the paper asks: mean, standard deviation, percentiles, CDFs, and percent
 differences. :func:`~repro.measure.runner.run_page_loads` runs N
-independent page-load trials of a scenario factory;
+independent page-load trials of a scenario factory serially;
+:class:`~repro.measure.parallel.ParallelRunner` fans the same trials out
+over a process pool with bit-identical statistics;
 :mod:`~repro.measure.report` renders the paper's tables and ASCII CDF
 plots.
 """
 
 from repro.measure.compare import Comparison, compare_page_loads
+from repro.measure.parallel import (
+    ParallelRunner,
+    parallel_map,
+    run_page_loads_parallel,
+)
 from repro.measure.report import ascii_cdf, format_table, percent_diff
-from repro.measure.runner import ScenarioResult, run_page_loads
+from repro.measure.runner import ScenarioResult, run_page_loads, run_trial
 from repro.measure.stats import Sample
 
 __all__ = [
     "Comparison",
+    "ParallelRunner",
     "Sample",
     "ScenarioResult",
     "ascii_cdf",
     "compare_page_loads",
     "format_table",
+    "parallel_map",
     "percent_diff",
     "run_page_loads",
+    "run_page_loads_parallel",
+    "run_trial",
 ]

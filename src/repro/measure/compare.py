@@ -44,6 +44,7 @@ def compare_page_loads(
     treatment: ScenarioFactory,
     trials: int,
     timeout: float = 900.0,
+    workers: int = 1,
 ) -> Comparison:
     """Run two scenario factories with paired seeds and compare PLTs.
 
@@ -54,9 +55,19 @@ def compare_page_loads(
             simulators from it produce paired runs.
         trials: paired trials to run.
         timeout: virtual-time budget per load.
+        workers: process-pool size; above 1, each arm's trials are fanned
+            out via :class:`~repro.measure.parallel.ParallelRunner`
+            (pairing and statistics are unaffected — results stay in
+            trial order).
     """
-    base = run_page_loads(baseline, trials, timeout=timeout)
-    treat = run_page_loads(treatment, trials, timeout=timeout)
+    if workers > 1:
+        from repro.measure.parallel import ParallelRunner
+
+        runner = ParallelRunner(workers=workers).run_page_loads
+    else:
+        runner = run_page_loads
+    base = runner(baseline, trials, timeout=timeout)
+    treat = runner(treatment, trials, timeout=timeout)
     diffs = [
         (t - b) / b * 100.0
         for b, t in zip(

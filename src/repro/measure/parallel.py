@@ -1,0 +1,214 @@
+"""Parallel trial execution over a process pool.
+
+Every measurement in the paper is built from *independent* simulated page
+loads — Figure 2's corpus CDF, Table 1's 100-load distributions, Table 2's
+nine-configuration grid. Independence is what makes them honest (no TCP
+state or cache leaks between loads) and it is also what makes them
+embarrassingly parallel: each trial owns its whole world (simulator,
+namespaces, browser), so trials can run on separate cores with no shared
+state at all.
+
+:class:`ParallelRunner` fans trials out over a ``multiprocessing`` fork
+pool and preserves the serial runner's contract exactly:
+
+* **Determinism** — seeding lives in the scenario factory (``factory(i)``
+  seeds from the trial index), and results are collected in trial-index
+  order, so the returned :class:`~repro.measure.stats.Sample` is
+  bit-identical to the serial runner's.
+* **Failure semantics** — a failing trial raises the same
+  :class:`~repro.errors.ReproError` with the same wording (both paths
+  share :func:`~repro.measure.runner.run_trial`), and the error surfaced
+  is the one with the lowest trial index, matching the serial
+  first-failure order.
+* **Graceful degradation** — ``workers=1``, ``trials == 1``, or a
+  platform without ``fork`` all fall back to the serial in-process path.
+
+Scenario factories are usually closures (over a recorded site, a machine
+profile, link parameters) and closures do not pickle. The pool therefore
+uses the *fork* start method and passes the factory to workers through the
+pool initializer: under fork, initializer arguments are inherited by the
+child's memory image rather than pickled, so any factory the serial runner
+accepts works unchanged. Workers execute a module-level trampoline
+(:func:`_call_task`), which is picklable by qualified name — the only
+object that ever crosses the pipe besides trial indices and results.
+
+Why trial-level and not event-level parallelism: the simulator's event
+loop is intrinsically sequential (each event may schedule the next), and
+splitting one load across cores would break the strict ``(time, seq)``
+causal order that makes runs reproducible. Parallelising *across* trials
+keeps every simulated world single-threaded and bit-exact while scaling
+throughput with cores — the same shape as ERRANT's batch emulation sweeps.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional
+
+from repro.errors import ReproError
+from repro.measure.runner import (
+    DEFAULT_TRIAL_TIMEOUT,
+    ScenarioFactory,
+    ScenarioResult,
+    run_page_loads,
+    run_trial,
+)
+from repro.measure.stats import Sample
+
+__all__ = [
+    "ParallelRunner",
+    "default_workers",
+    "fork_available",
+    "parallel_map",
+    "run_page_loads_parallel",
+]
+
+#: Per-worker task state, installed by :func:`_init_worker` at pool start.
+#: Module-level so the trampoline survives pickling by qualified name.
+_POOL_TASK: Optional[Callable[[int], Any]] = None
+
+
+def _init_worker(task: Callable[[int], Any]) -> None:
+    """Pool initializer: stash the (fork-inherited) task in the worker."""
+    global _POOL_TASK
+    _POOL_TASK = task
+
+
+def _call_task(index: int) -> Any:
+    """Module-level trampoline the pool actually pickles and calls."""
+    assert _POOL_TASK is not None, "worker used before initialization"
+    return _POOL_TASK(index)
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_workers() -> int:
+    """Worker count when none is given: one per available core."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without sched_getaffinity
+        return max(1, os.cpu_count() or 1)
+
+
+def parallel_map(
+    task: Callable[[int], Any],
+    count: int,
+    workers: int,
+    chunksize: int = 1,
+) -> List[Any]:
+    """Evaluate ``[task(0), ..., task(count - 1)]``, possibly in parallel.
+
+    The generic primitive under :class:`ParallelRunner` (and the
+    ``mm-corpus --workers`` flag): results come back in index order, an
+    exception raised by ``task`` propagates for the lowest failing index,
+    and the serial path is used when parallelism cannot help (or the
+    platform lacks fork, which closure-carrying tasks require).
+
+    Args:
+        task: called with each index; may be a closure (fork-inherited).
+        count: number of indices.
+        workers: pool size cap; effective size is ``min(workers, count)``.
+        chunksize: indices handed to a worker per dispatch — raise it for
+            very cheap tasks to amortise pipe traffic.
+
+    Raises:
+        ReproError: if a worker process dies (the pool is then broken).
+        Exception: whatever ``task`` itself raised, re-raised in order.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+    workers = min(workers, count)
+    if workers <= 1 or not fork_available():
+        return [task(index) for index in range(count)]
+    context = multiprocessing.get_context("fork")
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(task,),
+        ) as pool:
+            return list(pool.map(_call_task, range(count), chunksize=chunksize))
+    except BrokenProcessPool as exc:
+        raise ReproError(
+            f"parallel worker process died unexpectedly "
+            f"(workers={workers}, count={count}): {exc}"
+        ) from exc
+
+
+class ParallelRunner:
+    """Run independent page-load trials across a process pool.
+
+    Drop-in counterpart to :func:`~repro.measure.runner.run_page_loads`:
+    same arguments, same :class:`~repro.measure.runner.ScenarioResult`,
+    same errors — the only difference is wall-clock time.
+
+    Args:
+        workers: pool size; defaults to the number of available cores.
+            ``workers=1`` runs serially in-process (no pool, no fork).
+
+    Example:
+        >>> from repro.measure.parallel import ParallelRunner
+        >>> ParallelRunner(workers=1).workers
+        1
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        self.workers = workers
+
+    def run_page_loads(
+        self,
+        factory: ScenarioFactory,
+        trials: int,
+        timeout: float = DEFAULT_TRIAL_TIMEOUT,
+        allow_failures: bool = False,
+    ) -> ScenarioResult:
+        """Run ``trials`` independent page loads, fanned over the pool.
+
+        Results (and therefore the PLT :class:`Sample`) are ordered by
+        trial index regardless of completion order, so statistics are
+        bit-identical to the serial runner's for the same factory.
+
+        Raises:
+            ReproError: hung load or failed resources (lowest failing
+                trial index wins, as in the serial runner), or a crashed
+                worker process.
+        """
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials!r}")
+        if min(self.workers, trials) <= 1 or not fork_available():
+            return run_page_loads(factory, trials, timeout, allow_failures)
+
+        def task(trial: int):
+            return run_trial(factory, trial, timeout, allow_failures)
+
+        results = parallel_map(task, trials, workers=self.workers)
+        return ScenarioResult(Sample(r.page_load_time for r in results), results)
+
+    def __repr__(self) -> str:
+        return f"ParallelRunner(workers={self.workers})"
+
+
+def run_page_loads_parallel(
+    factory: ScenarioFactory,
+    trials: int,
+    workers: Optional[int] = None,
+    timeout: float = DEFAULT_TRIAL_TIMEOUT,
+    allow_failures: bool = False,
+) -> ScenarioResult:
+    """Functional shorthand for ``ParallelRunner(workers).run_page_loads``."""
+    return ParallelRunner(workers).run_page_loads(
+        factory, trials, timeout=timeout, allow_failures=allow_failures
+    )

@@ -36,6 +36,38 @@ class ScenarioResult(NamedTuple):
         return self.sample
 
 
+def run_trial(
+    factory: ScenarioFactory,
+    trial: int,
+    timeout: float = DEFAULT_TRIAL_TIMEOUT,
+    allow_failures: bool = False,
+) -> PageLoadResult:
+    """Build and drive one trial to completion.
+
+    The single-trial unit shared by the serial runner below and the
+    process-pool trampoline in :mod:`repro.measure.parallel` — keeping the
+    two paths identical in behaviour and error wording by construction.
+
+    Raises:
+        ReproError: on a hung load, or failed resources unless allowed.
+    """
+    sim, result = factory(trial)
+    sim.run_until(lambda: result.complete, timeout=timeout)
+    if not result.complete:
+        raise ReproError(
+            f"trial {trial}: page load did not finish within "
+            f"{timeout} virtual seconds "
+            f"(loaded={result.resources_loaded}, "
+            f"failed={result.resources_failed})"
+        )
+    if result.resources_failed and not allow_failures:
+        raise ReproError(
+            f"trial {trial}: {result.resources_failed} resources "
+            f"failed: {result.errors[:3]}"
+        )
+    return result
+
+
 def run_page_loads(
     factory: ScenarioFactory,
     trials: int,
@@ -57,23 +89,7 @@ def run_page_loads(
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials!r}")
-    plts: List[float] = []
     results: List[PageLoadResult] = []
     for trial in range(trials):
-        sim, result = factory(trial)
-        sim.run_until(lambda: result.complete, timeout=timeout)
-        if not result.complete:
-            raise ReproError(
-                f"trial {trial}: page load did not finish within "
-                f"{timeout} virtual seconds "
-                f"(loaded={result.resources_loaded}, "
-                f"failed={result.resources_failed})"
-            )
-        if result.resources_failed and not allow_failures:
-            raise ReproError(
-                f"trial {trial}: {result.resources_failed} resources "
-                f"failed: {result.errors[:3]}"
-            )
-        plts.append(result.page_load_time)
-        results.append(result)
-    return ScenarioResult(Sample(plts), results)
+        results.append(run_trial(factory, trial, timeout, allow_failures))
+    return ScenarioResult(Sample(r.page_load_time for r in results), results)

@@ -5,15 +5,29 @@ number is a global insertion counter, so two events scheduled for the same
 instant fire in the order they were scheduled — the property that makes the
 whole simulation deterministic.
 
-Cancellation is lazy: a cancelled event stays in the heap but is skipped when
-popped. This keeps ``cancel`` O(1), which matters because TCP retransmission
-timers are cancelled on almost every ACK.
+Heap entries are plain ``(time, seq, event)`` tuples rather than the
+:class:`Event` objects themselves: sifting then compares tuples in C
+instead of calling ``Event.__lt__`` in Python, which is the single
+hottest comparison in the simulator (every push and pop performs
+O(log n) of them). The trailing event never participates in a
+comparison because ``seq`` is unique.
+
+Cancellation is lazy: a cancelled event's entry stays in the heap but is
+skipped when popped. This keeps ``cancel`` O(1), which matters because TCP
+retransmission timers are cancelled on almost every ACK. To stop those
+dead entries from bloating the heap during long loads (and taxing every
+subsequent sift with their log-n share), the queue runs a compaction
+sweep — rebuild-and-heapify, O(n) — whenever cancelled entries outnumber
+live ones in a heap of at least :data:`COMPACT_MIN_SIZE` entries.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
+
+#: Heap size below which compaction is never worth the O(n) rebuild.
+COMPACT_MIN_SIZE = 512
 
 
 class Event:
@@ -54,12 +68,13 @@ class Event:
 class EventQueue:
     """Min-heap of :class:`Event` ordered by (time, insertion sequence)."""
 
-    __slots__ = ("_heap", "_seq", "_live")
+    __slots__ = ("_heap", "_seq", "_live", "_dead")
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
         self._live = 0
+        self._dead = 0
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) events."""
@@ -73,9 +88,9 @@ class EventQueue:
     ) -> Event:
         """Insert a callback to fire at ``time``; returns a cancellable handle."""
         event = Event(time, self._seq, callback, args)
+        heapq.heappush(self._heap, (time, self._seq, event))
         self._seq += 1
         self._live += 1
-        heapq.heappush(self._heap, event)
         return event
 
     def pop(self) -> Event:
@@ -84,27 +99,66 @@ class EventQueue:
         Raises:
             IndexError: if the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if event.cancelled:
+                self._dead -= 1
                 continue
             self._live -= 1
             return event
         raise IndexError("pop from empty EventQueue")
 
+    def pop_due(self, deadline: Optional[float]) -> Optional[Event]:
+        """Pop the earliest live event if it is due by ``deadline``.
+
+        Returns None — leaving the event queued — when the earliest live
+        event is after ``deadline``, or when no live event remains. This
+        is the simulator's main-loop primitive: one heap traversal where
+        ``peek_time()`` followed by ``pop()`` would walk the same
+        cancelled prefix twice.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2].cancelled:
+                heapq.heappop(heap)
+                self._dead -= 1
+                continue
+            if deadline is not None and entry[0] > deadline:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            return entry[2]
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event, or None if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._dead -= 1
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def note_cancelled(self) -> None:
         """Bookkeeping hook called by the simulator when it cancels an event."""
         self._live -= 1
+        self._dead += 1
+        if self._dead > self._live and len(self._heap) >= COMPACT_MIN_SIZE:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (O(n))."""
+        self._heap = [
+            entry for entry in self._heap if not entry[2].cancelled
+        ]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     def clear(self) -> None:
         """Drop every pending event."""
         self._heap.clear()
         self._live = 0
+        self._dead = 0

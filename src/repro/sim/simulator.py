@@ -124,15 +124,14 @@ class Simulator:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
         executed = 0
+        queue = self._queue
+        clock = self._clock
         try:
             while True:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                event = queue.pop_due(until)
+                if event is None:
                     break
-                if until is not None and next_time > until:
-                    break
-                event = self._queue.pop()
-                self._clock.advance_to(event.time)
+                clock.advance_to(event.time)
                 self._events_processed += 1
                 executed += 1
                 if max_events is not None and executed > max_events:
@@ -141,8 +140,8 @@ class Simulator:
                         "likely an event loop that never drains"
                     )
                 event.callback(*event.args)
-            if until is not None and until > self._clock.now:
-                self._clock.advance_to(until)
+            if until is not None and until > clock.now:
+                clock.advance_to(until)
         finally:
             self._running = False
 
@@ -151,27 +150,49 @@ class Simulator:
         self.run(until=self._clock.now + duration)
 
     def run_until(
-        self, predicate: Callable[[], bool], timeout: Optional[float] = None
+        self,
+        predicate: Callable[[], bool],
+        timeout: Optional[float] = None,
+        check_every: int = 1,
     ) -> bool:
-        """Run until ``predicate()`` becomes true (checked after each event).
+        """Run until ``predicate()`` becomes true.
+
+        Args:
+            predicate: checked after each executed event by default.
+            timeout: virtual-time budget; on expiry the clock is advanced
+                to the deadline and the predicate's final value returned.
+            check_every: evaluate the predicate only every N events —
+                a cached check interval for hot loops where the predicate
+                is monotonic (a completed page load stays completed) and
+                checking it each event costs more than overshooting by a
+                few events. Always checked on exhaustion and deadline.
 
         Returns True if the predicate fired, False on queue exhaustion or
         timeout expiry.
         """
+        if check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every!r}")
         deadline = None if timeout is None else self._clock.now + timeout
         if predicate():
             return True
+        queue = self._queue
+        clock = self._clock
+        countdown = check_every
         while True:
-            next_time = self._queue.peek_time()
-            if next_time is None:
+            event = queue.pop_due(deadline)
+            if event is None:
+                if deadline is not None and queue.peek_time() is not None:
+                    # Events remain, but all after the deadline.
+                    clock.advance_to(deadline)
                 return predicate()
-            if deadline is not None and next_time > deadline:
-                self._clock.advance_to(deadline)
-                return predicate()
-            if not self.step():
-                return predicate()
-            if predicate():
-                return True
+            clock.advance_to(event.time)
+            self._events_processed += 1
+            event.callback(*event.args)
+            countdown -= 1
+            if countdown == 0:
+                if predicate():
+                    return True
+                countdown = check_every
 
     def reset(self) -> None:
         """Drop all pending events (the clock keeps its value)."""

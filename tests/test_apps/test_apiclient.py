@@ -89,7 +89,6 @@ class TestApiClientRecordPath:
         # then replays the app byte-for-byte (beyond browsers, full cycle).
         from repro.record import RecordedSite
         from repro.web import Internet
-        from repro.corpus.sitegen import SyntheticSite
 
         workload = ApiWorkload(feed_items=6)
         truth = make_api_site(workload)

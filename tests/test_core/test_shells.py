@@ -8,7 +8,7 @@ from repro.errors import ShellError
 from repro.http.client import HttpClient
 from repro.http.message import Headers, HttpRequest
 from repro.linkem import DropTailQueue, OverheadModel, constant_rate_trace
-from repro.net.address import Endpoint, IPv4Address
+from repro.net.address import Endpoint
 from repro.record.store import RecordedSite
 from repro.sim import Simulator
 from repro.transport.host import TransportHost

@@ -12,7 +12,7 @@ from repro.corpus.sitegen import (
     named_site,
 )
 from repro.errors import CorpusError
-from repro.net.address import IPv4Address, IPv4Network
+from repro.net.address import IPv4Network
 
 
 class TestIpForHost:

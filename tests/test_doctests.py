@@ -4,11 +4,13 @@ import doctest
 
 import pytest
 
+import repro.measure.parallel
 import repro.net.address
 import repro.sim.random
 import repro.sim.simulator
 
 MODULES = [
+    repro.measure.parallel,
     repro.net.address,
     repro.sim.random,
     repro.sim.simulator,

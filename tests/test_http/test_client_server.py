@@ -6,7 +6,7 @@ from repro.errors import ConnectionClosed
 from repro.http.body import Body
 from repro.http.client import FailableCallback, HttpClient
 from repro.http.message import Headers, HttpRequest, HttpResponse
-from repro.http.serialize import message_wire_length, serialize_response
+from repro.http.serialize import message_wire_length
 from repro.http.server import HttpServer
 from repro.testing import delayed_world
 

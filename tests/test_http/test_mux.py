@@ -9,7 +9,7 @@ from repro.errors import ShellError
 from repro.http.body import Body
 from repro.http.client import FailableCallback
 from repro.http.message import Headers, HttpRequest, HttpResponse
-from repro.http.mux import FRAME_CHUNK, MuxClientSession, MuxHttpServer, _FrameCodec, _take
+from repro.http.mux import MuxClientSession, MuxHttpServer, _FrameCodec, _take
 from repro.sim import Simulator
 from repro.testing import delayed_world
 

@@ -1,7 +1,5 @@
 """Unit tests for HTTP serialization."""
 
-import pytest
-
 from repro.http.body import Body
 from repro.http.message import Headers, HttpRequest, HttpResponse
 from repro.http.serialize import (

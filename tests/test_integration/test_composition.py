@@ -10,8 +10,6 @@ import pytest
 from repro.browser import Browser
 from repro.core import HostMachine, MachineProfile, ShellStack
 from repro.corpus import generate_site
-from repro.http.client import HttpClient
-from repro.http.message import Headers, HttpRequest
 from repro.linkem import DropTailQueue, OverheadModel, cellular_trace
 from repro.sim import Simulator
 

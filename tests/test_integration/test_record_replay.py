@@ -6,8 +6,6 @@ recording must equal the ground truth; a browser inside ReplayShell over
 the recording must then see the same content.
 """
 
-import pytest
-
 from repro.browser import Browser
 from repro.core import HostMachine, ShellStack
 from repro.corpus import generate_site

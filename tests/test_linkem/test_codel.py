@@ -7,7 +7,7 @@ from repro.linkem.trace import ConstantRateSchedule
 from repro.net.address import IPv4Address
 from repro.net.packet import tcp_packet
 from repro.sim import Simulator
-from repro.testing import TwoHostWorld, delayed_world
+from repro.testing import TwoHostWorld
 from repro.transport.wire import pieces_len
 
 

@@ -9,7 +9,7 @@ from repro.linkem.queues import DropTailQueue
 from repro.linkem.trace import ConstantRateSchedule, FileTraceSchedule, PacketDeliveryTrace
 from repro.linkem.tracelink import TracePipe
 from repro.net.address import IPv4Address
-from repro.net.packet import MTU_BYTES, tcp_packet
+from repro.net.packet import tcp_packet
 from repro.sim import RandomStreams, Simulator
 
 

@@ -1,0 +1,197 @@
+"""Tests for the parallel trial runner and its process-pool primitive."""
+
+import os
+
+import pytest
+
+from repro.browser import Browser
+from repro.core import HostMachine, ShellStack
+from repro.corpus import generate_site
+from repro.errors import ReproError
+from repro.measure.parallel import (
+    ParallelRunner,
+    default_workers,
+    fork_available,
+    parallel_map,
+    run_page_loads_parallel,
+)
+from repro.measure.runner import run_page_loads
+from repro.sim import Simulator
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+
+def _make_factory(site, store=None):
+    if store is None:
+        store = site.to_recorded_site()
+
+    def factory(trial):
+        sim = Simulator(seed=trial)
+        machine = HostMachine(sim)
+        stack = ShellStack(machine)
+        stack.add_replay(store)
+        browser = Browser(sim, stack.transport, stack.resolver_endpoint,
+                          machine=machine)
+        return sim, browser.load(site.page)
+
+    return factory
+
+
+def _failing_factory():
+    """A factory whose every load has exactly one unresolvable resource."""
+    from repro.browser.resources import Resource, Url
+
+    site = generate_site("pfail.com", seed=52, n_origins=3, scale=0.5)
+    store = site.to_recorded_site()
+    site.page.root.children.append(Resource(
+        Url.parse("http://unresolvable.example/x.js"), "js", 100))
+    return _make_factory(site, store)
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(lambda i: i * i, 5, workers=1) == [0, 1, 4, 9, 16]
+
+    @needs_fork
+    def test_parallel_path_ordered(self):
+        assert parallel_map(lambda i: i * i, 8, workers=3) == \
+            [i * i for i in range(8)]
+
+    @needs_fork
+    def test_closures_cross_the_fork(self):
+        payload = {"base": 100}
+        assert parallel_map(lambda i: payload["base"] + i, 4, workers=2) == \
+            [100, 101, 102, 103]
+
+    @needs_fork
+    def test_task_exception_propagates(self):
+        def task(i):
+            if i == 2:
+                raise ReproError("trial 2 exploded")
+            return i
+
+        with pytest.raises(ReproError, match="trial 2 exploded"):
+            parallel_map(task, 6, workers=2)
+
+    @needs_fork
+    def test_worker_crash_raises_repro_error(self):
+        def task(i):
+            if i == 1:
+                os._exit(13)  # hard crash, no exception to pickle
+            return i
+
+        with pytest.raises(ReproError, match="worker process died"):
+            parallel_map(task, 4, workers=2)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            parallel_map(lambda i: i, 3, workers=0)
+        with pytest.raises(ValueError):
+            parallel_map(lambda i: i, -1, workers=2)
+        assert parallel_map(lambda i: i, 0, workers=4) == []
+
+
+class TestParallelRunner:
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+        assert ParallelRunner().workers == default_workers()
+
+    def test_bad_workers(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=0)
+
+    def test_bad_trials(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=2).run_page_loads(lambda t: None, trials=0)
+
+    def test_workers_1_is_serial(self):
+        site = generate_site("ser.com", seed=50, n_origins=4, scale=0.5)
+        result = ParallelRunner(workers=1).run_page_loads(
+            _make_factory(site), trials=3)
+        assert len(result.plt) == 3
+        assert all(v > 0 for v in result.plt.values)
+
+    @needs_fork
+    def test_sample_bit_identical_to_serial(self):
+        site = generate_site("det.com", seed=51, n_origins=4, scale=0.5)
+        factory = _make_factory(site)
+        serial = run_page_loads(factory, trials=5)
+        parallel = ParallelRunner(workers=3).run_page_loads(factory, trials=5)
+        assert serial.sample.values == parallel.sample.values
+        assert [r.page_load_time for r in serial.results] == \
+            [r.page_load_time for r in parallel.results]
+
+    @needs_fork
+    def test_trials_fewer_than_workers(self):
+        site = generate_site("few.com", seed=53, n_origins=3, scale=0.5)
+        factory = _make_factory(site)
+        parallel = ParallelRunner(workers=8).run_page_loads(factory, trials=2)
+        serial = run_page_loads(factory, trials=2)
+        assert parallel.sample.values == serial.sample.values
+
+    @needs_fork
+    def test_failure_propagates_with_trial_index(self):
+        with pytest.raises(ReproError, match="trial 0: 1 resources failed"):
+            ParallelRunner(workers=2).run_page_loads(
+                _failing_factory(), trials=3)
+
+    @needs_fork
+    def test_allow_failures_collects_results(self):
+        result = ParallelRunner(workers=2).run_page_loads(
+            _failing_factory(), trials=3, allow_failures=True)
+        assert len(result.results) == 3
+        assert all(r.resources_failed == 1 for r in result.results)
+
+    @needs_fork
+    def test_timeout_raises(self):
+        site = generate_site("slowpar.com", seed=54, n_origins=3, scale=0.5)
+        with pytest.raises(ReproError, match="did not finish"):
+            ParallelRunner(workers=2).run_page_loads(
+                _make_factory(site), trials=2, timeout=0.001)
+
+    @needs_fork
+    def test_worker_crash_surfaces_as_repro_error(self):
+        site = generate_site("crash.com", seed=55, n_origins=3, scale=0.5)
+        inner = _make_factory(site)
+
+        def factory(trial):
+            if trial == 1:
+                os._exit(13)
+            return inner(trial)
+
+        with pytest.raises(ReproError, match="worker process died"):
+            ParallelRunner(workers=2).run_page_loads(factory, trials=3)
+
+    @needs_fork
+    def test_functional_shorthand(self):
+        site = generate_site("func.com", seed=56, n_origins=3, scale=0.5)
+        factory = _make_factory(site)
+        result = run_page_loads_parallel(factory, trials=2, workers=2)
+        assert result.sample.values == \
+            run_page_loads(factory, trials=2).sample.values
+
+
+class TestComparePageLoadsWorkers:
+    @needs_fork
+    def test_workers_do_not_change_comparison(self):
+        from repro.measure import compare_page_loads
+        site = generate_site("cmppar.com", seed=57, n_origins=4, scale=0.5)
+        store = site.to_recorded_site()
+
+        def arm(single):
+            def factory(trial):
+                sim = Simulator(seed=trial)
+                machine = HostMachine(sim)
+                stack = ShellStack(machine)
+                stack.add_replay(store, single_server=single)
+                browser = Browser(sim, stack.transport,
+                                  stack.resolver_endpoint, machine=machine)
+                return sim, browser.load(site.page)
+            return factory
+
+        serial = compare_page_loads(arm(False), arm(True), trials=3)
+        parallel = compare_page_loads(arm(False), arm(True), trials=3,
+                                      workers=2)
+        assert serial.percent_diffs.values == parallel.percent_diffs.values

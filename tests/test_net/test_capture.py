@@ -1,7 +1,5 @@
 """Tests for the packet-capture tap."""
 
-import pytest
-
 from repro.net.capture import PacketCapture
 from repro.testing import delayed_world
 from repro.transport.wire import pieces_len

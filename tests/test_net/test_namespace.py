@@ -7,8 +7,7 @@ from repro.net.address import IPv4Address
 from repro.net.interface import Interface
 from repro.net.namespace import NetworkNamespace
 from repro.net.nat import Nat
-from repro.net.packet import Packet, tcp_packet
-from repro.net.pipe import InstantPipe
+from repro.net.packet import tcp_packet
 from repro.net.veth import VethPair
 from repro.sim import Simulator
 

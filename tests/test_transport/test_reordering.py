@@ -1,7 +1,5 @@
 """TCP behaviour under packet reordering (no loss)."""
 
-import pytest
-
 from repro.linkem.delay import DelayPipe
 from repro.linkem.overhead import OverheadModel
 from repro.sim import Simulator

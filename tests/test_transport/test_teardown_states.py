@@ -1,7 +1,5 @@
 """TCP teardown state-machine coverage: simultaneous close, CLOSING."""
 
-import pytest
-
 from repro.testing import delayed_world
 
 

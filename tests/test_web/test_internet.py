@@ -9,7 +9,6 @@ from repro.net.address import Endpoint, IPv4Address
 from repro.sim import Simulator
 from repro.transport.host import TransportHost
 from repro.web import Internet
-from repro.web.internet import PUBLIC_DNS
 
 
 def web_world(site=None, seed=0):
