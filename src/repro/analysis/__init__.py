@@ -1,0 +1,24 @@
+"""Determinism analysis: static lint + runtime sanitizer.
+
+The reproduction's headline claim (Table 1) tightens, in a single-clock
+simulator, to *bit-identical replay*: the same seed must produce the same
+event stream, byte for byte, on any machine. This package makes that
+contract mechanically checked rather than hoped for:
+
+* :mod:`repro.analysis.lint` — ``mm-lint``, an AST lint pass with
+  repo-specific rules (REP001–REP006) that reject wall-clock reads,
+  unseeded randomness, float equality on virtual times, unordered
+  iteration feeding the event queue, environment reads, and fork-hostile
+  module state in simulation-domain code.
+* :mod:`repro.analysis.sanitizer` — an opt-in
+  :class:`~repro.sim.simulator.Simulator` execution observer that folds
+  every executed event into a BLAKE2 digest, and
+  :func:`~repro.analysis.sanitizer.check_determinism`, which replays a
+  scenario and reports the first divergent event.
+
+Submodules are intentionally not imported here: both are run as
+``python -m repro.analysis.<mod>``, and an eager package import would put
+a second copy of the module in ``sys.modules`` under ``runpy``.
+"""
+
+__all__ = ["lint", "sanitizer"]

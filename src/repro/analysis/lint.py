@@ -1,0 +1,666 @@
+"""``mm-lint`` — AST lint rules that enforce the determinism contract.
+
+The simulator promises bit-identical replay for a given seed (DESIGN.md,
+"Determinism contract"). Nothing in Python stops a contributor from
+breaking that promise with one innocent-looking line, so this module
+checks the contract statically. Rules:
+
+======  ==============================================================
+REP001  No wall-clock reads (``time.time``/``time.monotonic``/argless
+        ``datetime.now``) in simulation-domain code — use ``sim.now``.
+REP002  No unseeded or unstably-seeded RNG: module-level ``random.*``
+        draws share mutable global state, and ``random.Random(x)`` must
+        derive ``x`` via :func:`repro.sim.random.stable_seed`.
+REP003  No float ``==``/``!=`` on virtual-time expressions (names
+        ``now``/``deadline``/``at``/``*_time``) — compare with an
+        ordering, a tolerance, or a ``None`` sentinel.
+REP004  No iteration over ``set()``/``dict.keys()`` collections that
+        feeds ``schedule()``/``schedule_at()``/``call_soon()`` — event
+        order must not depend on hash-iteration order; ``sorted()``
+        first.
+REP005  No ``os.environ``/``os.getenv`` reads inside simulation
+        components — configuration must arrive explicitly so replays do
+        not depend on ambient process state.
+REP006  No module-level mutable state in simulation-domain packages —
+        it silently survives ``ParallelRunner`` forks and couples
+        trials. (Non-empty ALL_CAPS literal tables are treated as
+        constants and allowed.)
+======  ==============================================================
+
+Rules REP001, REP003, REP005 and REP006 apply to *simulation-domain*
+files (any file under a :data:`SIM_DOMAIN_DIRS` directory); REP002 and
+REP004 apply everywhere (REP002 excepts ``sim/random.py`` itself, where
+the blessed streams live).
+
+Any diagnostic can be silenced for one line with an inline escape hatch::
+
+    self._first_above_time = 0.0  # mm-lint: disable=REP003
+
+(``disable=all`` silences every rule on the line). The comment is the
+audit trail: it marks the spot as reviewed-and-intentional.
+
+Run as ``mm-lint [paths…]`` or ``python -m repro.analysis.lint``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
+
+__all__ = [
+    "Diagnostic",
+    "RULES",
+    "SIM_DOMAIN_DIRS",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+#: Directories whose code runs inside the simulated world. A file is
+#: "simulation-domain" when any of its path components is one of these.
+SIM_DOMAIN_DIRS = frozenset(
+    {"sim", "linkem", "transport", "core", "browser", "web", "dns", "http"}
+)
+
+#: Rule code -> one-line summary (shown by ``mm-lint --list-rules``).
+RULES: Dict[str, str] = {
+    "REP001": "wall-clock read in simulation-domain code (use sim.now)",
+    "REP002": "unseeded or unstably-seeded RNG (derive seeds via stable_seed)",
+    "REP003": "float equality on a virtual-time expression",
+    "REP004": "unordered iteration feeds the event queue (sort first)",
+    "REP005": "environment read inside a simulation component",
+    "REP006": "module-level mutable state survives ParallelRunner forks",
+}
+
+#: Rules restricted to simulation-domain files.
+SIM_DOMAIN_RULES = frozenset({"REP001", "REP003", "REP005", "REP006"})
+
+_DISABLE_RE = re.compile(r"#\s*mm-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Virtual-time identifiers: exactly now/deadline/at, or a ``*_time`` suffix.
+_TIME_NAME_RE = re.compile(r"^(?:now|deadline|at)$|_time$")
+
+#: ``^_?ALL_CAPS$`` names are constants by convention (REP006 exemption
+#: for non-empty literal tables).
+_CONST_NAME_RE = re.compile(r"^_?[A-Z][A-Z0-9_]*$")
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
+)
+
+#: ``random`` module-level draw functions (all share one unseeded global).
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+_SCHEDULE_NAMES = frozenset({"schedule", "schedule_at", "call_soon"})
+
+_MUTABLE_FACTORIES = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "deque",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "bytearray",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, pointing at a file position."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: REPxxx message`` — editor-clickable."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def is_sim_domain(path: Union[str, Path]) -> bool:
+    """Whether ``path`` lies in a simulation-domain directory."""
+    return any(part in SIM_DOMAIN_DIRS for part in Path(path).parts[:-1])
+
+
+def _is_blessed_random_module(path: Union[str, Path]) -> bool:
+    """``repro/sim/random.py`` — the one place allowed to build streams."""
+    p = Path(path)
+    return p.name == "random.py" and p.parent.name == "sim"
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """Dotted-name string of a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    """Last identifier of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_time_named(node: ast.expr) -> bool:
+    """Does this expression read like a virtual-time value?"""
+    if isinstance(node, ast.Call):
+        node = node.func
+    name = _terminal_name(node)
+    return name is not None and _TIME_NAME_RE.search(name) is not None
+
+
+def _contains_stable_seed(nodes: Sequence[ast.AST]) -> bool:
+    """Is any ``stable_seed(...)`` call nested in these subtrees?"""
+    for root in nodes:
+        for node in ast.walk(root):
+            if (
+                isinstance(node, ast.Call)
+                and _terminal_name(node.func) == "stable_seed"
+            ):
+                return True
+    return False
+
+
+def _contains_schedule_call(nodes: Sequence[ast.AST]) -> bool:
+    """Does any subtree call ``schedule``/``schedule_at``/``call_soon``?"""
+    for root in nodes:
+        for node in ast.walk(root):
+            if (
+                isinstance(node, ast.Call)
+                and _terminal_name(node.func) in _SCHEDULE_NAMES
+            ):
+                return True
+    return False
+
+
+def _is_unordered_iterable(node: ast.expr) -> bool:
+    """Set literal/constructor or a ``.keys()`` view — hash-ordered."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            return not node.args and not node.keywords
+    return False
+
+
+def _is_mutable_initializer(node: ast.expr) -> bool:
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        name = _terminal_name(node.func)
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _is_empty_container(node: ast.expr) -> bool:
+    if isinstance(node, ast.Dict):
+        return not node.keys
+    if isinstance(node, ast.List):
+        return not node.elts
+    if isinstance(node, ast.Call):
+        return not node.args and not node.keywords
+    return False
+
+
+class _Checker(ast.NodeVisitor):
+    """One-pass visitor collecting diagnostics for every enabled rule."""
+
+    def __init__(self, path: str, sim_domain: bool, blessed_random: bool) -> None:
+        self.path = path
+        self.sim_domain = sim_domain
+        self.blessed_random = blessed_random
+        self.diagnostics: List[Diagnostic] = []
+        #: Local aliases of the ``random`` module (``import random as r``).
+        self._random_modules: Set[str] = set()
+        #: Local aliases of ``random.Random`` / ``random.SystemRandom``.
+        self._random_classes: Set[str] = set()
+        self._system_random_classes: Set[str] = set()
+        #: Local aliases of module-level draw fns (``from random import …``).
+        self._random_fns: Set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        if code in SIM_DOMAIN_RULES and not self.sim_domain:
+            return
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        self.diagnostics.append(Diagnostic(self.path, line, col, code, message))
+
+    # ------------------------------------------------------------------ #
+    # imports (REP002 alias tracking)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self._random_modules.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                if alias.name == "Random":
+                    self._random_classes.add(bound)
+                elif alias.name == "SystemRandom":
+                    self._system_random_classes.add(bound)
+                elif alias.name in _GLOBAL_RANDOM_FNS:
+                    self._random_fns.add(bound)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------ #
+    # calls: REP001, REP002, REP005
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        self._check_wall_clock(node, dotted)
+        if not self.blessed_random:
+            self._check_rng(node, dotted)
+        if dotted == "os.getenv":
+            self._report(
+                node,
+                "REP005",
+                "os.getenv() read inside a simulation component; pass "
+                "configuration in explicitly so replays do not depend on "
+                "ambient process state",
+            )
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call, dotted: Optional[str]) -> None:
+        if dotted in _WALL_CLOCK_CALLS:
+            self._report(
+                node,
+                "REP001",
+                f"wall-clock read {dotted}() in simulation-domain code; "
+                "virtual time is sim.now",
+            )
+            return
+        # Argless datetime.now()/utcnow()/today() on a datetime-ish base.
+        if (
+            dotted is not None
+            and not node.args
+            and not node.keywords
+            and dotted.rsplit(".", 1)[-1] in {"now", "utcnow", "today"}
+            and any(part in {"datetime", "date"} for part in dotted.split(".")[:-1])
+        ):
+            self._report(
+                node,
+                "REP001",
+                f"wall-clock read {dotted}() in simulation-domain code; "
+                "virtual time is sim.now",
+            )
+
+    def _check_rng(self, node: ast.Call, dotted: Optional[str]) -> None:
+        func = node.func
+        # Module-level draws: random.random(), random.shuffle(), ...
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._random_modules
+            and func.attr in _GLOBAL_RANDOM_FNS
+        ):
+            self._report(
+                node,
+                "REP002",
+                f"{func.value.id}.{func.attr}() draws from the shared "
+                "unseeded global generator; use a named stream from "
+                "sim.streams (repro.sim.random.RandomStreams)",
+            )
+            return
+        if isinstance(func, ast.Name) and func.id in self._random_fns:
+            self._report(
+                node,
+                "REP002",
+                f"{func.id}() draws from the shared unseeded global "
+                "generator; use a named stream from sim.streams",
+            )
+            return
+        # SystemRandom: OS entropy, irreproducible by design.
+        is_system = (dotted is not None and dotted.endswith(".SystemRandom")) or (
+            isinstance(func, ast.Name) and func.id in self._system_random_classes
+        )
+        if is_system and (dotted or "").split(".", 1)[0] in (
+            self._random_modules | self._system_random_classes
+        ):
+            self._report(
+                node,
+                "REP002",
+                "SystemRandom draws OS entropy and can never replay; use a "
+                "stable_seed-seeded random.Random",
+            )
+            return
+        # Random(...) construction.
+        is_random_ctor = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "Random"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._random_modules
+        ) or (isinstance(func, ast.Name) and func.id in self._random_classes)
+        if not is_random_ctor:
+            return
+        if not node.args and not node.keywords:
+            self._report(
+                node,
+                "REP002",
+                "Random() without a seed is seeded from OS entropy; pass a "
+                "stable_seed(master, name)-derived seed",
+            )
+        elif not _contains_stable_seed(list(node.args) + list(node.keywords)):
+            self._report(
+                node,
+                "REP002",
+                "Random(...) seed is not derived via stable_seed(); raw "
+                "seeds collide across streams and are not stable across "
+                "consumers — derive with stable_seed(master, name)",
+            )
+
+    # ------------------------------------------------------------------ #
+    # REP003: float equality on virtual-time expressions
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            for side, other in ((left, right), (right, left)):
+                if not _is_time_named(side):
+                    continue
+                if isinstance(other, ast.Constant) and (
+                    other.value is None or isinstance(other.value, str)
+                ):
+                    continue
+                self._report(
+                    node,
+                    "REP003",
+                    "float equality on a virtual-time expression "
+                    f"({ast.unparse(side)}); exact comparison breaks under "
+                    "float rounding — use an ordering, a tolerance, or a "
+                    "None sentinel",
+                )
+                break
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------ #
+    # REP004: unordered iteration feeding the event queue
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_unordered_iterable(node.iter) and _contains_schedule_call(
+            list(node.body)
+        ):
+            self._report(
+                node,
+                "REP004",
+                "iterating a set/dict-view while scheduling events makes "
+                "event order depend on hash-iteration order; iterate "
+                "sorted(...) instead",
+            )
+        self.generic_visit(node)
+
+    def _check_comprehension(
+        self,
+        node: Union[ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp],
+        elements: Sequence[ast.AST],
+    ) -> None:
+        if any(
+            _is_unordered_iterable(gen.iter) for gen in node.generators
+        ) and _contains_schedule_call(elements):
+            self._report(
+                node,
+                "REP004",
+                "comprehension over a set/dict-view schedules events in "
+                "hash-iteration order; iterate sorted(...) instead",
+            )
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node, [node.elt])
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._check_comprehension(node, [node.elt])
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_comprehension(node, [node.elt])
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comprehension(node, [node.key, node.value])
+
+    # ------------------------------------------------------------------ #
+    # REP005: os.environ reads
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if _dotted(node) == "os.environ":
+            self._report(
+                node,
+                "REP005",
+                "os.environ read inside a simulation component; pass "
+                "configuration in explicitly so replays do not depend on "
+                "ambient process state",
+            )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------ #
+    # REP006: module-level mutable state (driven from lint_source — the
+    # visitor recursion above never enters Module.body assignments).
+
+    def check_module_level(self, tree: ast.Module) -> None:
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets: List[ast.expr] = stmt.targets
+                value: Optional[ast.expr] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            if value is None or not _is_mutable_initializer(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # __all__ and friends
+                if _CONST_NAME_RE.match(name) and not _is_empty_container(value):
+                    continue  # non-empty ALL_CAPS literal: a constant table
+                self._report(
+                    stmt,
+                    "REP006",
+                    f"module-level mutable {name!r} survives ParallelRunner "
+                    "forks and couples trials; move it onto an object owned "
+                    "by the simulation",
+                )
+
+
+def _disabled_codes(line: str) -> Set[str]:
+    """Rule codes silenced by an inline ``# mm-lint: disable=`` comment."""
+    match = _DISABLE_RE.search(line)
+    if match is None:
+        return set()
+    return {code.strip().upper() for code in match.group(1).split(",") if code.strip()}
+
+
+def lint_source(
+    source: str,
+    path: Union[str, Path] = "<string>",
+    select: Optional[Set[str]] = None,
+) -> List[Diagnostic]:
+    """Lint one module's source text; returns sorted diagnostics.
+
+    Args:
+        source: the module text.
+        path: where it (notionally) lives — drives the simulation-domain
+            rule scoping and appears in diagnostics.
+        select: restrict to these rule codes (default: all rules).
+    """
+    path_str = str(path)
+    try:
+        tree = ast.parse(source, filename=path_str)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path_str,
+                exc.lineno or 1,
+                (exc.offset or 1) - 1,
+                "E999",
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    checker = _Checker(
+        path_str,
+        sim_domain=is_sim_domain(path),
+        blessed_random=_is_blessed_random_module(path),
+    )
+    checker.visit(tree)
+    checker.check_module_level(tree)
+    lines = source.splitlines()
+    kept: List[Diagnostic] = []
+    for diag in checker.diagnostics:
+        if select is not None and diag.code not in select:
+            continue
+        line_text = lines[diag.line - 1] if 0 < diag.line <= len(lines) else ""
+        disabled = _disabled_codes(line_text)
+        if "ALL" in disabled or diag.code in disabled:
+            continue
+        kept.append(diag)
+    kept.sort(key=lambda d: (d.line, d.col, d.code))
+    return kept
+
+
+def lint_file(
+    path: Union[str, Path], select: Optional[Set[str]] = None
+) -> List[Diagnostic]:
+    """Lint one file on disk."""
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, path, select)
+
+
+def _iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if any(
+                    part.startswith(".") or part == "__pycache__"
+                    for part in candidate.parts
+                ):
+                    continue
+                yield candidate
+        else:
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]], select: Optional[Set[str]] = None
+) -> List[Diagnostic]:
+    """Lint files and directory trees; returns all diagnostics."""
+    diagnostics: List[Diagnostic] = []
+    for path in _iter_python_files(paths):
+        diagnostics.extend(lint_file(path, select))
+    return diagnostics
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (console script ``mm-lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="mm-lint",
+        description="Determinism lint for the Mahimahi reproduction "
+        "(rules REP001-REP006; see repro.analysis.lint).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to enable (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        for code, summary in RULES.items():
+            print(f"{code}  {summary}")
+        return 0
+    select: Optional[Set[str]] = None
+    if options.select:
+        select = {code.strip().upper() for code in options.select.split(",")}
+        unknown = select - set(RULES)
+        if unknown:
+            parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    diagnostics = lint_paths(options.paths, select)
+    for diag in diagnostics:
+        print(diag.format())
+    if diagnostics:
+        print(
+            f"mm-lint: {len(diagnostics)} determinism violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,296 @@
+"""Runtime determinism sanitizer: digest and diff executed event streams.
+
+Static lint (:mod:`repro.analysis.lint`) catches determinism hazards it can
+see; this module catches the ones it cannot, by *measuring* the contract:
+an opt-in :class:`~repro.sim.simulator.Simulator` execution observer
+(:class:`EventStreamDigest`) folds every executed event's
+``(time, seq, callback qualname)`` into a running BLAKE2 digest, and
+:func:`check_determinism` replays a scenario ``runs`` times and compares
+the digests. Two replays of a correctly written scenario produce the same
+digest bit for bit; any divergence is reported at the *first divergent
+event*, with both runs' surrounding context — which usually names the
+guilty callback outright.
+
+Run ``python -m repro.analysis.sanitizer`` for a self-contained 2-run
+digest check over a reduced-scale replay scenario (the CI bench-smoke
+job's determinism gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import DeterminismError
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+
+__all__ = [
+    "DeterminismReport",
+    "EventStreamDigest",
+    "callback_name",
+    "check_determinism",
+    "main",
+]
+
+#: One executed event, as folded into the digest.
+TraceEntry = Tuple[float, int, str]
+
+#: A scenario builder: seed in, fully built (not yet run) simulator out.
+ScenarioBuilder = Callable[[int], Simulator]
+
+
+def callback_name(callback: object) -> str:
+    """Stable, address-free name for an event callback.
+
+    ``repr`` would embed ``0x7f…`` object addresses, which differ between
+    runs of identical behaviour — exactly the false positive a determinism
+    checker must not produce. Qualified names (unwrapping
+    ``functools.partial`` chains, falling back to the callable's type) are
+    identical across processes and platforms.
+    """
+    qualname = getattr(callback, "__qualname__", None)
+    if isinstance(qualname, str):
+        return qualname
+    inner = getattr(callback, "func", None)  # functools.partial and kin
+    if inner is not None and inner is not callback:
+        return callback_name(inner)
+    return type(callback).__qualname__
+
+
+class EventStreamDigest:
+    """Simulator execution observer folding events into a BLAKE2 digest.
+
+    Install with ``sim.set_trace(digest)`` before running. Each executed
+    event contributes ``repr(time) | seq | qualname`` — virtual times are
+    folded through ``repr``, so even a single-ulp scheduling difference
+    changes the digest.
+
+    Args:
+        keep_log: also retain the full entry list (needed to locate the
+            first divergent event when two digests disagree; costs one
+            tuple per event).
+        context: how many recent entries to keep for diagnostics when the
+            full log is off.
+    """
+
+    def __init__(self, keep_log: bool = False, context: int = 8) -> None:
+        self._hash = hashlib.blake2b(digest_size=16)
+        self.events = 0
+        self.log: Optional[List[TraceEntry]] = [] if keep_log else None
+        self._context = max(1, context)
+        self._recent: List[TraceEntry] = []
+
+    def __call__(self, event: Event) -> None:
+        entry = (event.time, event.seq, callback_name(event.callback))
+        self._hash.update(
+            f"{entry[0]!r}|{entry[1]}|{entry[2]}\n".encode("utf-8")
+        )
+        self.events += 1
+        if self.log is not None:
+            self.log.append(entry)
+        else:
+            self._recent.append(entry)
+            if len(self._recent) > self._context:
+                del self._recent[0]
+
+    @property
+    def hexdigest(self) -> str:
+        """Digest over every event folded so far."""
+        return self._hash.hexdigest()
+
+    @property
+    def recent(self) -> List[TraceEntry]:
+        """The most recent entries (the full log when ``keep_log``)."""
+        if self.log is not None:
+            return self.log[-self._context:]
+        return list(self._recent)
+
+    def __repr__(self) -> str:
+        return (
+            f"<EventStreamDigest events={self.events} "
+            f"digest={self.hexdigest}>"
+        )
+
+
+@dataclass(frozen=True)
+class DeterminismReport:
+    """Successful :func:`check_determinism` outcome."""
+
+    seed: int
+    runs: int
+    events: int
+    digest: str
+
+    def __str__(self) -> str:
+        return (
+            f"deterministic: {self.runs} runs of seed {self.seed} replayed "
+            f"{self.events} events identically (digest {self.digest})"
+        )
+
+
+def _format_entry(entry: TraceEntry) -> str:
+    time, seq, name = entry
+    return f"t={time!r} #{seq} {name}"
+
+
+def _divergence_message(
+    seed: int,
+    run: int,
+    reference: EventStreamDigest,
+    candidate: EventStreamDigest,
+) -> str:
+    """Locate and describe the first divergent event of two runs."""
+    ref_log, cand_log = reference.log, candidate.log
+    lines = [
+        f"seed {seed}: run {run} diverged from run 0 "
+        f"(digest {candidate.hexdigest} != {reference.hexdigest}, "
+        f"{candidate.events} vs {reference.events} events)"
+    ]
+    if ref_log is None or cand_log is None:
+        lines.append("event logs were not kept; re-run with keep_log=True")
+        lines.append("run 0 tail: " + "; ".join(map(_format_entry, reference.recent)))
+        lines.append(f"run {run} tail: " + "; ".join(map(_format_entry, candidate.recent)))
+        return "\n".join(lines)
+    index = next(
+        (i for i, (a, b) in enumerate(zip(ref_log, cand_log)) if a != b),
+        min(len(ref_log), len(cand_log)),
+    )
+    lines.append(f"first divergent event: index {index}")
+    start = max(0, index - 3)
+    for label, log in (("run 0", ref_log), (f"run {run}", cand_log)):
+        for position in range(start, min(index + 1, len(log))):
+            marker = ">>" if position == index else "  "
+            lines.append(
+                f"  {marker} {label}[{position}]: {_format_entry(log[position])}"
+            )
+        if index >= len(log):
+            lines.append(
+                f"  >> {label}[{index}]: <event stream ended at "
+                f"{len(log)} events>"
+            )
+    return "\n".join(lines)
+
+
+def check_determinism(
+    build: ScenarioBuilder,
+    seed: int = 0,
+    runs: int = 2,
+    until: Optional[float] = None,
+    max_events: Optional[int] = None,
+    keep_log: bool = True,
+) -> DeterminismReport:
+    """Replay ``build(seed)`` and verify the event streams are identical.
+
+    Args:
+        build: scenario builder — returns a fully built, *not yet run*
+            :class:`Simulator` for the given seed. It is called ``runs``
+            times; each call must construct a fresh world.
+        seed: seed handed to every ``build`` call (identical inputs are
+            the whole point).
+        runs: how many independent replays to compare (>= 2).
+        until / max_events: forwarded to :meth:`Simulator.run`.
+        keep_log: retain full event logs so a divergence report can show
+            the first divergent event (disable only for very long runs).
+
+    Returns:
+        A :class:`DeterminismReport` when all runs replayed identically.
+
+    Raises:
+        DeterminismError: on the first run whose event stream differs
+            from run 0's; the message pinpoints the first divergent event
+            with both sides' context.
+    """
+    if runs < 2:
+        raise ValueError(f"need at least 2 runs to compare, got {runs!r}")
+    reference: Optional[EventStreamDigest] = None
+    for run in range(runs):
+        sim = build(seed)
+        if not isinstance(sim, Simulator):
+            raise TypeError(
+                f"scenario builder must return a Simulator, got {type(sim)!r}"
+            )
+        digest = EventStreamDigest(keep_log=keep_log)
+        sim.set_trace(digest)
+        sim.run(until=until, max_events=max_events)
+        if reference is None:
+            reference = digest
+        elif digest.hexdigest != reference.hexdigest:
+            raise DeterminismError(
+                _divergence_message(seed, run, reference, digest)
+            )
+    assert reference is not None
+    return DeterminismReport(
+        seed=seed,
+        runs=runs,
+        events=reference.events,
+        digest=reference.hexdigest,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# CLI smoke scenario (the CI bench-smoke determinism gate)
+
+
+def _smoke_scenario(seed: int) -> Simulator:
+    """Reduced-scale replay scenario exercising the full stack.
+
+    One synthetic multi-origin site loaded through ReplayShell + LinkShell
+    (14 Mbit/s) + DelayShell (30 ms) — the Table 2 shape at Figure 2 cost:
+    browser, DNS, HTTP, TCP, link emulation, and host jitter all feed the
+    event stream, so the digest covers every simulation-domain package.
+    """
+    from repro.browser import Browser
+    from repro.core import HostMachine, ShellStack
+    from repro.corpus.sitegen import generate_site
+
+    site = generate_site("smoke.example", seed=seed, n_origins=4, scale=0.3)
+    sim = Simulator(seed=seed)
+    machine = HostMachine(sim)
+    stack = ShellStack(machine)
+    stack.add_replay(site.to_recorded_site())
+    stack.add_link(14.0, 14.0)
+    stack.add_delay(0.030)
+    browser = Browser(
+        sim, stack.transport, stack.resolver_endpoint, machine=machine
+    )
+    browser.load(site.page)
+    return sim
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """2-run digest check over the built-in smoke scenario."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.sanitizer",
+        description="Determinism sanitizer: replay a reduced-scale "
+        "record-and-replay scenario and verify bit-identical event "
+        "streams.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--runs", type=int, default=2)
+    parser.add_argument(
+        "--max-events",
+        type=int,
+        default=5_000_000,
+        help="safety valve forwarded to Simulator.run",
+    )
+    options = parser.parse_args(argv)
+    try:
+        report = check_determinism(
+            _smoke_scenario,
+            seed=options.seed,
+            runs=options.runs,
+            max_events=options.max_events,
+        )
+    except DeterminismError as exc:
+        print(f"DETERMINISM VIOLATION\n{exc}", file=sys.stderr)
+        return 1
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""``mm-lint`` — determinism lint console entry point.
+
+Unlike the shell commands (mm-delay, mm-link, …) this tool does not nest:
+it is a static checker over Python sources. The implementation lives in
+:mod:`repro.analysis.lint`; this module only hosts the console-script
+target so the whole mm-* family resolves under ``repro.cli``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint import main
+
+__all__ = ["main"]
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -14,6 +14,7 @@ from typing import List
 
 from repro.cli.common import CliError, ShellSpec, main_wrapper
 from repro.linkem import PacketDeliveryTrace, cellular_trace, constant_rate_trace
+from repro.sim.random import stable_seed
 
 USAGE = ("usage: mm-trace constant --rate MBPS [--duration MS] --out FILE"
          " | mm-trace cellular [--mean MBPS] [--duration MS] [--seed N]"
@@ -64,8 +65,11 @@ def _cellular(rest: List[str]) -> int:
     options = _options(rest, {"mean", "duration", "seed", "out"})
     if "out" not in options:
         raise CliError(USAGE)
+    # Derive the stream seed via stable_seed (REP002): the raw --seed value
+    # stays the user-facing knob, but the generator's seed universe cannot
+    # collide with other consumers of small integer seeds.
     trace = cellular_trace(
-        random.Random(int(options.get("seed", 0))),
+        random.Random(stable_seed(int(options.get("seed", 0)), "mm-trace:cellular")),
         duration_ms=int(options.get("duration", 60_000)),
         mean_mbps=float(options.get("mean", 9.0)),
     )

@@ -107,3 +107,15 @@ class BrowserError(ReproError):
 
 class CorpusError(ReproError):
     """Corpus generation or loading failure."""
+
+
+class AnalysisError(ReproError):
+    """Base class for determinism-analysis errors (``repro.analysis``)."""
+
+
+class DeterminismError(AnalysisError):
+    """Two replays of the same seeded scenario diverged.
+
+    Raised by :func:`repro.analysis.sanitizer.check_determinism`; the
+    message pinpoints the first divergent event with both runs' context.
+    """

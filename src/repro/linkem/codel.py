@@ -46,8 +46,10 @@ class CoDelQueue:
         self.max_packets = max_packets
         self._queue: Deque[Tuple[float, Packet]] = deque()
         self._bytes = 0
-        # CoDel state
-        self._first_above_time = 0.0
+        # CoDel state. RFC 8289's pseudocode uses time 0 as the "not yet
+        # above target" sentinel; a None sentinel keeps "unset" distinct
+        # from a real timestamp without float equality (REP003).
+        self._first_above_time: Optional[float] = None
         self._dropping = False
         self._drop_next = 0.0
         self._drop_count = 0
@@ -123,15 +125,15 @@ class CoDelQueue:
         """CoDel's dodequeue: pop one packet, report whether its sojourn
         keeps us in the above-target regime."""
         if not self._queue:
-            self._first_above_time = 0.0
+            self._first_above_time = None
             return None, False
         enqueue_time, packet = self._queue.popleft()
         self._bytes -= packet.size
         sojourn = now - enqueue_time
         if sojourn < self.target:
-            self._first_above_time = 0.0
+            self._first_above_time = None
             return packet, False
-        if self._first_above_time == 0.0:
+        if self._first_above_time is None:
             self._first_above_time = now + self.interval
             return packet, False
         return packet, now >= self._first_above_time

@@ -36,7 +36,7 @@ class SerialProcessor:
 
     def finish_time(self, now: float) -> float:
         """Admit one packet at ``now``; return its processing-complete time."""
-        if self.service_time == 0.0:
+        if self.service_time <= 0.0:  # constructor guarantees >= 0
             return now
         start = now if now > self._busy_until else self._busy_until
         self._busy_until = start + self.service_time

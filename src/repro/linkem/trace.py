@@ -113,8 +113,23 @@ class PacketDeliveryTrace:
         )
 
 
+#: Slack (in milliseconds) absorbed when comparing a float instant against
+#: integer trace timestamps: far below the 1 ms trace granularity, far above
+#: double rounding noise at any plausible simulated duration. Without it,
+#: ``(x / 1000.0) * 1000.0`` landing an ulp above ``x`` makes the schedule
+#: silently skip opportunities that share a lapsed timestamp — a rate (and
+#: determinism) bug that float-seconds arithmetic exhibited in practice.
+_TRACE_EPS_MS = 1e-6
+
+
 class FileTraceSchedule:
     """Sequential opportunity consumer over a repeating trace.
+
+    All internal arithmetic is in *integer milliseconds* (the trace's native
+    unit): cycle floors and timestamps stay exact however many times the
+    trace wraps, and each returned opportunity is one int-to-float division
+    away from exact — so replays are bit-identical and no opportunity is
+    lost to accumulated float error.
 
     Args:
         trace: the parsed trace.
@@ -123,9 +138,8 @@ class FileTraceSchedule:
     """
 
     def __init__(self, trace: PacketDeliveryTrace, start_time: float = 0.0) -> None:
-        self._times = trace.times_ms
-        self._period_s = trace.period_ms / 1000.0
-        self._times_s = [t / 1000.0 for t in self._times]
+        self._times_ms = trace.times_ms
+        self._period_ms = trace.period_ms
         self._start = start_time
         self._cycle = 0
         self._index = 0
@@ -136,31 +150,37 @@ class FileTraceSchedule:
         Consecutive calls with the same ``now`` return successive
         opportunities (which may share the same timestamp).
         """
-        rel = now - self._start
-        if rel < 0.0:
-            rel = 0.0
+        rel_ms = (now - self._start) * 1000.0
+        if rel_ms < 0.0:
+            rel_ms = 0.0
+        times_ms = self._times_ms
+        count = len(times_ms)
         # Fast-forward whole cycles if we are far behind.
-        current_floor = self._cycle * self._period_s
-        if rel > current_floor + self._period_s:
-            self._cycle = int(rel // self._period_s)
+        current_floor = self._cycle * self._period_ms
+        if rel_ms - _TRACE_EPS_MS > current_floor + self._period_ms:
+            self._cycle = int(rel_ms // self._period_ms)
             self._index = 0
-            current_floor = self._cycle * self._period_s
+            current_floor = self._cycle * self._period_ms
         while True:
-            if self._index >= len(self._times_s):
+            if self._index >= count:
                 self._cycle += 1
                 self._index = 0
-                current_floor = self._cycle * self._period_s
-            within = rel - current_floor
-            if within > self._times_s[-1]:
+                current_floor = self._cycle * self._period_ms
+            within_ms = rel_ms - current_floor
+            if within_ms - _TRACE_EPS_MS > times_ms[-1]:
                 self._cycle += 1
                 self._index = 0
-                current_floor = self._cycle * self._period_s
+                current_floor = self._cycle * self._period_ms
                 continue
-            if self._times_s[self._index] < within:
+            if times_ms[self._index] < within_ms - _TRACE_EPS_MS:
                 # Skip lapsed opportunities within this cycle in one jump.
-                self._index = bisect.bisect_left(self._times_s, within, self._index)
+                self._index = bisect.bisect_left(
+                    times_ms, within_ms - _TRACE_EPS_MS, self._index
+                )
                 continue
-            opportunity = self._start + current_floor + self._times_s[self._index]
+            opportunity = (
+                self._start + (current_floor + times_ms[self._index]) / 1000.0
+            )
             self._index += 1
             # Guard against float rounding placing the opportunity an ulp
             # before `now`, which the simulator would reject as "the past".

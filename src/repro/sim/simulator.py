@@ -38,6 +38,7 @@ class Simulator:
         self._streams = RandomStreams(seed)
         self._running = False
         self._events_processed = 0
+        self._trace: Optional[Callable[[Event], None]] = None
 
     @property
     def now(self) -> float:
@@ -96,6 +97,19 @@ class Simulator:
             event.cancel()
             self._queue.note_cancelled()
 
+    def set_trace(self, hook: Optional[Callable[[Event], None]]) -> None:
+        """Install (or, with None, remove) an execution observer.
+
+        The hook is called once per executed event, after the clock has
+        advanced to the event's time and immediately before its callback
+        runs. The main loops read it once per drain, so install it before
+        calling :meth:`run` / :meth:`run_until`. The intended consumer is
+        the determinism sanitizer
+        (:class:`repro.analysis.sanitizer.EventStreamDigest`); when no
+        hook is installed the per-event cost is a single None check.
+        """
+        self._trace = hook
+
     def step(self) -> bool:
         """Execute the single earliest event. Returns False if queue empty."""
         if not self._queue:
@@ -103,6 +117,8 @@ class Simulator:
         event = self._queue.pop()
         self._clock.advance_to(event.time)
         self._events_processed += 1
+        if self._trace is not None:
+            self._trace(event)
         event.callback(*event.args)
         return True
 
@@ -126,6 +142,7 @@ class Simulator:
         executed = 0
         queue = self._queue
         clock = self._clock
+        trace = self._trace
         try:
             while True:
                 event = queue.pop_due(until)
@@ -139,6 +156,8 @@ class Simulator:
                         f"run() exceeded max_events={max_events}; "
                         "likely an event loop that never drains"
                     )
+                if trace is not None:
+                    trace(event)
                 event.callback(*event.args)
             if until is not None and until > clock.now:
                 clock.advance_to(until)
@@ -177,6 +196,7 @@ class Simulator:
             return True
         queue = self._queue
         clock = self._clock
+        trace = self._trace
         countdown = check_every
         while True:
             event = queue.pop_due(deadline)
@@ -187,6 +207,8 @@ class Simulator:
                 return predicate()
             clock.advance_to(event.time)
             self._events_processed += 1
+            if trace is not None:
+                trace(event)
             event.callback(*event.args)
             countdown -= 1
             if countdown == 0:

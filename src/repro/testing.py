@@ -4,11 +4,16 @@
 namespaces joined by one veth pair whose pipes you choose — with a
 transport host on each side. Unit tests, examples, and docs all build on
 it, so the boilerplate of addresses/routes lives in exactly one place.
+
+This module doubles as a pytest plugin (registered from the root
+``conftest.py``): the :func:`determinism` fixture hands tests
+:func:`assert_deterministic`, so any test can assert bit-identical replay
+of a scenario in one line.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from repro.linkem.overhead import OverheadModel
 from repro.net.address import Endpoint, IPv4Address
@@ -122,6 +127,46 @@ class TwoHostWorld:
     def endpoint(self, port: int) -> Endpoint:
         """Server endpoint on an arbitrary port."""
         return Endpoint(IPv4Address(self.SERVER_ADDR), port)
+
+
+def assert_deterministic(
+    build: Callable[[int], Simulator],
+    seed: int = 0,
+    runs: int = 2,
+    **kwargs: Any,
+):
+    """Assert that ``build(seed)`` replays bit-identically.
+
+    Thin test-facing wrapper over
+    :func:`repro.analysis.sanitizer.check_determinism`: replays the
+    scenario ``runs`` times and raises
+    :class:`~repro.errors.DeterminismError` (failing the test) at the
+    first divergent event. Returns the
+    :class:`~repro.analysis.sanitizer.DeterminismReport` on success so
+    tests can additionally pin event counts or digests.
+    """
+    from repro.analysis.sanitizer import check_determinism
+
+    return check_determinism(build, seed=seed, runs=runs, **kwargs)
+
+
+try:  # pragma: no cover - import guard
+    import pytest as _pytest
+except ImportError:  # pragma: no cover
+    _pytest = None  # type: ignore[assignment]
+
+if _pytest is not None:
+
+    @_pytest.fixture(name="determinism")
+    def _determinism_fixture():
+        """Pytest fixture: the :func:`assert_deterministic` checker.
+
+        Usage::
+
+            def test_my_scenario_replays(determinism):
+                determinism(build_scenario, seed=3)
+        """
+        return assert_deterministic
 
 
 def delayed_world(

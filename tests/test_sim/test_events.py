@@ -1,0 +1,162 @@
+"""EventQueue internals: lazy cancellation, compaction, and edge cases.
+
+Regression focus: the PR-1 compaction sweep (rebuild-and-heapify once
+cancelled entries outnumber live ones) interacting with ``pop_due()``
+when *every* queued event has been cancelled — the empty-heap edge case.
+"""
+
+from repro.sim.events import COMPACT_MIN_SIZE, EventQueue
+from repro.sim.simulator import Simulator
+
+
+def _noop():
+    return None
+
+
+class TestAllCancelled:
+    def test_pop_due_on_fully_cancelled_queue_returns_none(self):
+        queue = EventQueue()
+        events = [
+            queue.push(0.001 * i, _noop, ()) for i in range(COMPACT_MIN_SIZE * 2)
+        ]
+        for event in events:
+            event.cancel()
+            queue.note_cancelled()
+        # Compaction fired at some point (dead > live at size >= floor),
+        # leaving at most the post-compaction cancellations in the heap.
+        assert len(queue) == 0
+        assert not queue
+        assert queue.pop_due(None) is None
+        assert queue.pop_due(1e9) is None
+        assert queue.peek_time() is None
+        # The dead prefix was drained; internals agree the heap is empty.
+        assert queue._heap == []
+
+    def test_compaction_sweep_ran_during_mass_cancel(self):
+        queue = EventQueue()
+        events = [
+            queue.push(0.001 * i, _noop, ()) for i in range(COMPACT_MIN_SIZE * 2)
+        ]
+        # Cancel just over half: the sweep triggers when dead > live.
+        for event in events[: COMPACT_MIN_SIZE + 1]:
+            event.cancel()
+            queue.note_cancelled()
+        assert queue._dead == 0  # sweep rebuilt the heap
+        assert len(queue._heap) == len(queue) == COMPACT_MIN_SIZE - 1
+
+    def test_pop_raises_on_fully_cancelled_queue(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), _noop, ()) for i in range(8)]
+        for event in events:
+            event.cancel()
+            queue.note_cancelled()
+        try:
+            queue.pop()
+        except IndexError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("pop() on all-cancelled queue must raise")
+
+    def test_queue_usable_after_full_cancellation(self):
+        queue = EventQueue()
+        events = [
+            queue.push(0.001 * i, _noop, ()) for i in range(COMPACT_MIN_SIZE * 2)
+        ]
+        for event in events:
+            event.cancel()
+            queue.note_cancelled()
+        fresh = queue.push(0.5, _noop, ())
+        assert len(queue) == 1
+        assert queue.peek_time() == 0.5
+        assert queue.pop_due(None) is fresh
+        assert len(queue) == 0
+
+    def test_simulator_run_with_everything_cancelled(self):
+        sim = Simulator(seed=0)
+        events = [
+            sim.schedule(0.001 * (i + 1), _noop)
+            for i in range(COMPACT_MIN_SIZE * 2)
+        ]
+        for event in events:
+            sim.cancel(event)
+        sim.run()  # must terminate immediately, executing nothing
+        assert sim.events_processed == 0
+        assert sim.now == 0.0
+        assert sim.pending_events == 0
+
+    def test_run_until_predicate_with_everything_cancelled(self):
+        sim = Simulator(seed=0)
+        events = [
+            sim.schedule(0.001 * (i + 1), _noop)
+            for i in range(COMPACT_MIN_SIZE * 2)
+        ]
+        for event in events:
+            sim.cancel(event)
+        # Queue exhausts without the predicate firing; deadline branch
+        # must not trip over the drained heap.
+        assert sim.run_until(lambda: False, timeout=10.0) is False
+
+
+class TestCompactionCorrectness:
+    def test_order_preserved_across_compaction(self):
+        sim = Simulator(seed=0)
+        fired = []
+        keep = []
+        for i in range(COMPACT_MIN_SIZE * 2):
+            event = sim.schedule(0.001 * (i + 1), fired.append, i)
+            if i % 2:
+                keep.append(i)
+            else:
+                sim.cancel(event)  # cancels half -> triggers sweeps
+        sim.run()
+        assert fired == keep
+
+
+class TestTraceHook:
+    def test_hook_sees_every_executed_event_in_order(self):
+        sim = Simulator(seed=0)
+        seen = []
+        sim.set_trace(lambda event: seen.append((event.time, event.seq)))
+        sim.schedule(0.2, _noop)
+        sim.schedule(0.1, _noop)
+        sim.run()
+        assert seen == [(0.1, 1), (0.2, 0)]
+
+    def test_hook_skips_cancelled_events(self):
+        sim = Simulator(seed=0)
+        seen = []
+        sim.set_trace(lambda event: seen.append(event.seq))
+        sim.schedule(0.2, _noop)
+        doomed = sim.schedule(0.1, _noop)
+        sim.cancel(doomed)
+        sim.run()
+        assert seen == [0]
+
+    def test_hook_fires_in_step_and_run_until(self):
+        sim = Simulator(seed=0)
+        seen = []
+        sim.set_trace(lambda event: seen.append(event.seq))
+        sim.schedule(0.1, _noop)
+        sim.schedule(0.2, _noop)
+        assert sim.step()
+        assert sim.run_until(lambda: len(seen) == 2, timeout=1.0)
+        assert seen == [0, 1]
+
+    def test_hook_removable(self):
+        sim = Simulator(seed=0)
+        seen = []
+        sim.set_trace(lambda event: seen.append(event.seq))
+        sim.schedule(0.1, _noop)
+        sim.run()
+        sim.set_trace(None)
+        sim.schedule(0.1, _noop)
+        sim.run()
+        assert seen == [0]
+
+    def test_hook_runs_before_callback(self):
+        sim = Simulator(seed=0)
+        order = []
+        sim.set_trace(lambda event: order.append("trace"))
+        sim.schedule(0.1, order.append, "callback")
+        sim.run()
+        assert order == ["trace", "callback"]
