@@ -72,6 +72,70 @@ def test_matcher_lookup(benchmark):
     assert result.response.status == 200
 
 
+def test_page_load_obs_overhead(obs_dir):
+    """Cost of turning every repro.obs probe on for a full page load.
+
+    The design target is <5% (probes are handle-capture at construction
+    plus list appends on existing events); the assertion backstop is
+    deliberately lenient because CI wall-clock noise routinely exceeds
+    the target itself. The measured overhead is printed either way.
+    """
+    import os
+    import time
+
+    from repro.browser import Browser
+    from repro.core import HostMachine, ShellStack
+    from repro.obs import MetricsRegistry, write_artifact
+
+    site = generate_site("obs-overhead.com", seed=11, n_origins=15)
+    store = site.to_recorded_site()
+
+    def load(instrument):
+        sim = Simulator(seed=0)
+        if instrument:
+            MetricsRegistry.install(sim)
+        machine = HostMachine(sim)
+        stack = ShellStack(machine)
+        stack.add_replay(store)
+        stack.add_link(14, 14)
+        stack.add_delay(0.040)
+        browser = Browser(sim, stack.transport, stack.resolver_endpoint,
+                          machine=machine)
+        result = browser.load(site.page)
+        sim.run_until(lambda: result.complete, timeout=600)
+        assert result.resources_failed == 0
+        return sim
+
+    load(False)
+    load(True)  # warm import/allocation caches before timing
+    # Interleave the two arms and take the per-arm minimum: CPU
+    # frequency drift over a sequential block otherwise shows up as
+    # fake overhead on whichever arm runs second.
+    plain, instrumented, sim = float("inf"), float("inf"), None
+    for _ in range(7):
+        started = time.perf_counter()
+        load(False)
+        plain = min(plain, time.perf_counter() - started)
+        started = time.perf_counter()
+        sim = load(True)
+        instrumented = min(instrumented, time.perf_counter() - started)
+    overhead = (instrumented - plain) / plain
+    print(
+        f"\nobs overhead: plain={plain * 1e3:.1f}ms "
+        f"instrumented={instrumented * 1e3:.1f}ms "
+        f"overhead={overhead:+.1%} (target <5%, backstop <25%)"
+    )
+    assert len(sim.metrics.names()) > 0
+    if obs_dir:
+        path = write_artifact(
+            os.path.join(obs_dir, "bench_micro_page_load.jsonl"),
+            registry=sim.metrics,
+            meta={"bench": "page_load_obs_overhead", "seed": 0},
+        )
+        print(f"[obs artifact written to {path}]")
+    assert overhead < 0.25
+
+
 def test_page_load_simulation_speed(benchmark):
     """Wall-clock cost of one replayed page load (the unit every
     experiment above multiplies)."""

@@ -48,6 +48,21 @@ def bench_workers() -> int:
 
 
 @pytest.fixture
+def obs_dir(request):
+    """Directory for repro.obs JSONL artifacts (None = export disabled).
+
+    Set with ``--obs-dir`` or the ``REPRO_BENCH_OBS_DIR`` environment
+    variable; instrumented benches write their registries there so CI can
+    upload them and ``mm-report`` can render them afterwards.
+    """
+    return (
+        request.config.getoption("--obs-dir")
+        or os.environ.get("REPRO_BENCH_OBS_DIR")
+        or None
+    )
+
+
+@pytest.fixture
 def report():
     """Fixture: call report(name, text) to print and persist an artifact."""
 

@@ -4,7 +4,16 @@ Registers :mod:`repro.testing` as a pytest plugin so its ``determinism``
 fixture (bit-identical-replay assertion, backed by
 ``repro.analysis.sanitizer``) is available to every test and benchmark.
 Must live in the rootdir conftest: pytest rejects ``pytest_plugins`` in
-nested conftests.
+nested conftests (and ``pytest_addoption`` must also live here).
 """
 
 pytest_plugins = ("repro.testing",)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs-dir",
+        default=None,
+        help="directory where benches write repro.obs JSONL artifacts "
+        "(also settable via REPRO_BENCH_OBS_DIR); unset disables export",
+    )

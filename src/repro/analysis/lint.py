@@ -25,12 +25,18 @@ REP006  No module-level mutable state in simulation-domain packages —
         it silently survives ``ParallelRunner`` forks and couples
         trials. (Non-empty ALL_CAPS literal tables are treated as
         constants and allowed.)
+REP007  Observer-domain code (the ``repro.obs`` package) may not
+        schedule/cancel events, install trace hooks, write attributes
+        on a simulator, or mutate queues — probes read simulation
+        state and append to observer-owned storage, nothing else (the
+        zero-observer-effect contract).
 ======  ==============================================================
 
 Rules REP001, REP003, REP005 and REP006 apply to *simulation-domain*
-files (any file under a :data:`SIM_DOMAIN_DIRS` directory); REP002 and
-REP004 apply everywhere (REP002 excepts ``sim/random.py`` itself, where
-the blessed streams live).
+files (any file under a :data:`SIM_DOMAIN_DIRS` directory); REP007
+applies to *observer-domain* files (under an :data:`OBS_DOMAIN_DIRS`
+directory); REP002 and REP004 apply everywhere (REP002 excepts
+``sim/random.py`` itself, where the blessed streams live).
 
 Any diagnostic can be silenced for one line with an inline escape hatch::
 
@@ -54,6 +60,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
 
 __all__ = [
     "Diagnostic",
+    "OBS_DOMAIN_DIRS",
     "RULES",
     "SIM_DOMAIN_DIRS",
     "lint_file",
@@ -68,6 +75,11 @@ SIM_DOMAIN_DIRS = frozenset(
     {"sim", "linkem", "transport", "core", "browser", "web", "dns", "http"}
 )
 
+#: Directories whose code *observes* the simulated world. A file is
+#: "observer-domain" when any of its path components is one of these;
+#: REP007 holds such code to the zero-observer-effect contract.
+OBS_DOMAIN_DIRS = frozenset({"obs"})
+
 #: Rule code -> one-line summary (shown by ``mm-lint --list-rules``).
 RULES: Dict[str, str] = {
     "REP001": "wall-clock read in simulation-domain code (use sim.now)",
@@ -76,10 +88,14 @@ RULES: Dict[str, str] = {
     "REP004": "unordered iteration feeds the event queue (sort first)",
     "REP005": "environment read inside a simulation component",
     "REP006": "module-level mutable state survives ParallelRunner forks",
+    "REP007": "observer-domain code schedules events or writes sim state",
 }
 
 #: Rules restricted to simulation-domain files.
 SIM_DOMAIN_RULES = frozenset({"REP001", "REP003", "REP005", "REP006"})
+
+#: Rules restricted to observer-domain files.
+OBS_DOMAIN_RULES = frozenset({"REP007"})
 
 _DISABLE_RE = re.compile(r"#\s*mm-lint:\s*disable=([A-Za-z0-9_,\s]+)")
 
@@ -132,6 +148,22 @@ _GLOBAL_RANDOM_FNS = frozenset(
 
 _SCHEDULE_NAMES = frozenset({"schedule", "schedule_at", "call_soon"})
 
+#: Calls forbidden in observer-domain code (REP007): anything that feeds
+#: the event queue or rewires the simulator.
+_OBS_FORBIDDEN_CALLS = _SCHEDULE_NAMES | frozenset({"cancel", "set_trace"})
+
+#: Mutating methods that, called on a queue-named receiver from observer
+#: code, would change what the simulation dequeues (REP007).
+_QUEUE_MUTATORS = frozenset(
+    {
+        "push", "pop", "popleft", "append", "appendleft", "extend",
+        "extendleft", "insert", "remove", "clear",
+    }
+)
+
+#: Receiver name segments that identify simulator/queue objects (REP007).
+_SIM_OBJECT_NAMES = frozenset({"sim", "simulator", "_sim", "_simulator"})
+
 _MUTABLE_FACTORIES = frozenset(
     {
         "list",
@@ -166,6 +198,11 @@ def is_sim_domain(path: Union[str, Path]) -> bool:
     return any(part in SIM_DOMAIN_DIRS for part in Path(path).parts[:-1])
 
 
+def is_obs_domain(path: Union[str, Path]) -> bool:
+    """Whether ``path`` lies in an observer-domain directory."""
+    return any(part in OBS_DOMAIN_DIRS for part in Path(path).parts[:-1])
+
+
 def _is_blessed_random_module(path: Union[str, Path]) -> bool:
     """``repro/sim/random.py`` — the one place allowed to build streams."""
     p = Path(path)
@@ -191,6 +228,20 @@ def _terminal_name(node: ast.expr) -> Optional[str]:
     if isinstance(node, ast.Name):
         return node.id
     return None
+
+
+def _chain_parts(node: ast.expr) -> List[str]:
+    """All identifiers of a Name/Attribute chain (``a.b.c`` ->
+    ``[a, b, c]``); empty when the chain is rooted elsewhere."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return []
+    parts.append(node.id)
+    parts.reverse()
+    return parts
 
 
 def _is_time_named(node: ast.expr) -> bool:
@@ -262,10 +313,17 @@ def _is_empty_container(node: ast.expr) -> bool:
 class _Checker(ast.NodeVisitor):
     """One-pass visitor collecting diagnostics for every enabled rule."""
 
-    def __init__(self, path: str, sim_domain: bool, blessed_random: bool) -> None:
+    def __init__(
+        self,
+        path: str,
+        sim_domain: bool,
+        blessed_random: bool,
+        obs_domain: bool = False,
+    ) -> None:
         self.path = path
         self.sim_domain = sim_domain
         self.blessed_random = blessed_random
+        self.obs_domain = obs_domain
         self.diagnostics: List[Diagnostic] = []
         #: Local aliases of the ``random`` module (``import random as r``).
         self._random_modules: Set[str] = set()
@@ -280,6 +338,8 @@ class _Checker(ast.NodeVisitor):
 
     def _report(self, node: ast.AST, code: str, message: str) -> None:
         if code in SIM_DOMAIN_RULES and not self.sim_domain:
+            return
+        if code in OBS_DOMAIN_RULES and not self.obs_domain:
             return
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
@@ -314,6 +374,8 @@ class _Checker(ast.NodeVisitor):
         self._check_wall_clock(node, dotted)
         if not self.blessed_random:
             self._check_rng(node, dotted)
+        if self.obs_domain:
+            self._check_obs_call(node)
         if dotted == "os.getenv":
             self._report(
                 node,
@@ -411,6 +473,64 @@ class _Checker(ast.NodeVisitor):
                 "seeds collide across streams and are not stable across "
                 "consumers — derive with stable_seed(master, name)",
             )
+
+    # ------------------------------------------------------------------ #
+    # REP007: observer-domain code touching the simulation
+
+    def _check_obs_call(self, node: ast.Call) -> None:
+        terminal = _terminal_name(node.func)
+        if terminal in _OBS_FORBIDDEN_CALLS:
+            self._report(
+                node,
+                "REP007",
+                f"observer-domain code calls {terminal}(); probes must fire "
+                "on existing events only — scheduling (or cancelling, or "
+                "installing trace hooks) breaks the zero-observer-effect "
+                "contract",
+            )
+            return
+        if terminal in _QUEUE_MUTATORS and isinstance(node.func, ast.Attribute):
+            receiver = _chain_parts(node.func.value)
+            if any("queue" in part.lower() for part in receiver):
+                self._report(
+                    node,
+                    "REP007",
+                    f"observer-domain code mutates a queue "
+                    f"({'.'.join(receiver)}.{terminal}()); probes may only "
+                    "read simulation state",
+                )
+
+    def _check_obs_assign(
+        self, stmt: ast.stmt, targets: Sequence[ast.expr]
+    ) -> None:
+        for target in targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            base = _chain_parts(target.value)
+            if any(part in _SIM_OBJECT_NAMES for part in base):
+                self._report(
+                    stmt,
+                    "REP007",
+                    f"observer-domain code writes simulator state "
+                    f"({'.'.join(base)}.{target.attr} = ...); attach through "
+                    "Simulator.use_metrics and keep all observer state on "
+                    "the registry",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.obs_domain:
+            self._check_obs_assign(node, node.targets)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self.obs_domain:
+            self._check_obs_assign(node, [node.target])
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self.obs_domain:
+            self._check_obs_assign(node, [node.target])
+        self.generic_visit(node)
 
     # ------------------------------------------------------------------ #
     # REP003: float equality on virtual-time expressions
@@ -568,6 +688,7 @@ def lint_source(
         path_str,
         sim_domain=is_sim_domain(path),
         blessed_random=_is_blessed_random_module(path),
+        obs_domain=is_obs_domain(path),
     )
     checker.visit(tree)
     checker.check_module_level(tree)
@@ -623,7 +744,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="mm-lint",
         description="Determinism lint for the Mahimahi reproduction "
-        "(rules REP001-REP006; see repro.analysis.lint).",
+        "(rules REP001-REP007; see repro.analysis.lint).",
     )
     parser.add_argument(
         "paths",

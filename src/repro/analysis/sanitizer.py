@@ -33,6 +33,7 @@ __all__ = [
     "EventStreamDigest",
     "callback_name",
     "check_determinism",
+    "check_observer_effect",
     "main",
 ]
 
@@ -231,11 +232,62 @@ def check_determinism(
     )
 
 
+def check_observer_effect(
+    build: Callable[[int, bool], Simulator],
+    seed: int = 0,
+    until: Optional[float] = None,
+    max_events: Optional[int] = None,
+    keep_log: bool = True,
+) -> DeterminismReport:
+    """Verify instrumentation has *zero observer effect*.
+
+    Runs ``build(seed, False)`` (uninstrumented) and ``build(seed, True)``
+    (with a :class:`~repro.obs.registry.MetricsRegistry` attached) and
+    requires bit-identical event-stream digests — the repro.obs contract:
+    probes only read simulation state and append to observer-owned
+    storage, so turning them on must not move a single event.
+
+    Args:
+        build: two-argument scenario builder ``(seed, instrument)``; the
+            instrumented call must attach a registry before building the
+            world.
+        seed / until / max_events / keep_log: as in
+            :func:`check_determinism`.
+
+    Raises:
+        DeterminismError: if the instrumented stream differs.
+        ValueError: if the instrumented build forgot to attach a registry.
+    """
+    digests = []
+    for instrument in (False, True):
+        sim = build(seed, instrument)
+        if instrument and sim.metrics is None:
+            raise ValueError(
+                "instrumented build did not attach a MetricsRegistry "
+                "(call MetricsRegistry.install(sim) before building the world)"
+            )
+        digest = EventStreamDigest(keep_log=keep_log)
+        sim.set_trace(digest)
+        sim.run(until=until, max_events=max_events)
+        digests.append(digest)
+    plain, instrumented = digests
+    if instrumented.hexdigest != plain.hexdigest:
+        raise DeterminismError(
+            "OBSERVER EFFECT: instrumented run diverged from "
+            "uninstrumented (a probe scheduled an event or mutated "
+            "simulation state)\n"
+            + _divergence_message(seed, 1, plain, instrumented)
+        )
+    return DeterminismReport(
+        seed=seed, runs=2, events=plain.events, digest=plain.hexdigest
+    )
+
+
 # ---------------------------------------------------------------------- #
 # CLI smoke scenario (the CI bench-smoke determinism gate)
 
 
-def _smoke_scenario(seed: int) -> Simulator:
+def _smoke_scenario(seed: int, instrument: bool = False) -> Simulator:
     """Reduced-scale replay scenario exercising the full stack.
 
     One synthetic multi-origin site loaded through ReplayShell + LinkShell
@@ -249,6 +301,10 @@ def _smoke_scenario(seed: int) -> Simulator:
 
     site = generate_site("smoke.example", seed=seed, n_origins=4, scale=0.3)
     sim = Simulator(seed=seed)
+    if instrument:
+        from repro.obs import MetricsRegistry
+
+        MetricsRegistry.install(sim)
     machine = HostMachine(sim)
     stack = ShellStack(machine)
     stack.add_replay(site.to_recorded_site())
@@ -277,6 +333,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=5_000_000,
         help="safety valve forwarded to Simulator.run",
     )
+    parser.add_argument(
+        "--obs-check",
+        action="store_true",
+        help="also verify zero observer effect: the event-stream digest "
+        "with a metrics registry attached must be bit-identical to "
+        "the uninstrumented run's",
+    )
     options = parser.parse_args(argv)
     try:
         report = check_determinism(
@@ -289,6 +352,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"DETERMINISM VIOLATION\n{exc}", file=sys.stderr)
         return 1
     print(report)
+    if options.obs_check:
+        try:
+            obs_report = check_observer_effect(
+                _smoke_scenario,
+                seed=options.seed,
+                max_events=options.max_events,
+            )
+        except DeterminismError as exc:
+            print(f"DETERMINISM VIOLATION\n{exc}", file=sys.stderr)
+            return 1
+        print(
+            f"zero observer effect: instrumented digest matches "
+            f"({obs_report.events} events, digest {obs_report.digest})"
+        )
     return 0
 
 

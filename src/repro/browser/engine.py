@@ -44,6 +44,9 @@ class PageLoadResult:
         self.errors: List[str] = []
         # url text -> (request_enqueued, response_done) in sim time.
         self.timings: Dict[str, Tuple[float, float]] = {}
+        #: The trial's MetricsRegistry (attached by measure.runner.run_trial
+        #: when the simulator was instrumented; None otherwise).
+        self.metrics = None
 
     @property
     def complete(self) -> bool:
@@ -155,9 +158,71 @@ class _PageLoad:
         self._delayable_in_flight = 0
         self._nondelayable_in_flight = 0
         self._delayable_queue: Deque[Resource] = deque()
+        # Observability: one waterfall per load plus a per-origin in-flight
+        # series, all observer-owned state (zero observer effect).
+        registry = browser.sim.metrics
+        self._obs_registry = registry
+        if registry is not None:
+            self._obs_waterfall = registry.waterfall(f"browser.{page.name}")
+            self._obs_entries: Dict[int, object] = {}
+            self._obs_inflight: Dict[str, int] = {}
+        else:
+            self._obs_waterfall = None
 
     def start(self) -> None:
         self._fetch(self.page.root)
+
+    # ------------------------------------------------------------------ #
+    # observability (reads sim state, appends to registry — never schedules)
+
+    def obs_entry(self, resource: Resource):
+        """The resource's waterfall entry (None when uninstrumented)."""
+        if self._obs_waterfall is None:
+            return None
+        return self._obs_entries.get(id(resource))
+
+    def _obs_inflight_delta(self, resource: Resource, delta: int) -> None:
+        host = resource.url.host
+        count = self._obs_inflight.get(host, 0) + delta
+        self._obs_inflight[host] = count
+        self._obs_registry.timeseries(f"browser.inflight.{host}").record(
+            self.browser.sim.now, count
+        )
+
+    def obs_finish(self, timing, conn, fresh: bool, response) -> None:
+        """Fill the transport/transfer phases of one waterfall entry.
+
+        HAR convention: connection setup (TCP connect, TLS) is charged to
+        the resource that triggered the connection (``fresh``); reusers
+        show those phases as not-applicable.
+        """
+        if fresh:
+            created = getattr(conn, "created_at", None)
+            ready = getattr(conn, "ready_at", None)
+            established = getattr(getattr(conn, "conn", None),
+                                  "established_at", None)
+            if created is not None and ready is not None:
+                if established is not None and established >= created:
+                    timing.connect = established - created
+                    if ready > established:
+                        timing.tls = ready - established
+                else:
+                    timing.connect = ready - created
+        last = getattr(conn, "last_timing", None)
+        if last is not None:
+            sent_at, first_byte_at, done_at = last
+            if timing.issued >= 0.0:
+                # Time spent connecting is already charged to the
+                # connect/TLS phases; waiting starts once the connection
+                # is usable.
+                wait_from = timing.issued
+                ready = getattr(conn, "ready_at", None)
+                if ready is not None and ready > wait_from:
+                    wait_from = ready
+                timing.send_wait = max(0.0, sent_at - wait_from)
+            timing.ttfb = first_byte_at - sent_at
+            timing.download = done_at - first_byte_at
+        timing.size = response.body.length
 
     # ------------------------------------------------------------------ #
 
@@ -172,6 +237,10 @@ class _PageLoad:
         self._seen.add(id(resource))
         self._outstanding += 1
         self.result.timings[str(resource.url)] = (self.browser.sim.now, -1.0)
+        if self._obs_waterfall is not None:
+            self._obs_entries[id(resource)] = self._obs_waterfall.start(
+                str(resource.url), resource.kind, self.browser.sim.now
+            )
         if self._is_delayable(resource):
             limit = self.browser.config.max_delayable_in_flight
             if (self._nondelayable_in_flight > 0
@@ -198,10 +267,13 @@ class _PageLoad:
         # hostname+resolved endpoint (browsers key pools by host, so
         # domain sharding keeps its parallelism even when every hostname
         # resolves to one replay IP — as in the paper's Chrome runs).
+        if self._obs_registry is not None:
+            self._obs_inflight_delta(resource, +1)
         host_key = (resource.url.scheme, resource.url.host, resource.url.port)
         entry = self._hosts.get(host_key)
         if entry is None:
-            entry = _HostEntry(self, resource.url)
+            entry = _HostEntry(self, resource.url,
+                               obs_owner=self.obs_entry(resource))
             self._hosts[host_key] = entry
         entry.enqueue(resource)
 
@@ -218,6 +290,8 @@ class _PageLoad:
 
     def resource_done(self, resource: Resource, response: Optional[HttpResponse]) -> None:
         """A response arrived (or the fetch failed: response None)."""
+        if self._obs_registry is not None:
+            self._obs_inflight_delta(resource, -1)
         if self._is_delayable(resource):
             self._delayable_in_flight -= 1
         else:
@@ -233,6 +307,9 @@ class _PageLoad:
                 )
             delay = self.browser.compute_time(
                 parse, key=f"parse:{resource.url}")
+            timing = self.obs_entry(resource)
+            if timing is not None:
+                timing.compute = delay
             # Documents are parsed incrementally: references are
             # discovered *during* the parse, not in one burst at its end.
             # Spreading child fetches over the parse window reproduces the
@@ -253,11 +330,18 @@ class _PageLoad:
                 )
         else:
             self.result.resources_failed += 1
+            timing = self.obs_entry(resource)
+            if timing is not None:
+                timing.failed = True
+                timing.finished = self.browser.sim.now
             self._complete_one(resource)
 
     def _processed(self, resource: Resource, fetch_children: bool) -> None:
         started = self.result.timings[str(resource.url)][0]
         self.result.timings[str(resource.url)] = (started, self.browser.sim.now)
+        timing = self.obs_entry(resource)
+        if timing is not None:
+            timing.finished = self.browser.sim.now
         if fetch_children:
             for child in resource.children:
                 self._fetch(child)
@@ -276,18 +360,27 @@ class _PageLoad:
     def fail_resource(self, resource: Resource, message: str) -> None:
         """Record a failure and count the resource as finished."""
         self.result.errors.append(f"{resource.url}: {message}")
+        timing = self.obs_entry(resource)
+        if timing is not None:
+            timing.error = message
         self.resource_done(resource, None)
 
 
 class _HostEntry:
     """Per-hostname DNS state: resolve once, then route to endpoint pools."""
 
-    def __init__(self, load: _PageLoad, sample_url: Url) -> None:
+    def __init__(
+        self, load: _PageLoad, sample_url: Url, obs_owner=None
+    ) -> None:
         self.load = load
         self.url = sample_url
         self.address: Optional[IPv4Address] = None
         self.failed: Optional[str] = None
         self._waiting: Deque[Resource] = deque()
+        # HAR convention: the lookup is charged to the resource that
+        # triggered it (``obs_owner`` is its waterfall entry, or None).
+        self._obs_owner = obs_owner
+        self._created_at = load.browser.sim.now
         load.result.dns_lookups += 1
         load.browser.resolver.resolve(sample_url.host, self._resolved)
 
@@ -308,6 +401,8 @@ class _HostEntry:
             for resource in waiting:
                 self.load.fail_resource(resource, self.failed)
             return
+        if self._obs_owner is not None:
+            self._obs_owner.dns = self.load.browser.sim.now - self._created_at
         self.address = addresses[0]
         while self._waiting:
             self._route(self._waiting.popleft())
@@ -386,8 +481,19 @@ class _EndpointPool:
 
     def _issue(self, conn: HttpClient, resource: Resource) -> None:
         request = self._build_request(resource)
+        timing = self.load.obs_entry(resource)
+        if timing is None:
+            def on_response(response):
+                self.load.resource_done(resource, response)
+        else:
+            timing.issued = self.browser.sim.now
+            fresh = getattr(conn, "requests_sent", 0) == 0
+
+            def on_response(response, timing=timing, conn=conn, fresh=fresh):
+                self.load.obs_finish(timing, conn, fresh, response)
+                self.load.resource_done(resource, response)
         callback = FailableCallback(
-            lambda response: self.load.resource_done(resource, response),
+            on_response,
             lambda exc: self.load.fail_resource(resource, str(exc)),
         )
         conn.request(request, callback)

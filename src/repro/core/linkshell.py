@@ -64,10 +64,12 @@ class LinkShell(Shell):
     ) -> None:
         start = sim.now
         down_pipe = TracePipe(
-            sim, _make_schedule(downlink, start), downlink_queue, overhead
+            sim, _make_schedule(downlink, start), downlink_queue, overhead,
+            obs_path=f"{name}.downlink",
         )
         up_pipe = TracePipe(
-            sim, _make_schedule(uplink, start), uplink_queue, overhead
+            sim, _make_schedule(uplink, start), uplink_queue, overhead,
+            obs_path=f"{name}.uplink",
         )
         super().__init__(sim, parent, allocator, name, down_pipe, up_pipe)
 

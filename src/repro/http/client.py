@@ -64,6 +64,15 @@ class HttpClient:
         self._parser.on_message = self._response_arrived
         self._ready = False
         self._closed = False
+        # Timing capture for waterfall observability (plain floats, always
+        # on — reading the clock costs nothing and schedules nothing).
+        self.created_at = sim.now
+        self.ready_at: Optional[float] = None
+        #: (sent_at, first_byte_at, done_at) of the most recently completed
+        #: request, refreshed just before its response callback fires.
+        self.last_timing: Optional[Tuple[float, float, float]] = None
+        self._sent_at: Optional[float] = None
+        self._first_byte_at: Optional[float] = None
 
         self.conn = transport.connect(origin)
         self.conn.on_error = self._failed
@@ -124,6 +133,7 @@ class HttpClient:
 
     def _became_ready(self) -> None:
         self._ready = True
+        self.ready_at = self.sim.now
         self._pump()
 
     def _pump(self) -> None:
@@ -133,6 +143,8 @@ class HttpClient:
             return
         request, callback = self._queue.popleft()
         self._inflight = (request, callback)
+        self._sent_at = self.sim.now
+        self._first_byte_at = None
         self._parser.expect(request.method)
         sender = self._tls if self._tls is not None else self.conn
         for piece in serialize_request(request):
@@ -143,12 +155,20 @@ class HttpClient:
         self.requests_sent += 1
 
     def _data(self, pieces) -> None:
+        if self._first_byte_at is None and self._inflight is not None:
+            self._first_byte_at = self.sim.now
         self._parser.feed(pieces)
 
     def _response_arrived(self, response: HttpResponse) -> None:
         self.responses_received += 1
         inflight = self._inflight
         self._inflight = None
+        if self._sent_at is not None:
+            now = self.sim.now
+            first = self._first_byte_at if self._first_byte_at is not None else now
+            self.last_timing = (self._sent_at, first, now)
+            self._sent_at = None
+            self._first_byte_at = None
         if (response.headers.get("Connection") or "").lower() == "close":
             self._closed = True
         if inflight is not None:

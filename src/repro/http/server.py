@@ -43,9 +43,19 @@ class WorkerPool:
     ``submit(work, delay)`` runs ``work`` after ``delay`` seconds of
     processing, with at most ``max_workers`` jobs in service; excess jobs
     queue FIFO. ``max_workers=None`` means unbounded.
+
+    With an observability registry attached to ``sim`` and an
+    ``obs_path``, the pool records ``<path>.occupancy`` and
+    ``<path>.backlog`` step series at every submit/finish — the
+    server-contention signal behind the paper's Table 2 ablation.
     """
 
-    def __init__(self, sim: Simulator, max_workers: Optional[int]) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        max_workers: Optional[int],
+        obs_path: Optional[str] = None,
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers!r}")
         self.sim = sim
@@ -53,6 +63,19 @@ class WorkerPool:
         self.peak_backlog = 0
         self._active_workers = 0
         self._backlog: Deque = deque()
+        registry = sim.metrics
+        if registry is not None and obs_path is not None:
+            self._obs_occupancy = registry.timeseries(f"{obs_path}.occupancy")
+            self._obs_backlog = registry.timeseries(f"{obs_path}.backlog")
+        else:
+            self._obs_occupancy = None
+            self._obs_backlog = None
+
+    def _obs_record(self) -> None:
+        if self._obs_occupancy is not None:
+            now = self.sim.now
+            self._obs_occupancy.record(now, self._active_workers)
+            self._obs_backlog.record(now, len(self._backlog))
 
     def submit(self, work: Callable[[], None], delay: float) -> None:
         """Run ``work`` after ``delay`` of processing, respecting the
@@ -62,11 +85,13 @@ class WorkerPool:
             self._backlog.append((work, delay))
             if len(self._backlog) > self.peak_backlog:
                 self.peak_backlog = len(self._backlog)
+            self._obs_record()
             return
         self._start_worker(work, delay)
 
     def _start_worker(self, work: Callable[[], None], delay: float) -> None:
         self._active_workers += 1
+        self._obs_record()
         if delay > 0.0:
             self.sim.schedule(delay, self._finish_worker, work)
         else:
@@ -77,6 +102,7 @@ class WorkerPool:
             work()
         finally:
             self._active_workers -= 1
+            self._obs_record()
             if self._backlog:
                 next_work, next_delay = self._backlog.popleft()
                 self._start_worker(next_work, next_delay)
@@ -123,7 +149,10 @@ class HttpServer:
         self.max_workers = max_workers
         self.requests_served = 0
         self.connections_accepted = 0
-        self.pool = WorkerPool(sim, max_workers)
+        self.pool = WorkerPool(
+            sim, max_workers,
+            obs_path=f"http.server.{self.address}:{port}",
+        )
         self._listener = transport.listen(
             self.address, port, self._accept
         )

@@ -38,6 +38,14 @@ class TracePipe(PacketPipe):
         queue: drop-tail buffer; defaults to unbounded like ``mm-link``.
         overhead: per-packet forwarding cost; defaults to the calibrated
             mm-link cost.
+        obs_path: component path for observability probes (e.g.
+            ``linkshell.uplink``); with a registry attached to ``sim``,
+            the pipe records queue depth/bytes step series at each
+            delivery opportunity (the standing backlog after the drain),
+            per-opportunity utilization, and delivered/wasted-byte
+            counters. Probes fire only on events the pipe already
+            executes — they never schedule, and the per-packet enqueue
+            path stays probe-free.
     """
 
     def __init__(
@@ -46,6 +54,7 @@ class TracePipe(PacketPipe):
         schedule: Schedule,
         queue: Optional[DropTailQueue] = None,
         overhead: OverheadModel = None,
+        obs_path: Optional[str] = None,
     ) -> None:
         super().__init__(sim)
         if overhead is None:
@@ -60,7 +69,39 @@ class TracePipe(PacketPipe):
         self._current: Optional[Packet] = None
         self._current_sent = 0
         self._wake = None
+        self._wake_time = 0.0
         self.opportunities_used = 0
+        # Probe handles, captured once at construction (None when
+        # uninstrumented — the hot paths then pay one None check).
+        registry = sim.metrics
+        if registry is not None and obs_path is not None:
+            self._obs_depth = registry.timeseries(f"{obs_path}.queue_depth")
+            self._obs_bytes = registry.timeseries(f"{obs_path}.queue_bytes")
+            self._obs_util = registry.timeseries(f"{obs_path}.utilization")
+            self._obs_delivered = registry.counter(f"{obs_path}.bytes_delivered")
+            self._obs_wasted = registry.counter(f"{obs_path}.bytes_wasted")
+            self._obs_drops = registry.counter(f"{obs_path}.drops")
+            # The opportunity loop is the hottest path in the simulator,
+            # so its probe is fully inlined: point lists captured as
+            # direct handles, change detection via cached previous
+            # values, counters bumped by attribute increment. Same
+            # observable data as record_changed()/add(), no call frames.
+            self._obs_depth_pts = self._obs_depth.points
+            self._obs_bytes_pts = self._obs_bytes.points
+            self._obs_util_pts = self._obs_util.points
+        else:
+            self._obs_depth = None
+            self._obs_bytes = None
+            self._obs_util = None
+            self._obs_delivered = None
+            self._obs_wasted = None
+            self._obs_drops = None
+            self._obs_depth_pts = None
+            self._obs_bytes_pts = None
+            self._obs_util_pts = None
+        self._obs_prev_depth = -1
+        self._obs_prev_bytes = -1
+        self._obs_prev_util = -1.0
 
     @property
     def queue(self):
@@ -78,12 +119,17 @@ class TracePipe(PacketPipe):
     def _enqueue(self, packet: Packet) -> None:
         if not self._queue.push(packet, self._sim.now):
             self.packets_dropped += 1
+            if self._obs_drops is not None:
+                self._obs_drops.add(1)
             return
         if self._wake is None:
             self._schedule_wake()
 
     def _schedule_wake(self) -> None:
         when = self._schedule.next_opportunity(self._sim.now)
+        # Stashed for the probe: _opportunity runs exactly at its
+        # scheduled time, so this doubles as "now" without a clock read.
+        self._wake_time = when
         self._wake = self._sim.schedule_at(when, self._opportunity)
 
     def _opportunity(self) -> None:
@@ -107,5 +153,28 @@ class TracePipe(PacketPipe):
             else:
                 self._current_sent += budget
                 budget = 0
+        if self._obs_util is not None:
+            # Change-point recording: runs of identical values (a
+            # full-MTU bulk transfer, a large packet held across
+            # opportunities) collapse to their change points — lossless
+            # for a step series and far fewer appends.
+            used = MTU_BYTES - budget
+            now = self._wake_time
+            util = used / MTU_BYTES
+            if util != self._obs_prev_util:
+                self._obs_prev_util = util
+                self._obs_util_pts.append((now, util))
+            depth = len(self._queue)
+            if depth != self._obs_prev_depth:
+                self._obs_prev_depth = depth
+                self._obs_depth_pts.append((now, depth))
+            queued_bytes = self._queue.bytes
+            if queued_bytes != self._obs_prev_bytes:
+                self._obs_prev_bytes = queued_bytes
+                self._obs_bytes_pts.append((now, queued_bytes))
+            self._obs_delivered.value += used
+            # Leftover budget with an empty queue is capacity an idle
+            # link discards — the paper's "wasted opportunity" quantity.
+            self._obs_wasted.value += budget
         if self._queue or self._current is not None:
             self._schedule_wake()

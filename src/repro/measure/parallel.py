@@ -181,6 +181,11 @@ class ParallelRunner:
         trial index regardless of completion order, so statistics are
         bit-identical to the serial runner's for the same factory.
 
+        Observability rides along: each trial's metrics registry (plain
+        data, hence picklable) returns with its result, so
+        ``ScenarioResult.metrics`` / ``merged_metrics()`` re-assemble in
+        trial order exactly as under the serial runner.
+
         Raises:
             ReproError: hung load or failed resources (lowest failing
                 trial index wins, as in the serial runner), or a crashed

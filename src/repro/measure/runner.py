@@ -35,6 +35,24 @@ class ScenarioResult(NamedTuple):
         """Alias: the page-load-time sample (seconds)."""
         return self.sample
 
+    @property
+    def metrics(self) -> List[object]:
+        """Per-trial metrics registries, in trial order (None entries for
+        uninstrumented trials)."""
+        return [getattr(r, "metrics", None) for r in self.results]
+
+    def merged_metrics(self):
+        """All trials' registries merged under ``trial{i}.`` prefixes.
+
+        Returns None when no trial carried a registry.
+        """
+        per_trial = self.metrics
+        if not any(registry is not None for registry in per_trial):
+            return None
+        from repro.obs.registry import MetricsRegistry
+
+        return MetricsRegistry.merge_trials(per_trial)
+
 
 def run_trial(
     factory: ScenarioFactory,
@@ -53,6 +71,9 @@ def run_trial(
     """
     sim, result = factory(trial)
     sim.run_until(lambda: result.complete, timeout=timeout)
+    # Metrics ride along on the result so parallel trials (which pickle
+    # results back from worker processes) keep their registries.
+    result.metrics = sim.metrics
     if not result.complete:
         raise ReproError(
             f"trial {trial}: page load did not finish within "

@@ -1,0 +1,76 @@
+"""repro.obs — deterministic observability for the simulated toolkit.
+
+Every reproduced artifact used to emit only end-of-run page-load-time
+samples; when a number drifted there was no way to see *why*. This
+subsystem makes the emulator's internals archivable per run:
+
+* :class:`~repro.obs.registry.MetricsRegistry` — counters, gauges,
+  histograms, virtual-time series, and resource waterfalls keyed by
+  component path (``linkshell.uplink.queue_depth``), attached
+  per-:class:`~repro.sim.simulator.Simulator` via
+  :meth:`~repro.sim.simulator.Simulator.use_metrics` so forked trials
+  stay independent;
+* probes instrumented into the link emulator, TCP, the HTTP server's
+  worker pool, and the browser engine — all pull-based or fired on
+  existing events, never scheduling work of their own;
+* :mod:`~repro.obs.artifact` — JSONL export/import of a registry
+  snapshot (plus :class:`~repro.net.capture.PacketCapture` traces);
+* :mod:`~repro.obs.render` — ASCII time-series, waterfall, and summary
+  renderers, exposed through the ``mm-report`` console script.
+
+The contract is **zero observer effect**: with a registry attached, the
+executed event stream is bit-identical to an uninstrumented run (probes
+only read simulation state and append to observer-owned storage).
+``mm-lint`` rule REP007 enforces this statically over this package, and
+``python -m repro.analysis.sanitizer --obs-check`` enforces it at
+runtime by digest comparison.
+
+Attach the registry *before* building the simulated world — components
+capture their probe handles at construction time::
+
+    sim = Simulator(seed=0)
+    registry = MetricsRegistry.install(sim)
+    # ... build shells / browser, run ...
+    write_artifact("run.jsonl", registry)
+"""
+
+from repro.obs.artifact import (
+    Artifact,
+    capture_to_record,
+    read_artifact,
+    write_artifact,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+from repro.obs.render import (
+    ascii_timeseries,
+    ascii_waterfall,
+    render_artifact,
+    render_capture,
+    summary_table,
+)
+from repro.obs.waterfall import ResourceTiming, Waterfall
+
+__all__ = [
+    "Artifact",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ResourceTiming",
+    "TimeSeries",
+    "Waterfall",
+    "ascii_timeseries",
+    "ascii_waterfall",
+    "capture_to_record",
+    "read_artifact",
+    "render_artifact",
+    "render_capture",
+    "summary_table",
+    "write_artifact",
+]

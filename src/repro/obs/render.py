@@ -1,0 +1,333 @@
+"""ASCII renderers for observability artifacts (the ``mm-report`` view).
+
+Everything renders to plain monospaced text, same as the paper-artifact
+reports in :mod:`repro.measure.report` — greppable, diffable, and
+pasteable into terminals, CI logs, and bug reports.
+
+* :func:`ascii_timeseries` — a step plot of one ``(time, value)`` series.
+* :func:`ascii_waterfall` — per-resource phase bars (DNS / connect / TLS
+  / send / TTFB / download / compute), one row per resource.
+* :func:`summary_table` / :func:`render_capture` / :func:`render_artifact`
+  — the composed report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.measure.report import format_table
+
+__all__ = [
+    "ascii_timeseries",
+    "ascii_waterfall",
+    "render_artifact",
+    "render_capture",
+    "summary_table",
+]
+
+#: Waterfall phase glyphs, in the order phases occur within a fetch.
+PHASE_GLYPHS = (
+    ("dns", "D"),
+    ("connect", "C"),
+    ("tls", "T"),
+    ("send_wait", "="),
+    ("ttfb", "-"),
+    ("download", "#"),
+    ("compute", "+"),
+)
+
+
+def _step_value(points: Sequence[Sequence[float]], t: float) -> float:
+    """Value of a step series at time ``t`` (last point at or before)."""
+    value = points[0][1]
+    for time, v in points:
+        if time > t:
+            break
+        value = v
+    return value
+
+
+def ascii_timeseries(
+    points: Sequence[Sequence[float]],
+    width: int = 64,
+    height: int = 12,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Step plot of one time series as ASCII.
+
+    Args:
+        points: ``(time, value)`` pairs in non-decreasing time order.
+        width / height: plot grid size.
+        title: heading line.
+        unit: y-axis unit label appended to the value labels.
+    """
+    if not points:
+        raise ValueError("no points to plot")
+    t_min = points[0][0]
+    t_max = points[-1][0]
+    if t_max <= t_min:
+        t_max = t_min + 1e-9
+    values = [v for __, v in points]
+    v_min = min(values)
+    v_max = max(values)
+    if v_max <= v_min:
+        v_max = v_min + 1.0
+    grid = [[" "] * width for __ in range(height)]
+    # One sample per column: the step value at the column's time. Columns
+    # between points repeat the held value, which is exactly what a step
+    # series means.
+    for col in range(width):
+        t = t_min + (t_max - t_min) * col / (width - 1 if width > 1 else 1)
+        value = _step_value(points, t)
+        row = int(round((1.0 - (value - v_min) / (v_max - v_min)) * (height - 1)))
+        grid[row][col] = "*"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{v_max:.6g}"), len(f"{v_min:.6g}"))
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = f"{v_max:.6g}"
+        elif i == height - 1:
+            label = f"{v_min:.6g}"
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |" + "".join(row_cells))
+    lines.append(" " * label_width + " +" + "-" * width)
+    left = f"{t_min:.3f}s"
+    right = f"{t_max:.3f}s"
+    pad = max(1, width - len(left) - len(right))
+    lines.append(" " * (label_width + 2) + left + " " * pad + right)
+    if unit:
+        lines.append(" " * (label_width + 2) + f"[{unit}]")
+    return "\n".join(lines)
+
+
+def _phase_segments(entry: Dict[str, object]) -> List[Tuple[str, float]]:
+    """(glyph, duration) segments of one waterfall entry, in fetch order.
+
+    The gap between discovery (plus any DNS charged to this resource)
+    and issue is the scheduler/pool queue wait; it has no recorded phase
+    of its own, so it renders as ``.`` to keep bars contiguous.
+    """
+    segments: List[Tuple[str, float]] = []
+    dns = float(entry.get("dns", -1.0))
+    if dns > 0.0:
+        segments.append(("D", dns))
+    issued = float(entry.get("issued", -1.0))
+    if issued >= 0.0:
+        queued = issued - float(entry["discovered"]) - max(dns, 0.0)
+        if queued > 0.0:
+            segments.append((".", queued))
+    for phase, glyph in PHASE_GLYPHS:
+        if phase == "dns":
+            continue
+        duration = float(entry.get(phase, -1.0))
+        if duration > 0.0:
+            segments.append((glyph, duration))
+    return segments
+
+
+def ascii_waterfall(
+    entries: Sequence[Dict[str, object]],
+    width: int = 64,
+    max_rows: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Per-resource phase bars for one page load.
+
+    Args:
+        entries: waterfall entry records
+            (:meth:`~repro.obs.waterfall.ResourceTiming.to_record` dicts).
+        width: columns available for the time axis.
+        max_rows: show at most this many resources (longest span kept
+            implicitly by discovery order; a trailer notes the cut).
+        title: heading line.
+
+    Each row is one resource: leading blank space until the resource was
+    discovered, then its phases — ``D`` DNS, ``.`` queued before issue,
+    ``C`` connect, ``T`` TLS, ``=`` waiting to send, ``-`` waiting for
+    first byte, ``#`` download, ``+`` compute. A failed fetch renders
+    ``x`` over its span.
+    """
+    if not entries:
+        raise ValueError("no waterfall entries to render")
+    shown = list(entries[:max_rows])
+    t0 = min(float(e["discovered"]) for e in shown)
+    t_end = t0
+    for e in shown:
+        finished = float(e.get("finished", -1.0))
+        t_end = max(t_end, finished if finished >= 0.0 else float(e["discovered"]))
+    span = max(t_end - t0, 1e-9)
+    scale = (width - 1) / span
+
+    def col(t: float) -> int:
+        return max(0, min(width - 1, int(round((t - t0) * scale))))
+
+    name_width = min(40, max(len(_short_url(e)) for e in shown))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'resource'.ljust(name_width)} |{'0'.ljust(width - len(_fmt_ms(span)))}"
+        f"{_fmt_ms(span)}"
+    )
+    lines.append(f"{'-' * name_width}-+{'-' * width}")
+    for entry in shown:
+        row = [" "] * width
+        discovered = float(entry["discovered"])
+        finished = float(entry.get("finished", -1.0))
+        if entry.get("failed"):
+            end = finished if finished >= 0.0 else t_end
+            for c in range(col(discovered), col(end) + 1):
+                row[c] = "x"
+        else:
+            cursor = discovered
+            for glyph, duration in _phase_segments(entry):
+                start_col = col(cursor)
+                cursor += duration
+                for c in range(start_col, col(cursor) + 1):
+                    row[c] = glyph
+            if finished >= 0.0 and col(finished) < width:
+                # Make sure even sub-column fetches leave a mark.
+                if row[col(finished)] == " ":
+                    row[col(finished)] = "#"
+        name = _short_url(entry).ljust(name_width)[:name_width]
+        lines.append(f"{name} |{''.join(row)}")
+    if len(entries) > max_rows:
+        lines.append(f"... ({len(entries) - max_rows} more resources)")
+    lines.append(
+        "phases: D dns  . queued  C connect  T tls  = send-wait  - ttfb  "
+        "# download  + compute  x failed"
+    )
+    return "\n".join(lines)
+
+
+def _short_url(entry: Dict[str, object]) -> str:
+    url = str(entry.get("url", "?"))
+    for prefix in ("https://", "http://"):
+        if url.startswith(prefix):
+            url = url[len(prefix):]
+            break
+    return url if len(url) <= 40 else url[:37] + "..."
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.0f}ms"
+
+
+def summary_table(artifact) -> str:
+    """Counters, gauges, and histogram summaries as one text table."""
+    rows: List[List[str]] = []
+    for name, value in sorted(artifact.counters.items()):
+        rows.append([name, "counter", str(value)])
+    for name, gauge in sorted(artifact.gauges.items()):
+        at = gauge.get("time")
+        suffix = f" @{at:.3f}s" if isinstance(at, (int, float)) else ""
+        rows.append([name, "gauge", f"{gauge.get('value')}{suffix}"])
+    for name, hist in sorted(artifact.histograms.items()):
+        summary = hist.get("summary", {})
+        if summary.get("count"):
+            cell = (
+                f"n={summary['count']:.0f} mean={summary['mean']:.6g} "
+                f"p95={summary['p95']:.6g}"
+            )
+        else:
+            cell = "n=0"
+        rows.append([name, "histogram", cell])
+    for name, points in sorted(artifact.series.items()):
+        if points:
+            values = [p[1] for p in points]
+            cell = (
+                f"n={len(points)} last={values[-1]:.6g} "
+                f"max={max(values):.6g}"
+            )
+        else:
+            cell = "n=0"
+        rows.append([name, "series", cell])
+    for name, waterfall in sorted(artifact.waterfalls.items()):
+        rows.append([name, "waterfall", f"{len(waterfall.entries)} resources"])
+    for name, capture in sorted(artifact.captures.items()):
+        rows.append([
+            name, "capture",
+            f"seen={capture.get('total_seen')} "
+            f"retained={len(capture.get('packets', []))}",
+        ])
+    if not rows:
+        return "(empty artifact)"
+    return format_table(["path", "kind", "value"], rows, title="instruments")
+
+
+def render_capture(capture: Dict[str, object], limit: int = 20) -> str:
+    """tcpdump-style text plus per-protocol totals for a capture record."""
+    lines = [
+        f"capture {capture.get('name', '?')!r} in namespace "
+        f"{capture.get('namespace', '?')!r}: "
+        f"{capture.get('total_seen')} packets seen, "
+        f"{capture.get('total_bytes')} bytes, "
+        f"{len(capture.get('packets', []))} retained "
+        f"(cap {capture.get('max_packets')})"
+    ]
+    by_protocol = capture.get("by_protocol") or {}
+    if by_protocol:
+        lines.append("  " + "  ".join(
+            f"{proto}={count}" for proto, count in sorted(by_protocol.items())
+        ))
+    packets = capture.get("packets") or []
+    for entry in packets[:limit]:
+        time, src, sport, dst, dport, protocol, size, flags = entry
+        flag_text = f" [{flags}]" if flags else ""
+        lines.append(
+            f"  {time:.6f} {protocol} {src}:{sport} > {dst}:{dport} "
+            f"len {size}{flag_text}"
+        )
+    if len(packets) > limit:
+        lines.append(f"  ... ({len(packets) - limit} more retained)")
+    return "\n".join(lines)
+
+
+def render_artifact(
+    artifact,
+    series: Optional[Sequence[str]] = None,
+    width: int = 64,
+    height: int = 12,
+    waterfalls: bool = True,
+    captures: bool = True,
+) -> str:
+    """The full ``mm-report render`` view of one artifact.
+
+    Args:
+        artifact: a loaded :class:`~repro.obs.artifact.Artifact`.
+        series: substrings selecting which series to plot (default: all
+            non-empty series).
+        width / height: plot dimensions.
+        waterfalls / captures: include those sections.
+    """
+    sections: List[str] = []
+    meta = {k: v for k, v in artifact.meta.items() if k != "version"}
+    if meta:
+        sections.append("meta: " + "  ".join(
+            f"{k}={v}" for k, v in sorted(meta.items())
+        ))
+    sections.append(summary_table(artifact))
+    for name in sorted(artifact.series):
+        points = artifact.series[name]
+        if not points:
+            continue
+        if series is not None and not any(s in name for s in series):
+            continue
+        sections.append(ascii_timeseries(
+            points, width=width, height=height, title=name
+        ))
+    if waterfalls:
+        for name in sorted(artifact.waterfalls):
+            waterfall = artifact.waterfalls[name]
+            if waterfall.entries:
+                sections.append(ascii_waterfall(
+                    waterfall.to_records(), width=width, title=name
+                ))
+    if captures:
+        for name in sorted(artifact.captures):
+            sections.append(render_capture(artifact.captures[name]))
+    return "\n\n".join(sections)

@@ -7,12 +7,15 @@ Components schedule callbacks; ``run`` drains the queue in causal order.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.clock import VirtualClock
 from repro.sim.events import Event, EventQueue
 from repro.sim.random import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.registry import MetricsRegistry
 
 
 class Simulator:
@@ -39,11 +42,18 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._trace: Optional[Callable[[Event], None]] = None
+        #: Observability registry (None = uninstrumented). Components read
+        #: this at construction to capture their probe handles, so attach
+        #: a registry *before* building the world (see repro.obs).
+        self.metrics: Optional["MetricsRegistry"] = None
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
-        return self._clock.now
+        # Reads the clock's slot directly: this property is the single
+        # most-called function in a simulation, and going through
+        # Clock.now would stack a second property frame on every read.
+        return self._clock._now
 
     @property
     def streams(self) -> RandomStreams:
@@ -96,6 +106,19 @@ class Simulator:
         if not event.cancelled:
             event.cancel()
             self._queue.note_cancelled()
+
+    def use_metrics(self, registry: Optional["MetricsRegistry"]) -> None:
+        """Attach (or, with None, detach) an observability registry.
+
+        The registry is observer-owned state: probes only ever *read*
+        simulation state and append observations, so attaching one must
+        not change the executed event stream in any way (the
+        zero-observer-effect contract, checked by
+        ``repro.analysis.sanitizer --obs-check``). Attach before
+        building the world — instrumented components capture their probe
+        handles when constructed.
+        """
+        self.metrics = registry
 
     def set_trace(self, hook: Optional[Callable[[Event], None]]) -> None:
         """Install (or, with None, remove) an execution observer.

@@ -41,6 +41,7 @@ class RttEstimator:
         self._rttvar = 0.0
         self._backoff = 1
         self.samples = 0
+        self._rto = self._compute_rto()
 
     @property
     def srtt(self) -> Optional[float]:
@@ -65,10 +66,9 @@ class RttEstimator:
             self._srtt = (1 - self.ALPHA) * self._srtt + self.ALPHA * rtt
         self._backoff = 1
         self.samples += 1
+        self._rto = self._compute_rto()
 
-    @property
-    def rto(self) -> float:
-        """Current retransmission timeout, including any backoff."""
+    def _compute_rto(self) -> float:
         if self._srtt is None:
             base = self._initial_rto
         else:
@@ -76,9 +76,20 @@ class RttEstimator:
         base = max(self.min_rto, min(self.max_rto, base))
         return min(self.max_rto, base * self._backoff)
 
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout, including any backoff.
+
+        Cached: recomputed only when the estimator state changes
+        (:meth:`add_sample` / :meth:`on_timeout`), because timer arming
+        and observability probes read it on every ACK.
+        """
+        return self._rto
+
     def on_timeout(self) -> None:
         """Double the timeout (called when the RTO timer fires)."""
         self._backoff = min(self._backoff * 2, 64)
+        self._rto = self._compute_rto()
 
     def __repr__(self) -> str:
         srtt = f"{self._srtt * 1000:.1f}ms" if self._srtt is not None else "-"

@@ -250,6 +250,31 @@ class TcpConnection:
         self.retransmissions = 0
         self.established_at: Optional[float] = None
 
+        # Observability probes: cwnd and RTO step series, recorded at the
+        # points where they change (established / ACK growth / fast
+        # retransmit / timeout). Handles captured once; uninstrumented
+        # connections pay one None check per potential change.
+        registry = sim.metrics
+        if registry is not None:
+            role = "server" if passive else "client"
+            path = (
+                f"tcp.{role}.{local.address}:{local.port}-"
+                f"{remote.address}:{remote.port}"
+            )
+            self._obs_cwnd = registry.timeseries(f"{path}.cwnd")
+            self._obs_rto = registry.timeseries(f"{path}.rto")
+            self._obs_cwnd_pts = self._obs_cwnd.points
+            self._obs_rto_pts = self._obs_rto.points
+        else:
+            self._obs_cwnd = None
+            self._obs_rto = None
+            self._obs_cwnd_pts = None
+            self._obs_rto_pts = None
+        # Last values recorded, cached as plain attributes so the per-ACK
+        # probe is two compares before any series work happens.
+        self._obs_prev_cwnd = -1
+        self._obs_prev_rto = -1.0
+
     # ------------------------------------------------------------------ #
     # public API
 
@@ -400,10 +425,33 @@ class TcpConnection:
         self._established_fired = True
         self.state = ESTABLISHED
         self.established_at = self.sim.now
+        self._obs_record()
         if self._snd_una == self._snd_nxt:
             self._rto_timer.stop()
         if self.on_established is not None:
             self.on_established()
+
+    def _obs_record(self) -> None:
+        """Record cwnd/RTO step points (no-op when uninstrumented).
+
+        Runs once per ACK on bulk transfers, so it is fully inlined:
+        values are compared against cached previous ones, and only
+        changes pay for a clock read and a point append.
+        """
+        if self._obs_cwnd is None:
+            return
+        cwnd = self._cc.cwnd
+        rto = self._rtt.rto
+        cwnd_changed = cwnd != self._obs_prev_cwnd
+        if not cwnd_changed and rto == self._obs_prev_rto:
+            return
+        now = self.sim.now
+        if cwnd_changed:
+            self._obs_prev_cwnd = cwnd
+            self._obs_cwnd_pts.append((now, float(cwnd)))
+        if rto != self._obs_prev_rto:
+            self._obs_prev_rto = rto
+            self._obs_rto_pts.append((now, rto))
 
     # ------------------------------------------------------------------ #
     # ACK processing (sender side)
@@ -456,6 +504,7 @@ class TcpConnection:
                     self._arm_rto()
             if self._established_fired and new_offset > old_offset:
                 self._cc.on_ack(new_offset - old_offset)
+                self._obs_record()
             # Teardown progress.
             if self._fin_sent and ack == self._snd_nxt:
                 self._fin_acked()
@@ -482,6 +531,7 @@ class TcpConnection:
         self._in_recovery = True
         self._recover_seq = self._snd_nxt
         self._cc.on_fast_retransmit()
+        self._obs_record()
         self._rexmit_next = self._snd_una
         self._rtt_seq = None
         self._arm_rto()
@@ -739,6 +789,7 @@ class TcpConnection:
         self._rtt.on_timeout()
         if self._established_fired:
             self._cc.on_timeout()
+        self._obs_record()
         self._in_recovery = False
         self._dupacks = 0
         self._rexmit_next = 0

@@ -410,6 +410,7 @@ class TestLintInfrastructure:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
         ]
 
     def test_lint_paths_walks_directories(self, tmp_path):
@@ -422,6 +423,78 @@ class TestLintInfrastructure:
         diags = lint_paths([tmp_path])
         assert [d.code for d in diags] == ["REP001"]
         assert diags[0].path.endswith("bad.py")
+
+
+OBS_PATH = "src/repro/obs/probe.py"
+
+
+class TestRep007ObserverDomain:
+    def test_schedule_call_flagged_in_obs_domain(self):
+        src = """
+            def probe(sim):
+                sim.schedule(0.1, probe, sim)
+        """
+        assert codes(src, path=OBS_PATH) == ["REP007"]
+
+    def test_cancel_and_set_trace_flagged(self):
+        src = """
+            def probe(sim, handle, digest):
+                sim.cancel(handle)
+                sim.set_trace(digest)
+        """
+        assert codes(src, path=OBS_PATH) == ["REP007", "REP007"]
+
+    def test_sim_attribute_write_flagged(self):
+        src = """
+            def attach(sim, registry):
+                sim.metrics = registry
+        """
+        assert codes(src, path=OBS_PATH) == ["REP007"]
+
+    def test_queue_mutation_flagged(self):
+        src = """
+            def probe(pipe, packet):
+                pipe.queue.push(packet)
+        """
+        assert codes(src, path=OBS_PATH) == ["REP007"]
+
+    def test_reads_and_observer_writes_allowed(self):
+        # The shape real probes take: read sim state, append to
+        # observer-owned storage, store a sim reference.
+        src = """
+            class Probe:
+                def __init__(self, sim):
+                    self.sim = sim
+                    self.points = []
+
+                def record(self):
+                    self.points.append((self.sim.now, len(self.sim._queue)))
+        """
+        assert codes(src, path=OBS_PATH) == []
+
+    def test_use_metrics_call_allowed(self):
+        # MetricsRegistry.install attaches via the simulator's own API.
+        src = """
+            def install(sim, registry):
+                sim.use_metrics(registry)
+        """
+        assert codes(src, path=OBS_PATH) == []
+
+    def test_same_code_unflagged_outside_obs_domain(self):
+        src = """
+            def driver(sim):
+                sim.schedule(0.1, driver, sim)
+                sim.metrics = None
+        """
+        assert codes(src, path=SIM_PATH) == []
+        assert codes(src, path=OUTSIDE_PATH) == []
+
+    def test_escape_hatch_disables_rep007(self):
+        src = """
+            def probe(sim):
+                sim.schedule(0.1, probe, sim)  # mm-lint: disable=REP007
+        """
+        assert codes(src, path=OBS_PATH) == []
 
 
 class TestCli:

@@ -196,3 +196,39 @@ class TestReport:
 
     def test_percent_diff(self):
         assert percent_diff(12.0, 10.0) == pytest.approx(20.0)
+
+    def test_percent_diff_is_the_stats_implementation(self):
+        # Deduplicated: report re-exports the canonical stats function.
+        assert percent_diff is percent_difference
+
+    def test_percent_diff_zero_reference_raises(self):
+        with pytest.raises(ValueError):
+            percent_diff(1.0, 0.0)
+
+    def test_format_table_golden(self):
+        text = format_table(
+            ["name", "n"],
+            [["uplink", "3"], ["downlink", "12"]],
+            title="links",
+        )
+        assert text == "\n".join([
+            "links",
+            "name      n ",
+            "------------",
+            "uplink    3 ",
+            "downlink  12",
+        ])
+
+    def test_ascii_cdf_golden(self):
+        plot = ascii_cdf(
+            {"a": Sample([0.0, 1.0])}, width=6, height=3,
+            unit="s", scale=1.0,
+        )
+        assert plot == "\n".join([
+            "1.00 |     *",
+            "0.50 |*     ",
+            "0.00 |      ",
+            "     +------",
+            "      0s  1s",
+            "      * = a",
+        ])

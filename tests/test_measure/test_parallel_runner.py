@@ -173,6 +173,56 @@ class TestParallelRunner:
             run_page_loads(factory, trials=2).sample.values
 
 
+def _instrumented_factory(site, store=None):
+    from repro.obs import MetricsRegistry
+
+    if store is None:
+        store = site.to_recorded_site()
+
+    def factory(trial):
+        sim = Simulator(seed=trial)
+        registry = MetricsRegistry.install(sim)
+        # A per-trial marker series so ordering is checkable after merge.
+        registry.timeseries("trial_marker").record(0.0, float(trial))
+        machine = HostMachine(sim)
+        stack = ShellStack(machine)
+        stack.add_replay(store)
+        browser = Browser(sim, stack.transport, stack.resolver_endpoint,
+                          machine=machine)
+        return sim, browser.load(site.page)
+
+    return factory
+
+
+class TestMetricsRideAlong:
+    def test_serial_metrics_in_trial_order(self):
+        site = generate_site("obs-ser.com", seed=58, n_origins=3, scale=0.5)
+        result = run_page_loads(_instrumented_factory(site), trials=3)
+        registries = result.metrics
+        assert len(registries) == 3
+        for trial, registry in enumerate(registries):
+            assert registry is not None
+            assert registry.series["trial_marker"].last == float(trial)
+
+    @needs_fork
+    def test_parallel_metrics_pickle_back_in_trial_order(self):
+        site = generate_site("obs-par.com", seed=59, n_origins=3, scale=0.5)
+        factory = _instrumented_factory(site)
+        parallel = ParallelRunner(workers=3).run_page_loads(factory, trials=4)
+        for trial, registry in enumerate(parallel.metrics):
+            assert registry.series["trial_marker"].last == float(trial)
+        merged = parallel.merged_metrics()
+        assert merged.series["trial2.trial_marker"].last == 2.0
+        # Instrumented probes rode along too, not just the marker.
+        assert any(".cwnd" in name for name in merged.series)
+
+    def test_uninstrumented_merged_metrics_is_none(self):
+        site = generate_site("obs-none.com", seed=60, n_origins=3, scale=0.5)
+        result = run_page_loads(_make_factory(site), trials=2)
+        assert result.metrics == [None, None]
+        assert result.merged_metrics() is None
+
+
 class TestComparePageLoadsWorkers:
     @needs_fork
     def test_workers_do_not_change_comparison(self):

@@ -51,6 +51,25 @@ class TestPacketCapture:
         assert len(capture.packets) == 5
         assert capture.total_seen > 5
 
+    def test_overflowed_capture_exports_both_bound_and_totals(self, tmp_path):
+        # Regression: the obs export path must preserve the distinction
+        # between what a bounded capture retained and what it counted.
+        from repro.obs import capture_to_record, read_artifact, write_artifact
+
+        world = delayed_world(0.010)
+        capture = PacketCapture(world.server_ns, max_packets=5)
+        run_transfer(world)
+        record = capture_to_record(capture, name="server")
+        assert len(record["packets"]) == 5
+        assert record["total_seen"] == capture.total_seen > 5
+        assert record["total_bytes"] == capture.total_bytes
+        path = write_artifact(tmp_path / "cap.jsonl",
+                              captures={"server": capture})
+        loaded = read_artifact(path).captures["server"]
+        assert len(loaded["packets"]) == 5
+        assert loaded["total_seen"] == capture.total_seen
+        assert loaded["by_protocol"]["tcp"] == capture.total_seen
+
     def test_stop(self):
         world = delayed_world(0.010)
         capture = PacketCapture(world.server_ns)

@@ -1,0 +1,136 @@
+"""Unit coverage for the metrics registry and its instrument kinds."""
+
+import pickle
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+from repro.sim import Simulator
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("drops")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_negative_add_rejected(self):
+        counter = Counter("drops")
+        with pytest.raises(ValueError, match="negative add"):
+            counter.add(-1)
+
+
+class TestGauge:
+    def test_unset_then_set(self):
+        gauge = Gauge("depth")
+        assert gauge.value is None and gauge.time is None
+        gauge.set(3.0, 1.5)
+        gauge.set(7.0, 2.5)
+        assert gauge.value == 7.0
+        assert gauge.time == 2.5
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = Histogram("latency")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(v)
+        summary = histogram.summary()
+        assert summary["count"] == 4.0
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+
+    def test_empty_summary(self):
+        assert Histogram("latency").summary() == {"count": 0}
+
+
+class TestTimeSeries:
+    def test_record_appends_every_point(self):
+        series = TimeSeries("depth")
+        series.record(0.0, 1.0)
+        series.record(1.0, 1.0)
+        assert series.points == [(0.0, 1.0), (1.0, 1.0)]
+        assert series.last == 1.0
+
+    def test_record_changed_collapses_runs(self):
+        series = TimeSeries("cwnd")
+        series.record_changed(0.0, 10.0)
+        series.record_changed(1.0, 10.0)  # unchanged: dropped
+        series.record_changed(2.0, 20.0)
+        assert series.points == [(0.0, 10.0), (2.0, 20.0)]
+        assert len(series) == 2
+
+    def test_last_on_empty(self):
+        assert TimeSeries("x").last is None
+
+
+class TestMetricsRegistry:
+    def test_accessors_create_once_and_return_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert registry.timeseries("d") is registry.timeseries("d")
+        assert registry.waterfall("e") is registry.waterfall("e")
+        assert len(registry) == 5
+
+    def test_names_sorted_across_kinds(self):
+        registry = MetricsRegistry()
+        registry.timeseries("z.series")
+        registry.counter("a.counter")
+        registry.gauge("m.gauge")
+        assert registry.names() == ["a.counter", "m.gauge", "z.series"]
+
+    def test_install_attaches_to_simulator(self):
+        sim = Simulator(seed=0)
+        assert sim.metrics is None
+        registry = MetricsRegistry.install(sim)
+        assert sim.metrics is registry
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").add(2)
+        registry.gauge("g").set(1.0, 0.5)
+        registry.histogram("h").observe(3.0)
+        registry.timeseries("s").record(0.0, 1.0)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == json.loads(
+            json.dumps(snapshot)
+        )
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["series"] == {"s": [[0.0, 1.0]]}
+
+    def test_registry_pickles(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(3)
+        registry.timeseries("s").record(1.0, 2.0)
+        registry.waterfall("w").start("http://a/", "html", 0.0)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.counters["c"].value == 3
+        assert clone.series["s"].points == [(1.0, 2.0)]
+        assert len(clone.waterfalls["w"].entries) == 1
+
+
+class TestMergeTrials:
+    def test_merges_in_trial_order_with_prefixes(self):
+        trials = []
+        for value in (10, 20):
+            registry = MetricsRegistry()
+            registry.counter("link.drops").add(value)
+            registry.timeseries("link.depth").record(0.0, float(value))
+            trials.append(registry)
+        merged = MetricsRegistry.merge_trials(trials)
+        assert merged.counters["trial0.link.drops"].value == 10
+        assert merged.counters["trial1.link.drops"].value == 20
+        assert merged.series["trial1.link.depth"].points == [(0.0, 20.0)]
+
+    def test_none_entries_keep_their_index(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(1)
+        merged = MetricsRegistry.merge_trials([None, registry])
+        assert "trial0.c" not in merged.counters
+        assert merged.counters["trial1.c"].value == 1

@@ -1,0 +1,146 @@
+"""Golden-output coverage for the ASCII renderers."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    ResourceTiming,
+    ascii_timeseries,
+    ascii_waterfall,
+    read_artifact,
+    render_artifact,
+    render_capture,
+    summary_table,
+    write_artifact,
+)
+
+
+class TestAsciiTimeseries:
+    def test_step_plot_golden(self):
+        plot = ascii_timeseries(
+            [(0.0, 0.0), (1.0, 2.0), (2.0, 2.0), (3.0, 4.0)],
+            width=8, height=3, title="depth", unit="pkts",
+        )
+        assert plot == "\n".join([
+            "depth",
+            "4 |       *",
+            "  |   **** ",
+            "0 |***     ",
+            "  +--------",
+            "   0.000s 3.000s",
+            "   [pkts]",
+        ])
+
+    def test_flat_series_renders_on_one_row(self):
+        plot = ascii_timeseries([(0.0, 5.0), (1.0, 5.0)], width=6, height=3)
+        lines = plot.splitlines()
+        assert lines[2] == "5 |******"  # bottom data row holds the value
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="no points"):
+            ascii_timeseries([])
+
+
+def waterfall_records():
+    return [
+        {
+            "url": "http://site.test/", "kind": "html",
+            "discovered": 0.0, "issued": 0.01, "dns": 0.01,
+            "connect": 0.02, "tls": -1.0, "send_wait": 0.0,
+            "ttfb": 0.04, "download": 0.02, "compute": 0.01,
+            "finished": 0.1, "size": 5000, "failed": False, "error": "",
+        },
+        {
+            "url": "http://site.test/a.js", "kind": "js",
+            "discovered": 0.1, "issued": 0.12, "dns": -1.0,
+            "connect": -1.0, "tls": -1.0, "send_wait": 0.0,
+            "ttfb": 0.04, "download": 0.01, "compute": 0.0,
+            "finished": 0.17, "size": 800, "failed": False, "error": "",
+        },
+        {
+            "url": "http://dead.test/x.png", "kind": "img",
+            "discovered": 0.1, "issued": -1.0, "dns": -1.0,
+            "connect": -1.0, "tls": -1.0, "send_wait": -1.0,
+            "ttfb": -1.0, "download": -1.0, "compute": -1.0,
+            "finished": 0.2, "size": 0, "failed": True, "error": "nxdomain",
+        },
+    ]
+
+
+class TestAsciiWaterfall:
+    def test_rows_phases_and_legend(self):
+        text = ascii_waterfall(waterfall_records(), width=40, title="page")
+        lines = text.splitlines()
+        assert lines[0] == "page"
+        body = {line.split(" |")[0].strip(): line.split(" |")[1]
+                for line in lines[3:6]}
+        root = body["site.test/"]
+        # Phases appear in fetch order with no gaps inside the bar.
+        bar = root.rstrip()
+        assert bar.lstrip() == bar  # root starts at t=0
+        for glyph in ("D", "C", "-", "#", "+"):
+            assert glyph in bar
+        stripped = bar.replace(" ", "")
+        assert stripped == bar  # contiguous: no floating segments
+        # The failed fetch renders x over its span.
+        assert set(body["dead.test/x.png"].strip()) == {"x"}
+        assert lines[-1].startswith("phases: D dns  . queued  C connect")
+
+    def test_row_cap_reports_the_cut(self):
+        records = waterfall_records() * 3
+        text = ascii_waterfall(records, width=30, max_rows=4)
+        assert f"({len(records) - 4} more resources)" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no waterfall entries"):
+            ascii_waterfall([])
+
+
+def small_artifact(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("link.drops").add(2)
+    registry.timeseries("link.depth").record(0.0, 1.0)
+    registry.timeseries("link.depth").record(0.5, 3.0)
+    registry.timeseries("tcp.cwnd").record(0.0, 14600.0)
+    registry.timeseries("tcp.cwnd").record(0.2, 29200.0)
+    for record in waterfall_records():
+        registry.waterfall("browser.page").entries.append(
+            ResourceTiming.from_record(record)
+        )
+    path = write_artifact(tmp_path / "run.jsonl", registry=registry,
+                          meta={"seed": 3})
+    return read_artifact(path)
+
+
+class TestComposedReport:
+    def test_summary_table_lists_every_instrument(self, tmp_path):
+        table = summary_table(small_artifact(tmp_path))
+        assert "link.drops" in table and "counter" in table
+        assert "tcp.cwnd" in table and "series" in table
+        assert "browser.page" in table and "3 resources" in table
+
+    def test_render_artifact_has_plots_and_waterfall(self, tmp_path):
+        text = render_artifact(small_artifact(tmp_path), width=32, height=4)
+        assert "seed=3" in text
+        assert "link.depth" in text
+        assert "phases: D dns" in text  # waterfall made it in
+
+    def test_series_filter_selects_substring(self, tmp_path):
+        text = render_artifact(small_artifact(tmp_path), series=["cwnd"],
+                               width=32, height=4, waterfalls=False)
+        assert "tcp.cwnd\n" in text + "\n"
+        assert "link.depth\n" not in text + "\n"
+
+    def test_render_capture_shows_overflow(self):
+        text = render_capture({
+            "name": "client", "namespace": "client-0",
+            "total_seen": 9, "total_bytes": 4096, "max_packets": 1,
+            "by_protocol": {"tcp": 8, "udp": 1},
+            "packets": [
+                [0.001, "10.0.0.1", 9, "10.0.0.2", 80, "tcp", 512, "SA"],
+            ],
+        })
+        assert "9 packets seen" in text
+        assert "1 retained" in text
+        assert "tcp=8  udp=1" in text
+        assert "[SA]" in text
