@@ -33,6 +33,7 @@ reproduced tables and figures.
 """
 
 from repro.browser import Browser, BrowserConfig, PageLoadResult, PageModel, Resource, Url
+from repro.chaos import FaultPlan
 from repro.core import (
     DelayShell,
     HostMachine,
@@ -63,6 +64,7 @@ __all__ = [
     "BrowserConfig",
     "DelayShell",
     "DropTailQueue",
+    "FaultPlan",
     "HostMachine",
     "Internet",
     "LinkShell",

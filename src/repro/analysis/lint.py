@@ -72,7 +72,8 @@ __all__ = [
 #: Directories whose code runs inside the simulated world. A file is
 #: "simulation-domain" when any of its path components is one of these.
 SIM_DOMAIN_DIRS = frozenset(
-    {"sim", "linkem", "transport", "core", "browser", "web", "dns", "http"}
+    {"sim", "linkem", "transport", "core", "browser", "web", "dns", "http",
+     "chaos"}
 )
 
 #: Directories whose code *observes* the simulated world. A file is

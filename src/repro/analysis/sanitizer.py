@@ -317,6 +317,75 @@ def _smoke_scenario(seed: int, instrument: bool = False) -> Simulator:
     return sim
 
 
+def _chaos_plan():
+    """The sanitizer's nontrivial fault plan: every injection layer.
+
+    A downlink outage, a bursty-loss chain, one server stall, and one
+    DNS SERVFAIL — so the chaos digest covers link suppression, the GE
+    RNG stream, the server fault path (split/stall/resume), and the DNS
+    fault path in a single scenario.
+    """
+    from repro.chaos import (
+        DnsFaultClause,
+        FaultPlan,
+        GilbertElliottClause,
+        OutageClause,
+        ServerFaultClause,
+    )
+
+    return FaultPlan(
+        clauses=(
+            OutageClause(direction="downlink", start=0.35, duration=0.15),
+            GilbertElliottClause(
+                direction="downlink",
+                p_good_bad=0.05, p_bad_good=0.4, loss_bad=0.5,
+            ),
+            ServerFaultClause(
+                kind="stall", skip=3, count=1, after_bytes=512, stall=0.3,
+            ),
+            DnsFaultClause(kind="servfail", skip=1, count=1),
+        ),
+        name="sanitizer",
+    )
+
+
+def _chaos_scenario(seed: int, instrument: bool = False) -> Simulator:
+    """The smoke scenario under fault injection.
+
+    Same world as :func:`_smoke_scenario` plus a ChaosShell running
+    :func:`_chaos_plan` between the link and the delay — the determinism
+    contract must hold with every fault layer firing (same seed + same
+    plan => bit-identical event stream).
+    """
+    from repro.browser import Browser
+    from repro.core import HostMachine, ShellStack
+    from repro.corpus.sitegen import generate_site
+
+    site = generate_site("smoke.example", seed=seed, n_origins=4, scale=0.3)
+    sim = Simulator(seed=seed)
+    if instrument:
+        from repro.obs import MetricsRegistry
+
+        MetricsRegistry.install(sim)
+    machine = HostMachine(sim)
+    stack = ShellStack(machine)
+    stack.add_replay(site.to_recorded_site())
+    stack.add_link(14.0, 14.0)
+    stack.add_chaos(_chaos_plan())
+    stack.add_delay(0.030)
+    browser = Browser(
+        sim, stack.transport, stack.resolver_endpoint, machine=machine
+    )
+    browser.load(site.page)
+    return sim
+
+
+_SCENARIOS = {
+    "smoke": _smoke_scenario,
+    "chaos": _chaos_scenario,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """2-run digest check over the built-in smoke scenario."""
     parser = argparse.ArgumentParser(
@@ -327,6 +396,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--runs", type=int, default=2)
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(_SCENARIOS),
+        default="smoke",
+        help="smoke: plain replay stack; chaos: the same stack under a "
+        "nontrivial fault plan (outage + Gilbert-Elliott loss + server "
+        "stall + DNS SERVFAIL)",
+    )
     parser.add_argument(
         "--max-events",
         type=int,
@@ -341,9 +418,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "the uninstrumented run's",
     )
     options = parser.parse_args(argv)
+    scenario = _SCENARIOS[options.scenario]
     try:
         report = check_determinism(
-            _smoke_scenario,
+            scenario,
             seed=options.seed,
             runs=options.runs,
             max_events=options.max_events,
@@ -355,7 +433,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if options.obs_check:
         try:
             obs_report = check_observer_effect(
-                _smoke_scenario,
+                scenario,
                 seed=options.seed,
                 max_events=options.max_events,
             )

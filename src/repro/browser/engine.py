@@ -21,7 +21,7 @@ from repro.browser.config import BrowserConfig
 from repro.browser.resources import PageModel, Resource, Url
 from repro.core.machine import HostMachine
 from repro.dns.resolver import StubResolver
-from repro.errors import BrowserError
+from repro.errors import BrowserError, DnsError
 from repro.http.client import FailableCallback, HttpClient
 from repro.http.message import Headers, HttpRequest, HttpResponse
 from repro.net.address import Endpoint, IPv4Address
@@ -42,6 +42,11 @@ class PageLoadResult:
         self.connections_opened = 0
         self.dns_lookups = 0
         self.errors: List[str] = []
+        #: Structured failures: (url, exception) per failed fetch. The
+        #: exceptions are the client's typed errors (ResetMidTransfer,
+        #: TruncatedBody, DnsError...), picklable across ParallelRunner
+        #: workers, and what measure.robustness classifies.
+        self.failures: List[Tuple[str, Exception]] = []
         # url text -> (request_enqueued, response_done) in sim time.
         self.timings: Dict[str, Tuple[float, float]] = {}
         #: The trial's MetricsRegistry (attached by measure.runner.run_trial
@@ -357,9 +362,22 @@ class _PageLoad:
             if self.on_complete is not None:
                 self.on_complete(self.result)
 
-    def fail_resource(self, resource: Resource, message: str) -> None:
-        """Record a failure and count the resource as finished."""
+    def fail_resource(
+        self, resource: Resource, message, exc: Optional[Exception] = None
+    ) -> None:
+        """Record a failure and count the resource as finished.
+
+        ``message`` may be an Exception; the typed failure then lands in
+        ``result.failures`` while ``result.errors`` keeps its flat string
+        form.
+        """
+        if isinstance(message, Exception):
+            if exc is None:
+                exc = message
+            message = str(message)
         self.result.errors.append(f"{resource.url}: {message}")
+        if exc is not None:
+            self.result.failures.append((str(resource.url), exc))
         timing = self.obs_entry(resource)
         if timing is not None:
             timing.error = message
@@ -376,6 +394,7 @@ class _HostEntry:
         self.url = sample_url
         self.address: Optional[IPv4Address] = None
         self.failed: Optional[str] = None
+        self.failed_exc: Optional[Exception] = None
         self._waiting: Deque[Resource] = deque()
         # HAR convention: the lookup is charged to the resource that
         # triggered it (``obs_owner`` is its waterfall entry, or None).
@@ -386,7 +405,8 @@ class _HostEntry:
 
     def enqueue(self, resource: Resource) -> None:
         if self.failed is not None:
-            self.load.fail_resource(resource, self.failed)
+            self.load.fail_resource(resource, self.failed,
+                                    exc=self.failed_exc)
             return
         if self.address is None:
             self._waiting.append(resource)
@@ -395,11 +415,15 @@ class _HostEntry:
 
     def _resolved(self, addresses, error) -> None:
         if error is not None or not addresses:
+            if error is None:
+                error = DnsError(f"no addresses for {self.url.host!r}")
             self.failed = f"DNS failure: {error}"
+            self.failed_exc = error
             waiting = list(self._waiting)
             self._waiting.clear()
             for resource in waiting:
-                self.load.fail_resource(resource, self.failed)
+                self.load.fail_resource(resource, self.failed,
+                                        exc=self.failed_exc)
             return
         if self._obs_owner is not None:
             self._obs_owner.dns = self.load.browser.sim.now - self._created_at
@@ -494,7 +518,7 @@ class _EndpointPool:
                 self.load.resource_done(resource, response)
         callback = FailableCallback(
             on_response,
-            lambda exc: self.load.fail_resource(resource, str(exc)),
+            lambda exc: self.load.fail_resource(resource, exc),
         )
         conn.request(request, callback)
 

@@ -1,0 +1,63 @@
+"""repro.chaos — deterministic, schedule-driven fault injection.
+
+Real networks fail in structured ways: bursty loss, outages, wedged
+servers, flaky DNS. This package expresses those failures as a declarative
+:class:`~repro.chaos.plan.FaultPlan` and injects them through the layers
+that already exist — link pipes, HTTP servers, the DNS server — with every
+stochastic decision drawn from the simulation's named seeded streams.
+Same seed + same plan ⇒ the exact same failure sequence, bit for bit
+(DESIGN.md §8): chaos engineering with reproducible chaos.
+
+Entry points:
+
+* :class:`FaultPlan` + clause dataclasses — build or ``from_json`` a plan;
+* :meth:`repro.core.compose.ShellStack.add_chaos` — compose a
+  :class:`ChaosShell` into a stack and wire server/DNS injectors;
+* ``mm-chaos plan.json`` on the command line, nesting like every other
+  Mahimahi shell;
+* :mod:`repro.measure.robustness` — the failure taxonomy and robustness
+  trial runner that consume the structured errors faults produce.
+"""
+
+from repro.chaos.ge import GilbertElliott
+from repro.chaos.inject import DnsFaultInjector, ServerFaultInjector
+from repro.chaos.pipes import ChaosPipe
+from repro.chaos.plan import (
+    CorruptionClause,
+    DnsFaultClause,
+    FaultPlan,
+    GilbertElliottClause,
+    OutageClause,
+    OutageSchedule,
+    ReorderClause,
+    ServerFaultClause,
+    SynBlackholeClause,
+)
+
+__all__ = [
+    "ChaosPipe",
+    "ChaosShell",
+    "CorruptionClause",
+    "DnsFaultClause",
+    "DnsFaultInjector",
+    "FaultPlan",
+    "GilbertElliott",
+    "GilbertElliottClause",
+    "OutageClause",
+    "OutageSchedule",
+    "ReorderClause",
+    "ServerFaultClause",
+    "ServerFaultInjector",
+    "SynBlackholeClause",
+]
+
+
+def __getattr__(name: str):
+    # ChaosShell imports repro.core.base, and repro.core's package init
+    # imports modules that import repro.chaos.pipes — a lazy attribute
+    # keeps the package import acyclic from either end.
+    if name == "ChaosShell":
+        from repro.chaos.shell import ChaosShell
+
+        return ChaosShell
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,73 @@
+"""The Gilbert–Elliott bursty-loss channel model.
+
+A two-state Markov chain stepped once per packet: the *good* state drops
+packets with probability ``loss_good`` (usually 0), the *bad* state with
+``loss_bad`` (often 1). Transitions happen per packet with probabilities
+``p_good_bad`` / ``p_bad_good``, giving geometrically distributed burst
+lengths with mean ``1 / p_bad_good`` — the standard model for the bursty
+loss that Bernoulli ``mm-loss`` cannot express (wireless fading, deep
+queue overflow).
+
+Determinism: the chain draws exclusively from the injected ``rng`` (a
+named stream from :mod:`repro.sim.random`), exactly two draws per packet
+in a fixed order (transition, then loss), so the drop pattern is a pure
+function of the seed and the packet arrival sequence.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.plan import GilbertElliottClause
+
+GOOD = "good"
+BAD = "bad"
+
+
+class GilbertElliott:
+    """One instance of the channel (one direction's chain).
+
+    Args:
+        clause: the parameter set.
+        rng: a seeded ``random.Random``-like stream; the model's only
+            randomness source.
+    """
+
+    def __init__(self, clause: GilbertElliottClause, rng) -> None:
+        self.clause = clause
+        self._rng = rng
+        self.state = GOOD
+        self.transitions = 0
+        self.packets_seen = 0
+        self.packets_dropped = 0
+
+    def should_drop(self) -> bool:
+        """Step the chain for one packet; True if it should be dropped.
+
+        Draw order is fixed (transition draw, then loss draw) regardless
+        of outcome, so the stream position after N packets depends only
+        on N — a requirement for bit-reproducible replay.
+        """
+        self.packets_seen += 1
+        transition_draw = self._rng.random()
+        loss_draw = self._rng.random()
+        clause = self.clause
+        if self.state == GOOD:
+            if transition_draw < clause.p_good_bad:
+                self.state = BAD
+                self.transitions += 1
+        else:
+            if transition_draw < clause.p_bad_good:
+                self.state = GOOD
+                self.transitions += 1
+        loss_rate = (
+            clause.loss_good if self.state == GOOD else clause.loss_bad
+        )
+        dropped = loss_draw < loss_rate
+        if dropped:
+            self.packets_dropped += 1
+        return dropped
+
+    def __repr__(self) -> str:
+        return (
+            f"<GilbertElliott state={self.state} "
+            f"seen={self.packets_seen} dropped={self.packets_dropped}>"
+        )

@@ -1,0 +1,148 @@
+"""Application-layer fault injectors: server and DNS clause matching.
+
+These are the stateful halves of :class:`~repro.chaos.plan.ServerFaultClause`
+and :class:`~repro.chaos.plan.DnsFaultClause`: each injector counts
+matching requests/queries per clause and decides — deterministically, by
+arrival order — which ones a clause afflicts. One injector is shared
+across all of a ReplayShell's servers (resp. its DNS server), so clause
+counting is site-wide, matching how a real incident hits a backend, not a
+socket.
+
+The injectors hold no randomness: clause matching is pure arrival-order
+arithmetic, so the afflicted request set is identical on every replay.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.chaos.plan import DnsFaultClause, ServerFaultClause
+from repro.sim.simulator import Simulator
+
+
+class _ClauseState:
+    """One clause plus its matched-so-far counter."""
+
+    __slots__ = ("clause", "matched", "fired")
+
+    def __init__(self, clause) -> None:
+        self.clause = clause
+        self.matched = 0
+        self.fired = 0
+
+    def take(self) -> bool:
+        """Count one match; True when the clause afflicts it."""
+        index = self.matched
+        self.matched += 1
+        clause = self.clause
+        if index < clause.skip:
+            return False
+        if clause.count is not None and index >= clause.skip + clause.count:
+            return False
+        self.fired += 1
+        return True
+
+
+class ServerFaultInjector:
+    """Decides which HTTP requests a plan's server clauses afflict.
+
+    Attach to one or more :class:`~repro.http.server.HttpServer` instances
+    via their ``fault_injector`` attribute (``ShellStack.add_chaos`` does
+    this for every replay server). With an observability registry on
+    ``sim``, fault firings are counted per kind under ``obs_path``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clauses: Iterable[ServerFaultClause],
+        obs_path: str = "chaos.server",
+    ) -> None:
+        self.sim = sim
+        self._states: List[_ClauseState] = [
+            _ClauseState(clause) for clause in clauses
+        ]
+        self.faults_fired = 0
+        registry = sim.metrics
+        if registry is not None:
+            self._obs_counters = {
+                kind: registry.counter(f"{obs_path}.{kind}")
+                for kind in ("stall", "reset", "truncate", "error-burst")
+            }
+        else:
+            self._obs_counters = None
+
+    def fault_for(self, request) -> Optional[ServerFaultClause]:
+        """The first clause afflicting this request, if any.
+
+        Called once per request by the serving connection; calling order
+        across servers follows simulation event order, so the outcome is
+        deterministic.
+        """
+        uri = getattr(request, "uri", "")
+        for state in self._states:
+            clause = state.clause
+            if (clause.path_prefix is not None
+                    and not uri.startswith(clause.path_prefix)):
+                continue
+            if state.take():
+                self.faults_fired += 1
+                if self._obs_counters is not None:
+                    self._obs_counters[clause.kind].add(1)
+                return clause
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServerFaultInjector clauses={len(self._states)} "
+            f"fired={self.faults_fired}>"
+        )
+
+
+class DnsFaultInjector:
+    """Decides which DNS queries a plan's DNS clauses afflict.
+
+    Attach to a :class:`~repro.dns.server.DnsServer` via its
+    ``fault_injector`` attribute.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clauses: Iterable[DnsFaultClause],
+        obs_path: str = "chaos.dns",
+    ) -> None:
+        self.sim = sim
+        self._states: List[_ClauseState] = [
+            _ClauseState(clause) for clause in clauses
+        ]
+        self.faults_fired = 0
+        registry = sim.metrics
+        if registry is not None:
+            self._obs_counters = {
+                kind: registry.counter(f"{obs_path}.{kind}")
+                for kind in ("servfail", "timeout", "slow")
+            }
+        else:
+            self._obs_counters = None
+
+    def fault_for(self, name: str) -> Optional[DnsFaultClause]:
+        """The first clause afflicting a query for ``name``, if any."""
+        name = name.lower()
+        for state in self._states:
+            clause = state.clause
+            if (clause.name_suffix is not None
+                    and not name.endswith(clause.name_suffix.lower())):
+                continue
+            if state.take():
+                self.faults_fired += 1
+                if self._obs_counters is not None:
+                    self._obs_counters[clause.kind].add(1)
+                return clause
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<DnsFaultInjector clauses={len(self._states)} "
+            f"fired={self.faults_fired}>"
+        )

@@ -1,0 +1,83 @@
+"""ChaosShell: ``mm-chaos <plan.json>``.
+
+A shell whose veth pipes run a :class:`~repro.chaos.plan.FaultPlan`'s link
+clauses — composable with the other shells exactly as Mahimahi shells
+nest::
+
+    mm-webreplay site/ mm-link 14 14 mm-chaos plan.json mm-delay 40 load
+
+Each direction gets its own :class:`~repro.chaos.pipes.ChaosPipe` driven
+by its own named stream (``chaos:<name>:downlink`` / ``:uplink``), so a
+``direction="both"`` clause runs independent chains per direction and the
+whole shell replays bit-identically for a given seed and plan.
+
+Server and DNS clauses do not ride on link pipes; attach them to a
+stack's replay servers with :meth:`repro.core.compose.ShellStack.add_chaos`,
+which builds this shell *and* wires the application-layer injectors.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.pipes import ChaosPipe
+from repro.chaos.plan import FaultPlan
+from repro.core.base import Shell
+from repro.errors import ChaosError
+from repro.net.address import AddressAllocator
+from repro.net.namespace import NetworkNamespace
+from repro.net.pipe import InstantPipe
+from repro.sim.simulator import Simulator
+
+
+class ChaosShell(Shell):
+    """Fault-injecting link pipes around a private namespace.
+
+    Args:
+        sim: the simulator.
+        parent: enclosing namespace.
+        allocator: shared shell address allocator.
+        plan: the fault plan; only its link clauses apply here.
+        name: shell/namespace name (also names the RNG streams).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        parent: NetworkNamespace,
+        allocator: AddressAllocator,
+        plan: FaultPlan,
+        name: str = "chaosshell",
+    ) -> None:
+        if not isinstance(plan, FaultPlan):
+            raise ChaosError(f"plan must be a FaultPlan, got {type(plan)!r}")
+        down_clauses = plan.link_clauses("downlink")
+        up_clauses = plan.link_clauses("uplink")
+        if down_clauses:
+            downlink = ChaosPipe(
+                sim, down_clauses,
+                sim.streams.stream(f"chaos:{name}:downlink"),
+                obs_path=f"chaos.{name}.downlink",
+            )
+        else:
+            downlink = InstantPipe(sim)
+        if up_clauses:
+            uplink = ChaosPipe(
+                sim, up_clauses,
+                sim.streams.stream(f"chaos:{name}:uplink"),
+                obs_path=f"chaos.{name}.uplink",
+            )
+        else:
+            uplink = InstantPipe(sim)
+        super().__init__(sim, parent, allocator, name, downlink, uplink)
+        self.plan = plan
+        #: Application-layer injectors, wired by ShellStack.add_chaos when
+        #: the plan carries server/DNS clauses (None when standalone).
+        self.server_injector = None
+        self.dns_injector = None
+
+    @property
+    def faults_injected(self) -> int:
+        """Link-level fault decisions taken so far (both directions)."""
+        total = 0
+        for pipe in (self.downlink_pipe, self.uplink_pipe):
+            total += getattr(pipe, "faults_injected", 0)
+        return total

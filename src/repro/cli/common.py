@@ -24,8 +24,8 @@ from repro.record.store import RecordedSite
 
 ShellSpec = Tuple[str, Dict]
 
-_KNOWN_INNER = ("mm-delay", "mm-link", "mm-loss", "mm-webreplay",
-                "mm-webrecord")
+_KNOWN_INNER = ("mm-delay", "mm-link", "mm-loss", "mm-chaos",
+                "mm-webreplay", "mm-webrecord")
 
 _CONTENT_KINDS = {
     ".css": "css", ".js": "js", ".jpg": "image", ".jpeg": "image",
@@ -52,12 +52,13 @@ def continue_command_line(argv: List[str], specs: List[ShellSpec]) -> int:
     head = argv[0]
     if head in _KNOWN_INNER:
         from repro.cli import (
-            mm_delay, mm_link, mm_loss, mm_webrecord, mm_webreplay,
+            mm_chaos, mm_delay, mm_link, mm_loss, mm_webrecord, mm_webreplay,
         )
         inner = {
             "mm-delay": mm_delay.run,
             "mm-link": mm_link.run,
             "mm-loss": mm_loss.run,
+            "mm-chaos": mm_chaos.run,
             "mm-webreplay": mm_webreplay.run,
             "mm-webrecord": mm_webrecord.run,
         }[head]
@@ -99,7 +100,13 @@ def build_stack(specs: List[ShellSpec], seed: int = 0):
             stack.add_loss(
                 downlink_loss=args.get("downlink_loss", 0.0),
                 uplink_loss=args.get("uplink_loss", 0.0),
+                downlink_ge=_ge_clause(args.get("downlink_ge"), "downlink"),
+                uplink_ge=_ge_clause(args.get("uplink_ge"), "uplink"),
             )
+        elif kind == "chaos":
+            from repro.chaos.plan import FaultPlan
+
+            stack.add_chaos(FaultPlan.from_json(args["plan_json"]))
         elif kind == "replay":
             replay_store = RecordedSite.load(args["directory"])
             stack.add_replay(replay_store,
@@ -108,6 +115,15 @@ def build_stack(specs: List[ShellSpec], seed: int = 0):
         else:
             raise CliError(f"cannot build shell kind {kind!r}")
     return sim, machine, stack, replay_store
+
+
+def _ge_clause(params, direction: str):
+    """Build a GilbertElliottClause from a spec's plain-dict parameters."""
+    if params is None:
+        return None
+    from repro.chaos.plan import GilbertElliottClause
+
+    return GilbertElliottClause(direction=direction, **params)
 
 
 def _queue(spec):

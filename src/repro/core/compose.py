@@ -88,6 +88,8 @@ class ShellStack:
         self,
         downlink_loss: float = 0.0,
         uplink_loss: float = 0.0,
+        downlink_ge=None,
+        uplink_ge=None,
     ):
         """Nest a LossShell inside the current innermost namespace."""
         from repro.core.lossshell import LossShell
@@ -95,9 +97,61 @@ class ShellStack:
         shell = LossShell(
             self.machine.sim, self.namespace, self.machine.allocator,
             downlink_loss=downlink_loss, uplink_loss=uplink_loss,
+            downlink_ge=downlink_ge, uplink_ge=uplink_ge,
             name=self._name("lossshell"),
         )
         self.shells.append(shell)
+        return shell
+
+    def add_chaos(self, plan):
+        """Nest a ChaosShell driven by ``plan`` (a FaultPlan).
+
+        Link-layer clauses (outage, GE loss, corruption, reorder,
+        SYN blackhole) act on the new shell's boundary. Server and DNS
+        clauses are wired into the stack's ReplayShell: one shared
+        :class:`~repro.chaos.inject.ServerFaultInjector` across all its
+        origin servers (clauses match by request arrival order
+        site-wide) and one
+        :class:`~repro.chaos.inject.DnsFaultInjector` on its DNS server.
+
+        Raises:
+            ShellError: if the plan has server/DNS clauses but the stack
+                has no ReplayShell to host them.
+        """
+        from repro.chaos import ChaosShell
+        from repro.chaos.inject import DnsFaultInjector, ServerFaultInjector
+
+        shell = ChaosShell(
+            self.machine.sim, self.namespace, self.machine.allocator,
+            plan, name=self._name("chaosshell"),
+        )
+        self.shells.append(shell)
+        server_clauses = plan.server_clauses
+        dns_clauses = plan.dns_clauses
+        if server_clauses or dns_clauses:
+            replay = next(
+                (s for s in self.shells if isinstance(s, ReplayShell)), None
+            )
+            if replay is None:
+                raise ShellError(
+                    "plan has server/DNS fault clauses but the stack has "
+                    "no ReplayShell to inject them into"
+                )
+            if server_clauses:
+                injector = ServerFaultInjector(
+                    self.machine.sim, server_clauses,
+                    obs_path=f"chaos.{shell.name}.server",
+                )
+                shell.server_injector = injector
+                for server in replay.servers:
+                    server.fault_injector = injector
+            if dns_clauses:
+                dns_injector = DnsFaultInjector(
+                    self.machine.sim, dns_clauses,
+                    obs_path=f"chaos.{shell.name}.dns",
+                )
+                shell.dns_injector = dns_injector
+                replay.dns.fault_injector = dns_injector
         return shell
 
     def add_link(

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.dns.message import DnsQuery, DnsResponse, decode_message, encode_query
+from repro.dns.message import (
+    DnsQuery,
+    DnsResponse,
+    RCODE_SERVFAIL,
+    decode_message,
+    encode_query,
+)
 from repro.errors import DnsError
 from repro.net.address import Endpoint, IPv4Address
 from repro.sim.simulator import Simulator
@@ -128,7 +134,13 @@ class StubResolver:
             for callback in pending.callbacks:
                 callback(list(addresses), None)
         else:
-            error = DnsError(f"NXDOMAIN for {name!r}")
+            # SERVFAIL and NXDOMAIN are different failures (the server is
+            # broken vs. the name does not exist); name them apart so
+            # failure taxonomies can tell them apart.
+            if message.rcode == RCODE_SERVFAIL:
+                error = DnsError(f"SERVFAIL for {name!r}")
+            else:
+                error = DnsError(f"NXDOMAIN for {name!r}")
             for callback in pending.callbacks:
                 callback(None, error)
 

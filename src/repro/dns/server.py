@@ -14,6 +14,7 @@ from repro.dns.message import (
     DnsResponse,
     RCODE_NXDOMAIN,
     RCODE_OK,
+    RCODE_SERVFAIL,
     decode_message,
     encode_response,
 )
@@ -34,6 +35,10 @@ class DnsServer:
         address: local address to bind (port 53).
         zone: name → addresses. Names are matched case-insensitively.
         processing_time: seconds of lookup latency per query (default 0).
+        fault_injector: optional
+            :class:`repro.chaos.inject.DnsFaultInjector`; also assignable
+            after construction. Lets a fault plan answer SERVFAIL, swallow
+            queries (resolver timeout), or slow answers down.
     """
 
     def __init__(
@@ -44,16 +49,20 @@ class DnsServer:
         zone: Dict[str, List[IPv4Address]],
         processing_time: float = 0.0,
         port: int = DNS_PORT,
+        fault_injector=None,
     ) -> None:
         self.sim = sim
         self.address = IPv4Address(address)
         self.port = port
         self.processing_time = processing_time
+        self.fault_injector = fault_injector
         self._zone = {
             name.lower(): [IPv4Address(a) for a in addresses]
             for name, addresses in zone.items()
         }
         self.queries_answered = 0
+        self.queries_dropped = 0
+        self.faults_injected = 0
         self._socket = transport.udp_socket(
             self.address, port, on_datagram=self._query_arrived
         )
@@ -82,18 +91,35 @@ class DnsServer:
             return
         if not isinstance(message, DnsQuery):
             return
-        addresses = self._zone.get(message.name)
-        if addresses:
+        fault = None
+        if self.fault_injector is not None:
+            fault = self.fault_injector.fault_for(message.name)
+        if fault is not None:
+            self.faults_injected += 1
+            if fault.kind == "timeout":
+                # Swallow the query: the resolver retries, then fails.
+                self.queries_dropped += 1
+                return
+        if fault is not None and fault.kind == "servfail":
             response = DnsResponse(
-                message.qid, RCODE_OK, message.name, tuple(addresses)
+                message.qid, RCODE_SERVFAIL, message.name, ()
             )
         else:
-            response = DnsResponse(message.qid, RCODE_NXDOMAIN, message.name, ())
+            addresses = self._zone.get(message.name)
+            if addresses:
+                response = DnsResponse(
+                    message.qid, RCODE_OK, message.name, tuple(addresses)
+                )
+            else:
+                response = DnsResponse(
+                    message.qid, RCODE_NXDOMAIN, message.name, ()
+                )
         self.queries_answered += 1
-        if self.processing_time > 0.0:
-            self.sim.schedule(
-                self.processing_time, self._respond, response, source
-            )
+        delay = self.processing_time
+        if fault is not None and fault.kind == "slow":
+            delay += fault.delay
+        if delay > 0.0:
+            self.sim.schedule(delay, self._respond, response, source)
         else:
             self._respond(response, source)
 

@@ -77,6 +77,48 @@ class HttpProtocolError(HttpError):
     """Semantically invalid HTTP usage (e.g. body on a bodiless response)."""
 
 
+class HttpTransferError(HttpError):
+    """A transfer died mid-response.
+
+    Structured so the failure taxonomy (:mod:`repro.measure.robustness`)
+    can classify it: carries the failing URL and the byte offset into the
+    response at which the transfer broke.
+
+    Args:
+        message: human-readable description.
+        url: the URL whose transfer failed (None when unknown).
+        bytes_received: response bytes received before the failure.
+    """
+
+    def __init__(
+        self, message: str, url: "str | None" = None, bytes_received: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.url = url
+        self.bytes_received = bytes_received
+
+    def __reduce__(self):
+        # Default Exception pickling restores only ``args``; these errors
+        # ride back from ParallelRunner workers inside PageLoadResults,
+        # so the structured fields must survive the round trip.
+        return (type(self), (self.args[0], self.url, self.bytes_received))
+
+    def __str__(self) -> str:
+        parts = [self.args[0]]
+        if self.url is not None:
+            parts.append(f"url={self.url}")
+        parts.append(f"at byte {self.bytes_received}")
+        return f"{parts[0]} ({', '.join(parts[1:])})"
+
+
+class ResetMidTransfer(HttpTransferError):
+    """The server reset the connection while a response was in flight."""
+
+
+class TruncatedBody(HttpTransferError):
+    """The connection closed before the response body was complete."""
+
+
 class DnsError(ReproError):
     """DNS resolution failure (NXDOMAIN, malformed message)."""
 
@@ -99,6 +141,10 @@ class TraceError(ReproError):
 
 class ShellError(ReproError):
     """Shell construction or composition error."""
+
+
+class ChaosError(ReproError):
+    """Malformed fault plan or fault clause (``repro.chaos``)."""
 
 
 class BrowserError(ReproError):

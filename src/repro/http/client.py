@@ -14,7 +14,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional, Tuple
 
-from repro.errors import ConnectionClosed
+from repro.errors import (
+    ConnectionClosed,
+    ConnectionReset,
+    HttpParseError,
+    ResetMidTransfer,
+    TruncatedBody,
+)
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.parser import HttpParser
 from repro.http.serialize import serialize_request
@@ -73,6 +79,9 @@ class HttpClient:
         self.last_timing: Optional[Tuple[float, float, float]] = None
         self._sent_at: Optional[float] = None
         self._first_byte_at: Optional[float] = None
+        # Response bytes received for the in-flight request — the byte
+        # offset reported by structured mid-transfer errors.
+        self._bytes_received = 0
 
         self.conn = transport.connect(origin)
         self.conn.on_error = self._failed
@@ -145,6 +154,7 @@ class HttpClient:
         self._inflight = (request, callback)
         self._sent_at = self.sim.now
         self._first_byte_at = None
+        self._bytes_received = 0
         self._parser.expect(request.method)
         sender = self._tls if self._tls is not None else self.conn
         for piece in serialize_request(request):
@@ -155,8 +165,14 @@ class HttpClient:
         self.requests_sent += 1
 
     def _data(self, pieces) -> None:
-        if self._first_byte_at is None and self._inflight is not None:
-            self._first_byte_at = self.sim.now
+        if self._inflight is not None:
+            if self._first_byte_at is None:
+                self._first_byte_at = self.sim.now
+            for piece in pieces:
+                self._bytes_received += (
+                    len(piece) if isinstance(piece, (bytes, bytearray))
+                    else piece
+                )
         self._parser.feed(pieces)
 
     def _response_arrived(self, response: HttpResponse) -> None:
@@ -178,10 +194,28 @@ class HttpClient:
         if not self.busy and self.on_idle is not None:
             self.on_idle()
 
+    def _inflight_url(self) -> Optional[str]:
+        """The in-flight request's URL (None when idle)."""
+        if self._inflight is None:
+            return None
+        request = self._inflight[0]
+        host = request.headers.get("Host") or str(self.origin)
+        scheme = "https" if self.tls else "http"
+        return f"{scheme}://{host}{request.uri}"
+
     def _remote_closed(self) -> None:
         # Server closed: a close-delimited body (if any) is now complete.
         try:
             self._parser.finish()
+        except HttpParseError as exc:
+            # Mid-message close: surface a structured truncation error
+            # carrying the URL and byte offset, so failure taxonomies
+            # can tell a short read from a generic parse problem.
+            self._failed(TruncatedBody(
+                str(exc), url=self._inflight_url(),
+                bytes_received=self._bytes_received,
+            ))
+            return
         except Exception as exc:
             self._failed(exc)
             return
@@ -190,6 +224,11 @@ class HttpClient:
             f"{self.origin} closed the connection"))
 
     def _failed(self, exc: Exception) -> None:
+        if isinstance(exc, ConnectionReset) and self._inflight is not None:
+            exc = ResetMidTransfer(
+                str(exc), url=self._inflight_url(),
+                bytes_received=self._bytes_received,
+            )
         self._closed = True
         self._fail_outstanding(exc)
         if self.on_error is not None:

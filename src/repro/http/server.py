@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional
 
-from repro.http.message import HttpRequest, HttpResponse
+from repro.http.message import Headers, HttpRequest, HttpResponse
 from repro.http.parser import HttpParser
 from repro.http.serialize import serialize_response
 from repro.net.address import IPv4Address
@@ -35,6 +35,33 @@ from repro.transport.tls import TlsConfig, TlsServerSession
 
 Handler = Callable[[HttpRequest], HttpResponse]
 ProcessingTime = Callable[[HttpRequest], float]
+
+
+def _split_pieces(pieces, limit: int):
+    """Split a serialized-piece list at ``limit`` bytes.
+
+    Pieces are real bytes or virtual byte counts (ints); both split
+    exactly, so the prefix carries precisely ``limit`` on-wire bytes
+    (or everything, if shorter).
+    """
+    sent, rest = [], []
+    budget = limit
+    for piece in pieces:
+        size = len(piece) if isinstance(piece, (bytes, bytearray)) else piece
+        if budget <= 0:
+            rest.append(piece)
+        elif size <= budget:
+            sent.append(piece)
+            budget -= size
+        else:
+            if isinstance(piece, (bytes, bytearray)):
+                sent.append(piece[:budget])
+                rest.append(piece[budget:])
+            else:
+                sent.append(budget)
+                rest.append(size - budget)
+            budget = 0
+    return sent, rest
 
 
 class WorkerPool:
@@ -137,6 +164,7 @@ class HttpServer:
         tls: bool = False,
         tls_config: Optional[TlsConfig] = None,
         max_workers: Optional[int] = None,
+        fault_injector=None,
     ) -> None:
         self.sim = sim
         self.transport = transport
@@ -147,8 +175,13 @@ class HttpServer:
         self.tls = tls
         self.tls_config = tls_config
         self.max_workers = max_workers
+        #: Optional :class:`repro.chaos.inject.ServerFaultInjector`;
+        #: assignable after construction (``ShellStack.add_chaos`` wires
+        #: one shared injector across all of a replay's servers).
+        self.fault_injector = fault_injector
         self.requests_served = 0
         self.connections_accepted = 0
+        self.faults_injected = 0
         self.pool = WorkerPool(
             sim, max_workers,
             obs_path=f"http.server.{self.address}:{port}",
@@ -193,6 +226,7 @@ class _ServerConnection:
         # differ; each entry is [request, response-or-None, close-after].
         self._pending: Deque[list] = deque()
         self._closing = False
+        self._stalled = False
         if server.tls:
             self._tls = TlsServerSession(conn, server.tls_config)
             self._tls.on_data = self._data
@@ -212,7 +246,8 @@ class _ServerConnection:
             (request.headers.get("Connection") or "").lower() == "close"
             or request.version == "HTTP/1.0"
         )
-        entry = [request, None, close_after]
+        # Entry: [request, response-or-None, close-after, fault-or-None].
+        entry = [request, None, close_after, None]
         self._pending.append(entry)
         delay = 0.0
         if self.server.processing_time is not None:
@@ -221,24 +256,91 @@ class _ServerConnection:
 
     def _process(self, entry: list) -> None:
         request = entry[0]
+        injector = self.server.fault_injector
+        fault = injector.fault_for(request) if injector is not None else None
+        if fault is not None:
+            self.server.faults_injected += 1
+            if fault.kind == "error-burst":
+                # The backend is failing, not slow: answer for it without
+                # invoking the handler, like a tripped circuit breaker.
+                entry[1] = HttpResponse(
+                    fault.status,
+                    headers=Headers([("Content-Length", "0")]),
+                )
+                self._flush()
+                return
+            entry[3] = fault
         entry[1] = self.server.handler(request)
         self._flush()
 
     def _flush(self) -> None:
-        while self._pending and self._pending[0][1] is not None:
-            __, response, close_after = self._pending.popleft()
+        while (not self._stalled and self._pending
+                and self._pending[0][1] is not None):
+            entry = self._pending[0]
+            __, response, close_after, fault = entry
             if self.conn.state == "CLOSED":
                 return
-            for piece in serialize_response(response):
-                if isinstance(piece, int):
-                    self._sender.send_virtual(piece)
-                else:
-                    self._sender.send(piece)
+            self._pending.popleft()
+            if fault is not None:
+                self._apply_fault(response, close_after, fault)
+                return
+            self._send_pieces(serialize_response(response))
             self.server.requests_served += 1
             if close_after:
                 self._closing = True
                 self.conn.close()
                 return
+
+    def _send_pieces(self, pieces) -> None:
+        for piece in pieces:
+            if isinstance(piece, int):
+                self._sender.send_virtual(piece)
+            else:
+                self._sender.send(piece)
+
+    # ------------------------------------------------------------------ #
+    # fault injection (repro.chaos server clauses)
+
+    def _apply_fault(self, response, close_after: bool, fault) -> None:
+        """Serve ``response`` under a stall/truncate/reset clause.
+
+        The serialized response is split after the headers plus
+        ``fault.after_bytes`` of body; what happens to the remainder
+        depends on the clause kind (see ServerFaultClause).
+        """
+        pieces = serialize_response(response)
+        head, body = pieces[:1], pieces[1:]
+        sent_body, rest = _split_pieces(body, fault.after_bytes)
+        self._send_pieces(head)
+        self._send_pieces(sent_body)
+        if fault.kind == "reset":
+            self._closing = True
+            self.conn.abort()
+            return
+        if fault.kind == "truncate":
+            # Headers advertised the full Content-Length; closing early
+            # gives the client a short read mid-body.
+            self._closing = True
+            self.conn.close()
+            return
+        # "stall": the worker wedges for fault.stall seconds, then the
+        # rest of the response (and the connection's queue) proceeds.
+        self._stalled = True
+        self.server.sim.schedule(
+            fault.stall, self._resume_stalled, rest, close_after
+        )
+
+    def _resume_stalled(self, rest, close_after: bool) -> None:
+        self._stalled = False
+        if self.conn.state == "CLOSED":
+            return
+        self._send_pieces(rest)
+        self.server.requests_served += 1
+        if close_after:
+            self._closing = True
+            self.conn.close()
+            return
+        self._flush()
 
     def _remote_closed(self) -> None:
         # Client half-closed; answer what is pending, then close our side.

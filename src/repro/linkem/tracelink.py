@@ -46,6 +46,12 @@ class TracePipe(PacketPipe):
             counters. Probes fire only on events the pipe already
             executes — they never schedule, and the per-packet enqueue
             path stays probe-free.
+        outages: optional outage windows (an object with
+            ``active(t)``/``release_time(t)``, e.g.
+            :class:`repro.chaos.plan.OutageSchedule`). Delivery
+            opportunities falling inside a window are suppressed; the
+            queue keeps filling and drains at the first opportunity
+            after the window — a dead link with a surviving buffer.
     """
 
     def __init__(
@@ -55,11 +61,13 @@ class TracePipe(PacketPipe):
         queue: Optional[DropTailQueue] = None,
         overhead: OverheadModel = None,
         obs_path: Optional[str] = None,
+        outages=None,
     ) -> None:
         super().__init__(sim)
         if overhead is None:
             overhead = OverheadModel.link_shell()
         self._schedule = schedule
+        self._outages = outages if outages else None
         self._queue = queue if queue is not None else DropTailQueue()
         self._processor = SerialProcessor(overhead.service_time)
         # The packet currently "on the wire" (partially transmitted across
@@ -127,6 +135,21 @@ class TracePipe(PacketPipe):
 
     def _schedule_wake(self) -> None:
         when = self._schedule.next_opportunity(self._sim.now)
+        if self._outages is not None:
+            # Opportunities inside an outage window never happen; the
+            # next usable one is the schedule's first opportunity after
+            # the window ends (windows may abut, hence the loop). The
+            # iteration cap guards against a periodic outage phase-locked
+            # to the opportunity grid; past it, the window end itself
+            # becomes the opportunity time.
+            for __ in range(1024):
+                if not self._outages.active(when):
+                    break
+                when = self._schedule.next_opportunity(
+                    self._outages.release_time(when)
+                )
+            else:
+                when = self._outages.release_time(when)
         # Stashed for the probe: _opportunity runs exactly at its
         # scheduled time, so this doubles as "now" without a clock read.
         self._wake_time = when

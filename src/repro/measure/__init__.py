@@ -18,19 +18,31 @@ from repro.measure.parallel import (
     run_page_loads_parallel,
 )
 from repro.measure.report import ascii_cdf, format_table, percent_diff
+from repro.measure.robustness import (
+    FAILURE_CLASSES,
+    LoadOutcome,
+    RobustnessSummary,
+    classify_error,
+    run_chaos_trials,
+)
 from repro.measure.runner import ScenarioResult, run_page_loads, run_trial
 from repro.measure.stats import Sample
 
 __all__ = [
     "Comparison",
+    "FAILURE_CLASSES",
+    "LoadOutcome",
     "ParallelRunner",
+    "RobustnessSummary",
     "Sample",
     "ScenarioResult",
     "ascii_cdf",
+    "classify_error",
     "compare_page_loads",
     "format_table",
     "parallel_map",
     "percent_diff",
+    "run_chaos_trials",
     "run_page_loads",
     "run_page_loads_parallel",
     "run_trial",

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.errors import ConnectionClosed, TransportError
+from repro.errors import ConnectionClosed, ConnectionReset, TransportError
 from repro.net.address import Endpoint
 from repro.net.packet import tcp_packet
 from repro.sim.simulator import Simulator
@@ -852,7 +852,9 @@ class TcpConnection:
             self._arm_rto()
 
     def _handle_rst(self) -> None:
-        self._fail(TransportError(f"connection reset by {self.remote}"))
+        # The structured subclass lets error paths (and the chaos failure
+        # taxonomy) distinguish a peer reset from other transport faults.
+        self._fail(ConnectionReset(f"connection reset by {self.remote}"))
 
     def _fail(self, exc: Exception) -> None:
         self._teardown(notify_close=False)

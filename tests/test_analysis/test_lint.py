@@ -541,3 +541,43 @@ class TestCli:
 
         src = pathlib.Path(__file__).resolve().parents[2] / "src"
         assert main([str(src)]) == 0
+
+
+CHAOS_PATH = "src/repro/chaos/pipes.py"
+
+
+class TestChaosDomainCoverage:
+    """repro.chaos is simulation-domain code: every REP rule applies."""
+
+    def test_chaos_is_sim_domain(self):
+        assert is_sim_domain(CHAOS_PATH)
+        assert is_sim_domain("src/repro/chaos/plan.py")
+
+    def test_wall_clock_flagged_in_chaos(self):
+        src = """
+            import time
+
+            def window_end(clause):
+                return time.time() + clause.duration
+        """
+        assert codes(src, path=CHAOS_PATH) == ["REP001"]
+
+    def test_unseeded_rng_flagged_in_chaos(self):
+        src = """
+            import random
+
+            def should_drop(clause):
+                return random.random() < clause.loss_bad
+        """
+        assert codes(src, path=CHAOS_PATH) == ["REP002"]
+
+    def test_seeded_stream_draw_not_flagged(self):
+        src = """
+            def should_drop(rng, clause):
+                return rng.random() < clause.loss_bad
+        """
+        assert codes(src, path=CHAOS_PATH) == []
+
+    def test_shipped_chaos_package_is_clean(self):
+        diags = lint_paths(["src/repro/chaos"])
+        assert diags == []

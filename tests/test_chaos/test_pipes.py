@@ -1,0 +1,198 @@
+"""ChaosPipe and the Gilbert–Elliott channel: drop mechanics + determinism."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosPipe,
+    CorruptionClause,
+    GilbertElliott,
+    GilbertElliottClause,
+    OutageClause,
+    ReorderClause,
+    SynBlackholeClause,
+)
+from repro.errors import ChaosError
+from repro.net.address import IPv4Address
+from repro.net.packet import Packet
+from repro.sim.simulator import Simulator
+
+
+def make_packet(protocol="udp", payload=None, size=500):
+    return Packet(
+        IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2"),
+        1234, 80, protocol, payload, size,
+    )
+
+
+class FakeSyn:
+    flags = "S"
+
+
+class FakeData:
+    flags = "A"
+
+
+def make_pipe(clauses, seed=0):
+    sim = Simulator(seed=seed)
+    pipe = ChaosPipe(sim, clauses, sim.streams.stream("chaos:test"))
+    delivered = []
+    pipe.attach_sink(delivered.append)
+    return sim, pipe, delivered
+
+
+class TestGilbertElliott:
+    def test_all_good_drops_nothing(self):
+        sim = Simulator(seed=1)
+        chain = GilbertElliott(
+            GilbertElliottClause(p_good_bad=0.0, loss_good=0.0),
+            sim.streams.stream("ge"),
+        )
+        assert not any(chain.should_drop() for _ in range(200))
+        assert chain.packets_seen == 200
+
+    def test_bad_state_with_certain_loss_drops_all(self):
+        sim = Simulator(seed=1)
+        chain = GilbertElliott(
+            GilbertElliottClause(p_good_bad=1.0, p_bad_good=0.0,
+                                 loss_bad=1.0),
+            sim.streams.stream("ge"),
+        )
+        # First packet transitions good -> bad and then always drops.
+        assert all(chain.should_drop() for _ in range(50))
+
+    def test_two_draws_per_packet_always(self):
+        # The stream position after N packets must not depend on outcomes:
+        # a chain that never transitions and one that always drops must
+        # consume the stream at the same rate.
+        sim_a = Simulator(seed=7)
+        rng_a = sim_a.streams.stream("ge")
+        chain = GilbertElliott(GilbertElliottClause(), rng_a)
+        for _ in range(100):
+            chain.should_drop()
+        sim_b = Simulator(seed=7)
+        rng_b = sim_b.streams.stream("ge")
+        for _ in range(200):
+            rng_b.random()
+        assert rng_a.random() == rng_b.random()
+
+    def test_same_seed_same_drop_pattern(self):
+        def pattern(seed):
+            sim = Simulator(seed=seed)
+            chain = GilbertElliott(
+                GilbertElliottClause(p_good_bad=0.2, p_bad_good=0.3,
+                                     loss_bad=0.7),
+                sim.streams.stream("ge"),
+            )
+            return [chain.should_drop() for _ in range(300)]
+
+        assert pattern(3) == pattern(3)
+        assert pattern(3) != pattern(4)
+
+    def test_burstiness(self):
+        # With p_bad_good = 0.25 mean burst length is ~4; drops must
+        # cluster rather than spread independently.
+        sim = Simulator(seed=5)
+        chain = GilbertElliott(
+            GilbertElliottClause(p_good_bad=0.02, p_bad_good=0.25,
+                                 loss_good=0.0, loss_bad=1.0),
+            sim.streams.stream("ge"),
+        )
+        drops = [chain.should_drop() for _ in range(5000)]
+        runs = []
+        current = 0
+        for dropped in drops:
+            if dropped:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert runs, "expected at least one loss burst"
+        assert sum(runs) / len(runs) > 1.5
+
+
+class TestChaosPipe:
+    def test_outage_holds_and_releases_fifo(self):
+        clause = OutageClause(direction="downlink", start=1.0, duration=0.5)
+        sim, pipe, delivered = make_pipe([clause])
+        sent = []
+        for offset in (1.1, 1.2, 1.3):
+            packet = make_packet()
+            sent.append(packet.uid)
+            sim.schedule_at(offset, pipe.send, packet)
+        sim.run()
+        assert pipe.held == 3
+        assert [p.uid for p in delivered] == sent
+        assert sim.now == 1.5
+
+    def test_packet_outside_window_passes_instantly(self):
+        clause = OutageClause(start=1.0, duration=0.5)
+        sim, pipe, delivered = make_pipe([clause])
+        sim.schedule_at(0.2, pipe.send, make_packet())
+        sim.run_until(lambda: bool(delivered), timeout=0.5)
+        assert delivered and pipe.held == 0
+
+    def test_syn_blackhole_drops_syns_only_in_window(self):
+        clause = SynBlackholeClause(start=1.0, duration=1.0)
+        sim, pipe, delivered = make_pipe([clause])
+        sim.schedule_at(0.5, pipe.send, make_packet("tcp", FakeSyn()))
+        sim.schedule_at(1.5, pipe.send, make_packet("tcp", FakeSyn()))
+        sim.schedule_at(1.6, pipe.send, make_packet("tcp", FakeData()))
+        sim.schedule_at(1.7, pipe.send, make_packet("udp"))
+        sim.run()
+        assert pipe.blackholed == 1
+        assert len(delivered) == 3
+
+    def test_corruption_counted_separately(self):
+        sim, pipe, delivered = make_pipe([CorruptionClause(rate=1.0)])
+        pipe.send(make_packet())
+        sim.run()
+        assert pipe.corrupted == 1
+        assert pipe.packets_dropped == 1
+        assert not delivered
+
+    def test_reorder_delays_selected_packets(self):
+        clause = ReorderClause(probability=1.0, extra_delay=0.01)
+        sim, pipe, delivered = make_pipe([clause])
+        pipe.send(make_packet())
+        sim.run()
+        assert pipe.reordered == 1
+        assert sim.now == pytest.approx(0.01)
+
+    def test_at_most_one_ge_clause(self):
+        with pytest.raises(ChaosError):
+            make_pipe([GilbertElliottClause(), GilbertElliottClause()])
+
+    def test_combined_corruption_rate_capped(self):
+        with pytest.raises(ChaosError):
+            make_pipe([CorruptionClause(rate=0.6), CorruptionClause(rate=0.6)])
+
+    def test_rejects_server_clause(self):
+        from repro.chaos import ServerFaultClause
+
+        with pytest.raises(ChaosError):
+            make_pipe([ServerFaultClause()])
+
+    def test_faults_injected_totals(self):
+        sim, pipe, delivered = make_pipe([CorruptionClause(rate=1.0)])
+        for _ in range(4):
+            pipe.send(make_packet())
+        sim.run()
+        assert pipe.faults_injected == 4
+
+    def test_same_seed_same_fault_sequence(self):
+        def outcome(seed):
+            clauses = [GilbertElliottClause(p_good_bad=0.3, p_bad_good=0.3,
+                                            loss_bad=0.8),
+                       CorruptionClause(rate=0.1)]
+            sim, pipe, delivered = make_pipe(clauses, seed=seed)
+            packets = [make_packet() for _ in range(200)]
+            for packet in packets:
+                pipe.send(packet)
+            sim.run()
+            survivors = {p.uid for p in delivered}
+            return (pipe.ge_dropped, pipe.corrupted,
+                    [packets.index(p) for p in delivered
+                     if p.uid in survivors][:20])
+
+        first, second = outcome(11), outcome(11)
+        assert first == second

@@ -5,6 +5,7 @@ import os
 import pytest
 
 from repro.cli import (
+    mm_chaos,
     mm_corpus,
     mm_delay,
     mm_link,
@@ -224,3 +225,78 @@ class TestHelpers:
         from repro.record.store import RecordedSite
         with pytest.raises(CliError):
             page_from_recording(RecordedSite("empty"))
+
+
+class TestMmLossGeMode:
+    def test_ge_load(self, recorded_dir, capsys):
+        code = mm_webreplay.run(
+            [recorded_dir, "mm-loss", "downlink", "ge",
+             "0.05", "0.4", "0.0", "0.5", "mm-delay", "20", "load"], [])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "page load time" in out
+        assert "ge(0.05,0.4)" in out
+
+    def test_ge_needs_four_params(self):
+        with pytest.raises(CliError):
+            mm_loss.run(["downlink", "ge", "0.05", "0.4"], [])
+
+    def test_ge_rejects_bad_probability(self):
+        with pytest.raises(CliError):
+            mm_loss.run(["downlink", "ge", "1.5", "0.4", "0.0", "0.5"], [])
+        with pytest.raises(CliError):
+            mm_loss.run(["downlink", "ge", "p", "0.4", "0.0", "0.5"], [])
+
+
+class TestMmChaos:
+    @pytest.fixture()
+    def plan_file(self, tmp_path):
+        from repro.chaos import FaultPlan, GilbertElliottClause, OutageClause
+
+        plan = FaultPlan(clauses=(
+            OutageClause(direction="downlink", start=0.3, duration=0.1),
+            GilbertElliottClause(direction="downlink", p_good_bad=0.05,
+                                 p_bad_good=0.4, loss_bad=0.5),
+        ), name="cli-test")
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        return str(path)
+
+    def test_chaos_load(self, recorded_dir, plan_file, capsys):
+        code = mm_webreplay.run(
+            [recorded_dir, "mm-link", "14", "14", "mm-chaos", plan_file,
+             "mm-delay", "20", "load"], [])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "page load time" in out
+        assert "cli-test" in out
+
+    def test_server_clauses_need_replay(self, plan_file, tmp_path):
+        from repro.chaos import FaultPlan, ServerFaultClause
+
+        path = tmp_path / "server-plan.json"
+        path.write_text(
+            FaultPlan(clauses=(ServerFaultClause(),)).to_json())
+        with pytest.raises(CliError):
+            mm_chaos.run([str(path), "load"], [])
+
+    def test_example_prints_valid_plan(self, capsys):
+        from repro.chaos import FaultPlan
+
+        assert mm_chaos.run(["--example"], []) == 0
+        plan = FaultPlan.from_json(capsys.readouterr().out)
+        assert len(plan) == 4
+
+    def test_missing_plan_file(self):
+        with pytest.raises(CliError):
+            mm_chaos.run(["/nonexistent-plan.json", "load"], [])
+
+    def test_bad_plan_rejected_before_simulation(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 1, "clauses": [{"type": "gremlins"}]}')
+        with pytest.raises(CliError):
+            mm_chaos.run([str(path), "load"], [])
+
+    def test_usage(self):
+        with pytest.raises(CliError):
+            mm_chaos.run([], [])

@@ -1,0 +1,129 @@
+"""DNS server fault behaviour: SERVFAIL, swallowed queries, slow answers."""
+
+from repro.chaos import DnsFaultClause
+from repro.chaos.inject import DnsFaultInjector
+from repro.dns.resolver import StubResolver
+from repro.dns.server import DnsServer
+from repro.errors import DnsError
+from repro.net.address import IPv4Address
+from repro.testing import delayed_world
+
+ZONE = {"www.example.com": [IPv4Address("23.0.0.1")],
+        "cdn.example.com": [IPv4Address("23.0.0.2")]}
+
+
+def make_world(clauses, delay=0.010, **resolver_kwargs):
+    world = delayed_world(delay)
+    injector = DnsFaultInjector(world.sim, clauses)
+    server = DnsServer(world.sim, world.server, world.SERVER_ADDR, ZONE,
+                       fault_injector=injector)
+    resolver = StubResolver(
+        world.sim, world.client, world.CLIENT_ADDR, server.endpoint,
+        **resolver_kwargs,
+    )
+    return world, server, resolver, injector
+
+
+def resolve(world, resolver, name):
+    got = []
+    resolver.resolve(name, lambda addrs, err: got.append((addrs, err)))
+    world.sim.run_until(lambda: bool(got), timeout=60)
+    assert got, f"resolution of {name!r} never finished"
+    return got[0]
+
+
+class TestServfail:
+    def test_servfail_surfaces_as_dns_error(self):
+        world, server, resolver, __ = make_world(
+            [DnsFaultClause(kind="servfail", count=1)])
+        addrs, err = resolve(world, resolver, "www.example.com")
+        assert addrs is None
+        assert isinstance(err, DnsError)
+        assert "SERVFAIL" in str(err)
+
+    def test_servfail_distinct_from_nxdomain(self):
+        world, server, resolver, __ = make_world(
+            [DnsFaultClause(kind="servfail", skip=1, count=1)])
+        __, err_nx = resolve(world, resolver, "missing.example.com")
+        assert "NXDOMAIN" in str(err_nx)
+        __, err_sf = resolve(world, resolver, "www.example.com")
+        assert "SERVFAIL" in str(err_sf)
+
+    def test_failure_not_cached(self):
+        world, server, resolver, __ = make_world(
+            [DnsFaultClause(kind="servfail", count=1)])
+        __, err = resolve(world, resolver, "www.example.com")
+        assert err is not None
+        addrs, err = resolve(world, resolver, "www.example.com")
+        assert err is None
+        assert [str(a) for a in addrs] == ["23.0.0.1"]
+
+
+class TestTimeout:
+    def test_swallowed_queries_exhaust_resolver_retries(self):
+        # count=None swallows every retransmission, so the resolver's full
+        # retry budget (1 try + 2 retries) burns before it gives up.
+        world, server, resolver, injector = make_world(
+            [DnsFaultClause(kind="timeout", count=None)],
+            timeout=0.5, retries=2,
+        )
+        addrs, err = resolve(world, resolver, "www.example.com")
+        assert addrs is None
+        assert isinstance(err, DnsError)
+        assert "timed out" in str(err)
+        assert resolver.queries_sent == 3
+        assert server.queries_dropped == 3
+        assert injector.faults_fired == 3
+        # Exponential backoff: 0.5 + 1.0 + 2.0 seconds of waiting.
+        assert world.sim.now >= 3.5
+
+    def test_single_swallow_recovers_on_retry(self):
+        world, server, resolver, __ = make_world(
+            [DnsFaultClause(kind="timeout", count=1)],
+            timeout=0.5, retries=2,
+        )
+        addrs, err = resolve(world, resolver, "www.example.com")
+        assert err is None
+        assert [str(a) for a in addrs] == ["23.0.0.1"]
+        assert resolver.queries_sent == 2
+
+    def test_unanswered_query_counts_as_dropped_not_answered(self):
+        world, server, resolver, __ = make_world(
+            [DnsFaultClause(kind="timeout", count=1)],
+            timeout=0.5, retries=2,
+        )
+        resolve(world, resolver, "www.example.com")
+        assert server.queries_dropped == 1
+        assert server.queries_answered == 1
+
+
+class TestSlow:
+    def test_slow_answer_is_delayed(self):
+        world, server, resolver, __ = make_world(
+            [DnsFaultClause(kind="slow", delay=0.3, count=1)])
+        got = []
+        resolver.resolve("www.example.com",
+                         lambda addrs, err: got.append(world.sim.now))
+        world.sim.run_until(lambda: bool(got), timeout=5)
+        assert got[0] >= 0.3
+
+    def test_unafflicted_query_is_fast(self):
+        world, server, resolver, __ = make_world(
+            [DnsFaultClause(kind="slow", delay=0.3, skip=1, count=1)])
+        got = []
+        resolver.resolve("www.example.com",
+                         lambda addrs, err: got.append(world.sim.now))
+        world.sim.run_until(lambda: bool(got), timeout=5)
+        assert got[0] < 0.3
+
+
+class TestNameSuffixMatching:
+    def test_suffix_filters_queries(self):
+        world, server, resolver, injector = make_world(
+            [DnsFaultClause(kind="servfail", name_suffix="cdn.example.com",
+                            count=None)])
+        addrs, err = resolve(world, resolver, "www.example.com")
+        assert err is None
+        addrs, err = resolve(world, resolver, "CDN.Example.Com")
+        assert isinstance(err, DnsError)
+        assert injector.faults_fired == 1
