@@ -10,6 +10,8 @@ from repro.browser import Browser
 from repro.core import HostMachine, MachineProfile, ShellStack
 from repro.corpus import alexa_corpus
 from repro.corpus.sitegen import SyntheticSite
+from repro.errors import ReproError
+from repro.measure.journal import run_key
 from repro.measure.parallel import ParallelRunner, default_workers
 from repro.sim import Simulator
 
@@ -35,6 +37,53 @@ def bench_workers() -> int:
 def trial_runner() -> ParallelRunner:
     """The trial runner every bench shares, sized by REPRO_BENCH_WORKERS."""
     return ParallelRunner(workers=bench_workers())
+
+
+def bench_journal_dir() -> Optional[str]:
+    """Where sweep checkpoint journals go (REPRO_BENCH_JOURNAL, or off)."""
+    return os.environ.get("REPRO_BENCH_JOURNAL") or None
+
+
+def run_sweep(label: str, factory, trials: int, timeout: float = 900.0):
+    """Run one bench sweep of ``trials`` page loads.
+
+    The single entry point the paper benches (Figure 2, Table 1,
+    Table 2) share. Without ``REPRO_BENCH_JOURNAL`` it is exactly
+    ``trial_runner().run_page_loads(...)``. With it, the sweep runs
+    under supervision (per-trial deadline, crash containment, retry)
+    and checkpoints every completed trial to
+    ``$REPRO_BENCH_JOURNAL/<label>.journal.jsonl`` — a killed bench
+    resumes from the journal and, because every trial is a
+    deterministic function of its index, produces results (and a
+    combined event-stream digest) byte-identical to an uninterrupted
+    run. The journal is keyed to (label, trials, scale); resuming after
+    changing REPRO_BENCH_SCALE is refused rather than silently merged.
+
+    Returns an object with ``.sample`` and ``.results`` (trial-index
+    order) under both paths. A trial lost even after retry fails the
+    bench loudly rather than silently shrinking the sample.
+    """
+    runner = trial_runner()
+    journal_dir = bench_journal_dir()
+    if journal_dir is None:
+        return runner.run_page_loads(factory, trials, timeout=timeout)
+    os.makedirs(journal_dir, exist_ok=True)
+    sweep = runner.run_supervised(
+        factory,
+        trials,
+        timeout=timeout,
+        journal=os.path.join(journal_dir, f"{label}.journal.jsonl"),
+        run_key=run_key(bench=label, trials=trials, scale=bench_scale()),
+        capture_digest=True,
+    )
+    if not sweep.complete:
+        counts = sweep.counts()
+        raise ReproError(
+            f"bench sweep {label!r} lost trials: "
+            f"{counts['quarantined']} quarantined, "
+            f"{counts['crashed']} crashed (of {trials})"
+        )
+    return sweep
 
 
 def site_store(site: SyntheticSite):

@@ -20,7 +20,7 @@ Two degradation curves and one taxonomy:
 import json
 import os
 
-from benchmarks._workloads import scaled, site_store
+from benchmarks._workloads import bench_journal_dir, scaled, site_store
 from repro.browser import Browser
 from repro.chaos import (
     DnsFaultClause,
@@ -32,6 +32,7 @@ from repro.chaos import (
 from repro.core import HostMachine, ShellStack
 from repro.corpus import generate_site
 from repro.measure import run_chaos_trials
+from repro.measure.journal import run_key
 from repro.measure.report import format_table
 from repro.sim import Simulator
 
@@ -100,21 +101,36 @@ def ge_plan(loss_bad):
     )
 
 
+def _chaos_sweep(label, factory, trials):
+    """One chaos sweep, journaled when REPRO_BENCH_JOURNAL is set."""
+    journal_dir = bench_journal_dir()
+    if journal_dir is None:
+        return run_chaos_trials(factory, trials, timeout=120.0)
+    os.makedirs(journal_dir, exist_ok=True)
+    return run_chaos_trials(
+        factory, trials, timeout=120.0,
+        journal=os.path.join(journal_dir, f"chaos-{label}.journal.jsonl"),
+        run_key=run_key(bench=f"chaos-{label}", trials=trials),
+    )
+
+
 def run_experiment():
     site = bench_site()
     trials = scaled(20, minimum=3)
     outage = {
-        duration: run_chaos_trials(
-            chaos_factory(site, outage_plan(duration)), trials, timeout=120.0)
+        duration: _chaos_sweep(
+            f"outage-{duration * 1000:g}ms",
+            chaos_factory(site, outage_plan(duration)), trials)
         for duration in OUTAGE_DURATIONS
     }
     ge = {
-        loss_bad: run_chaos_trials(
-            chaos_factory(site, ge_plan(loss_bad)), trials, timeout=120.0)
+        loss_bad: _chaos_sweep(
+            f"ge-{loss_bad:g}",
+            chaos_factory(site, ge_plan(loss_bad)), trials)
         for loss_bad in GE_LOSS_BAD
     }
-    taxonomy = run_chaos_trials(
-        chaos_factory(site, TAXONOMY_PLAN), trials, timeout=120.0)
+    taxonomy = _chaos_sweep(
+        "taxonomy", chaos_factory(site, TAXONOMY_PLAN), trials)
     return outage, ge, taxonomy, trials
 
 

@@ -12,23 +12,23 @@ from benchmarks._workloads import (
     replay_alone,
     replay_delay0,
     replay_link1000,
+    run_sweep,
     scaled,
-    trial_runner,
 )
 from repro.measure.report import ascii_cdf
 
 
 def run_experiment():
     sites = corpus(scaled(500, minimum=30))
-    runner = trial_runner()
     samples = {}
     for label, build in (
         ("ReplayShell", replay_alone),
         ("DelayShell 0 ms", replay_delay0),
         ("LinkShell 1000 Mbits/s", replay_link1000),
     ):
-        scenario = runner.run_page_loads(
-            page_load_factory(sites, build), trials=len(sites), timeout=900
+        scenario = run_sweep(
+            f"figure2-{label.split()[0].lower()}",
+            page_load_factory(sites, build), trials=len(sites), timeout=900,
         )
         samples[label] = scenario.sample
     return samples

@@ -9,7 +9,7 @@ and a 0.3%-faster one with its own independent timing noise — and each
 load runs the full ReplayShell > LinkShell > DelayShell stack.
 """
 
-from benchmarks._workloads import scaled, trial_runner
+from benchmarks._workloads import run_sweep, scaled
 from repro.browser import Browser
 from repro.core import HostMachine, MachineProfile, ShellStack
 from repro.corpus import named_site
@@ -42,7 +42,8 @@ def measure(site, profile, trials):
                           machine=machine)
         return sim, browser.load(site.page)
 
-    return trial_runner().run_page_loads(factory, trials, timeout=900).sample
+    label = f"table1-{site.name}-{profile.name.replace(' ', '').lower()}"
+    return run_sweep(label, factory, trials, timeout=900).sample
 
 
 def run_experiment():

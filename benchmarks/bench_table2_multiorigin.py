@@ -15,8 +15,8 @@ distribution *across sites* of the per-site inflation yields the 50th and
 from benchmarks._workloads import (
     corpus,
     page_load_factory,
+    run_sweep,
     scaled,
-    trial_runner,
 )
 from repro.measure import Sample
 from repro.measure.report import format_table
@@ -43,7 +43,6 @@ def _build(single):
 
 def run_experiment():
     sites = corpus(scaled(60, minimum=12))
-    runner = trial_runner()
     cells = {}
     for rate in RATES:
         for delay in DELAYS:
@@ -55,8 +54,10 @@ def run_experiment():
                     lambda stack, store, r=rate, d=delay, b=build:
                         b(stack, store, r, d),
                 )
-                arms.append(runner.run_page_loads(
-                    factory, trials=len(sites), timeout=900))
+                label = (f"table2-{rate:g}mbit-{delay * 1000:g}ms-"
+                         f"{'single' if single else 'multi'}")
+                arms.append(run_sweep(
+                    label, factory, trials=len(sites), timeout=900))
             multi_arm, single_arm = arms
             inflations = [
                 (s.page_load_time - m.page_load_time)

@@ -6,6 +6,7 @@ The commands compose on the command line exactly like the originals::
     mm-webrecord --seed 3 out/ http://www.example.com/
     mm-corpus generate --out corpus/ --size 20
     mm-trace constant --rate 12 --out 12mbit.trace
+    mm-fsck corpus/ --repair
 
 Because the whole toolkit is a simulation, "running a browser inside the
 shells" means: build the shell stack in a fresh simulator, run the browser

@@ -3,13 +3,22 @@
 Subcommands::
 
     mm-corpus generate --out DIR [--size N] [--singles K] [--scale S]
-                       [--seed X] [--workers W]
+                       [--seed X] [--workers W] [--resume]
     mm-corpus stats DIR
 
 ``--workers`` materialises recorded sites (synthesis + save) over that
 many worker processes; each site is an independent deterministic function
 of the corpus seed, so the output is identical at any worker count.
 ``--workers 0`` uses every available core.
+
+Generation checkpoints every completed site in a crash-safe journal
+(``.generate-journal.jsonl`` inside the output folder, removed once the
+whole corpus has materialised). ``--resume`` picks up a killed run
+where it left off, skipping journaled sites; the
+journal is keyed to (seed, size, singles, scale), so resuming with
+different parameters is refused rather than silently mixing corpora.
+Because each site is a deterministic function of the corpus seed, a
+resumed run's output is byte-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -19,11 +28,17 @@ from typing import List
 
 from repro.cli.common import CliError, ShellSpec, main_wrapper
 from repro.corpus import alexa_corpus, corpus_statistics
+from repro.errors import JournalError
+from repro.measure.journal import TrialJournal, run_key
 from repro.measure.parallel import default_workers, parallel_map
 from repro.record.store import RecordedSite
 
 USAGE = ("usage: mm-corpus generate --out DIR [--size N] [--singles K] "
-         "[--scale S] [--seed X] [--workers W] | mm-corpus stats DIR")
+         "[--scale S] [--seed X] [--workers W] [--resume] "
+         "| mm-corpus stats DIR")
+
+#: Checkpoint journal inside the output folder (dot-named: not a site).
+JOURNAL_FILE = ".generate-journal.jsonl"
 
 
 def run(argv: List[str], specs: List[ShellSpec]) -> int:
@@ -41,6 +56,7 @@ def run(argv: List[str], specs: List[ShellSpec]) -> int:
 
 def _generate(argv: List[str]) -> int:
     out, size, singles, scale, seed, workers = None, 500, 9, 1.0, 0, 1
+    resume = False
     rest = list(argv)
     while rest:
         flag = rest.pop(0)
@@ -56,6 +72,8 @@ def _generate(argv: List[str]) -> int:
             seed = int(rest.pop(0))
         elif flag == "--workers":
             workers = int(rest.pop(0))
+        elif flag == "--resume":
+            resume = True
         else:
             raise CliError(f"{USAGE}\nunknown option {flag!r}")
     if out is None:
@@ -68,13 +86,36 @@ def _generate(argv: List[str]) -> int:
                          scale=scale)
     os.makedirs(out, exist_ok=True)
 
-    def materialise(index: int) -> None:
+    journal_path = os.path.join(out, JOURNAL_FILE)
+    key = run_key(seed=seed, size=size, singles=singles, scale=scale)
+    if not resume and os.path.exists(journal_path):
+        os.remove(journal_path)  # fresh run: discard stale checkpoints
+    try:
+        journal = TrialJournal(journal_path, key=key)
+    except JournalError as exc:
+        raise CliError(
+            f"cannot resume: {exc}\n(the journal was written by a run "
+            f"with different parameters — rerun without --resume to "
+            f"regenerate from scratch)"
+        )
+    done = sorted(journal.completed)
+    todo = [i for i in range(len(sites)) if i not in journal]
+
+    def materialise(index: int) -> str:
         site = sites[index]
         site.to_recorded_site().save(os.path.join(out, site.name))
+        return site.name
 
-    parallel_map(materialise, len(sites), workers=workers)
+    # Checkpoint each site as its save lands: a killed run loses only
+    # the in-flight sites, and --resume skips everything journaled.
+    parallel_map(materialise, len(sites), workers=workers, indices=todo,
+                 on_result=lambda i, name: journal.append(i, name))
+    journal.close()
+    # A finished corpus needs no checkpoint; leave the folder clean.
+    os.remove(journal_path)
     stats = corpus_statistics(sites)
-    print(f"generated {len(sites)} sites in {out}"
+    skipped = f", {len(done)} already journaled" if done else ""
+    print(f"generated {len(todo)} of {len(sites)} sites in {out}{skipped}"
           + (f" ({workers} workers)" if workers > 1 else ""))
     _print_stats(stats)
     return 0
@@ -110,3 +151,8 @@ def _print_stats(stats) -> None:
 
 
 main = main_wrapper(run)
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

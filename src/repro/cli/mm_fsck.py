@@ -1,0 +1,93 @@
+"""``mm-fsck`` — verify and repair recorded-site folders.
+
+Usage::
+
+    mm-fsck DIR [--repair] [--json]
+
+``DIR`` is one recorded site folder (contains ``site.json``) or a corpus
+folder of them (e.g. ``mm-corpus generate --out DIR``); every site under
+it is checked. Checks per pair file: presence, size and BLAKE2 checksum
+against the manifest (format v2), JSON well-formedness, and semantic
+validity; plus manifest consistency (orphans, numbering gaps in v1
+folders, pair-count mismatches).
+
+``--repair`` quarantines damaged pair files into ``quarantine/`` (moved,
+never deleted), rewrites the manifest atomically to cover exactly the
+surviving pairs, and upgrades v1 folders to v2 — valid pair files are
+never touched. ``--json`` emits the machine-readable reports instead of
+text.
+
+Exit status: 0 when every folder is clean; 1 when any problem was found
+(repaired or not — rerun to confirm a repair); 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List
+
+from repro.cli.common import CliError, ShellSpec, main_wrapper
+from repro.record.fsck import FsckReport, fsck_tree
+
+USAGE = "usage: mm-fsck DIR [--repair] [--json]"
+
+
+def run(argv: List[str], specs: List[ShellSpec]) -> int:
+    if specs:
+        raise CliError("mm-fsck cannot nest inside other shells")
+    directory, repair, as_json = None, False, False
+    rest = list(argv)
+    while rest:
+        flag = rest.pop(0)
+        if flag == "--repair":
+            repair = True
+        elif flag == "--json":
+            as_json = True
+        elif flag.startswith("-"):
+            raise CliError(f"{USAGE}\nunknown option {flag!r}")
+        elif directory is None:
+            directory = flag
+        else:
+            raise CliError(USAGE)
+    if directory is None:
+        raise CliError(USAGE)
+    if not os.path.isdir(directory):
+        raise CliError(f"not a directory: {directory!r}")
+
+    reports = fsck_tree(directory, repair=repair)
+    if as_json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2,
+                         sort_keys=True))
+    else:
+        _print_reports(reports)
+    return 0 if all(r.clean for r in reports) else 1
+
+
+def _print_reports(reports: List[FsckReport]) -> None:
+    dirty = 0
+    for report in reports:
+        if report.clean:
+            continue
+        dirty += 1
+        print(f"{report.directory}: {len(report.problems)} problem(s), "
+              f"{report.pairs_ok} pair(s) ok")
+        for problem in report.problems:
+            print(f"  [{problem.kind}] {problem.detail}")
+        if report.repaired:
+            upgraded = " (upgraded v1 -> v2)" if report.upgraded else ""
+            print(f"  repaired: {len(report.quarantined)} file(s) "
+                  f"quarantined, manifest rewritten{upgraded}")
+        elif report.fatal:
+            print("  NOT repairable: site.json is unusable")
+    total_pairs = sum(r.pairs_ok for r in reports)
+    print(f"checked {len(reports)} site(s), {total_pairs} valid pair(s): "
+          + ("all clean" if dirty == 0 else f"{dirty} site(s) with damage"))
+
+
+main = main_wrapper(run)
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

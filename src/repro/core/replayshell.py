@@ -89,6 +89,12 @@ class ReplayShell(Shell):
     ) -> None:
         super().__init__(sim, parent, allocator, name)
         if len(site) == 0:
+            if site.damage is not None:
+                raise ShellError(
+                    f"recorded site {site.name!r} has no loadable pairs: "
+                    f"all {len(site.damage)} pair file(s) are damaged "
+                    f"(run mm-fsck on {site.damage.directory})"
+                )
             raise ShellError(f"recorded site {site.name!r} is empty")
         if protocol not in ("http/1.1", "mux"):
             raise ShellError(f"unknown replay protocol: {protocol!r}")
@@ -96,7 +102,19 @@ class ReplayShell(Shell):
         self.machine = machine
         self.single_server = single_server
         self.protocol = protocol
-        self.matcher = RequestMatcher(site.pairs)
+        damaged = 0 if site.damage is None else len(site.damage)
+        self.matcher = RequestMatcher(site.pairs, damaged_pairs=damaged)
+        # Graceful degradation is only honest if it is *visible*: a site
+        # salvaged by a tolerant load serves what survives, and the
+        # losses land in the obs artifact instead of vanishing.
+        if sim.metrics is not None:
+            sim.metrics.counter("replayshell.store.pairs_loaded").add(
+                len(site)
+            )
+            if damaged:
+                sim.metrics.counter(
+                    "replayshell.store.pairs_damaged"
+                ).add(damaged)
         self._server_processing = (
             server_processing + DEFAULT_SERVER_PER_PAIR * len(site)
         )

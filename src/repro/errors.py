@@ -131,6 +131,24 @@ class StoreFormatError(RecordError):
     """A recorded-site directory or pair file does not match the format."""
 
 
+class StoreIntegrityError(StoreFormatError):
+    """A recorded pair file is damaged (checksum/size mismatch, truncated).
+
+    A subclass of :class:`StoreFormatError` so strict loaders that catch
+    format errors also catch integrity failures; ``mm-fsck`` distinguishes
+    the two when classifying damage.
+    """
+
+
+class JournalError(ReproError):
+    """A trial journal cannot be read, or belongs to a different sweep.
+
+    Raised by :class:`repro.measure.journal.TrialJournal` when a resume is
+    attempted against a journal whose run key does not match the requested
+    sweep configuration, or whose header is unreadable.
+    """
+
+
 class NoMatchingResponse(RecordError):
     """The replay matcher found no recorded response for a request."""
 

@@ -1,0 +1,54 @@
+"""Crash-safe filesystem primitives shared across the toolkit.
+
+Everything the toolkit persists — recorded-site pair files and
+manifests, sweep journals, observability artifacts — goes through the
+same unit of crash-safety: write a temp file, ``fsync`` it, then
+``os.replace`` it over the destination. A crash at any instant leaves
+either the old file or the new one on disk, never a torn half-write
+that later parses as valid.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_dir"]
+
+
+def atomic_write_bytes(path: Union[str, os.PathLike], data: bytes) -> None:
+    """Write ``data`` to ``path`` via temp file + fsync + ``os.replace``."""
+    path = os.fspath(path)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def atomic_write_text(
+    path: Union[str, os.PathLike], text: str, encoding: str = "utf-8"
+) -> None:
+    """Atomic counterpart of ``Path.write_text``."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def fsync_dir(directory: Union[str, os.PathLike]) -> None:
+    """Flush a directory's entry table (directory fsync).
+
+    ``os.replace`` makes a file's *content* durable, but the rename
+    itself lives in the parent directory; syncing the directory makes
+    the new name survive a crash too. Best-effort — not every platform
+    allows opening a directory.
+    """
+    try:
+        fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

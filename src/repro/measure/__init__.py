@@ -8,14 +8,23 @@ independent page-load trials of a scenario factory serially;
 :class:`~repro.measure.parallel.ParallelRunner` fans the same trials out
 over a process pool with bit-identical statistics;
 :mod:`~repro.measure.report` renders the paper's tables and ASCII CDF
-plots.
+plots. :func:`~repro.measure.supervise.run_supervised` is the resilient
+sweep: wall-clock watchdog, bounded retry with quarantine, crash
+detection, and :class:`~repro.measure.journal.TrialJournal`
+checkpoint/resume.
 """
 
 from repro.measure.compare import Comparison, compare_page_loads
+from repro.measure.journal import TrialJournal, run_key
 from repro.measure.parallel import (
     ParallelRunner,
     parallel_map,
     run_page_loads_parallel,
+)
+from repro.measure.supervise import (
+    SweepResult,
+    TrialOutcome,
+    run_supervised,
 )
 from repro.measure.report import ascii_cdf, format_table, percent_diff
 from repro.measure.robustness import (
@@ -36,6 +45,9 @@ __all__ = [
     "RobustnessSummary",
     "Sample",
     "ScenarioResult",
+    "SweepResult",
+    "TrialJournal",
+    "TrialOutcome",
     "ascii_cdf",
     "classify_error",
     "compare_page_loads",
@@ -43,7 +55,9 @@ __all__ = [
     "parallel_map",
     "percent_diff",
     "run_chaos_trials",
+    "run_key",
     "run_page_loads",
     "run_page_loads_parallel",
+    "run_supervised",
     "run_trial",
 ]

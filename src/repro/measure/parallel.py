@@ -44,9 +44,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.measure.runner import (
@@ -78,9 +79,29 @@ def _init_worker(task: Callable[[int], Any]) -> None:
 
 
 def _call_task(index: int) -> Any:
-    """Module-level trampoline the pool actually pickles and calls."""
+    """Module-level trampoline the pool actually pickles and calls.
+
+    Failures cross the pipe pre-digested: a task exception is tagged
+    with its index (``exc.trial_index``, surviving pickling via the
+    exception's ``__dict__``) so the caller knows *which* trial failed
+    even when the message does not say; an unpicklable return value
+    becomes a clear :class:`ReproError` here, in the worker, instead of
+    a raw ``PicklingError`` escaping the pool's result plumbing.
+    """
     assert _POOL_TASK is not None, "worker used before initialization"
-    return _POOL_TASK(index)
+    try:
+        result = _POOL_TASK(index)
+    except Exception as exc:
+        exc.trial_index = index
+        raise
+    try:
+        pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ReproError(
+            f"trial {index} returned an unpicklable result "
+            f"({type(result).__name__}): {exc}"
+        ) from None
+    return result
 
 
 def fork_available() -> bool:
@@ -101,6 +122,8 @@ def parallel_map(
     count: int,
     workers: int,
     chunksize: int = 1,
+    indices: Optional[Sequence[int]] = None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
 ) -> List[Any]:
     """Evaluate ``[task(0), ..., task(count - 1)]``, possibly in parallel.
 
@@ -116,18 +139,37 @@ def parallel_map(
         workers: pool size cap; effective size is ``min(workers, count)``.
         chunksize: indices handed to a worker per dispatch — raise it for
             very cheap tasks to amortise pipe traffic.
+        indices: run exactly these indices instead of ``range(count)``
+            (a resumed run's remaining work); results come back in the
+            order given.
+        on_result: called in the *parent* as ``on_result(index, result)``
+            when each result arrives — the checkpoint hook: a caller
+            journaling completions loses at most the in-flight tasks to
+            a kill, not everything. Completion order, not index order.
 
     Raises:
         ReproError: if a worker process dies (the pool is then broken).
-        Exception: whatever ``task`` itself raised, re-raised in order.
+        Exception: whatever ``task`` itself raised, re-raised for the
+            lowest failing index.
     """
     if count < 0:
         raise ValueError(f"count must be >= 0, got {count!r}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers!r}")
-    workers = min(workers, count)
+    todo = list(range(count)) if indices is None else list(indices)
+    workers = min(workers, len(todo))
     if workers <= 1 or not fork_available():
-        return [task(index) for index in range(count)]
+        results = []
+        for index in todo:
+            try:
+                result = task(index)
+            except Exception as exc:
+                exc.trial_index = index
+                raise
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
     context = multiprocessing.get_context("fork")
     try:
         with ProcessPoolExecutor(
@@ -136,7 +178,27 @@ def parallel_map(
             initializer=_init_worker,
             initargs=(task,),
         ) as pool:
-            return list(pool.map(_call_task, range(count), chunksize=chunksize))
+            if indices is None and on_result is None:
+                return list(pool.map(_call_task, range(count), chunksize=chunksize))
+            # Explicit work-list or checkpoint hook: submit per index and
+            # harvest in completion order so every finished result is
+            # reported (and journalable) before any straggler finishes.
+            futures = {pool.submit(_call_task, i): i for i in todo}
+            collected: dict = {}
+            failures: dict = {}
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    result = future.result()
+                except Exception as exc:  # re-raised below, lowest first
+                    failures[index] = exc
+                    continue
+                if on_result is not None:
+                    on_result(index, result)
+                collected[index] = result
+            if failures:
+                raise failures[min(failures)]
+            return [collected[i] for i in todo]
     except BrokenProcessPool as exc:
         raise ReproError(
             f"parallel worker process died unexpectedly "
@@ -201,6 +263,42 @@ class ParallelRunner:
 
         results = parallel_map(task, trials, workers=self.workers)
         return ScenarioResult(Sample(r.page_load_time for r in results), results)
+
+    def run_supervised(
+        self,
+        factory: ScenarioFactory,
+        trials: int,
+        timeout: float = DEFAULT_TRIAL_TIMEOUT,
+        allow_failures: bool = False,
+        deadline: Optional[float] = None,
+        retries: int = 1,
+        journal=None,
+        run_key: Optional[str] = None,
+        capture_digest: bool = False,
+    ):
+        """Run the sweep under supervision (watchdog, retry, resume).
+
+        The resilient counterpart to :meth:`run_page_loads`: per-trial
+        wall-clock deadlines, crash detection, bounded retry with
+        quarantine, and journal checkpoint/resume — returning a partial
+        :class:`~repro.measure.supervise.SweepResult` with a per-trial
+        outcome taxonomy instead of raising on the first loss. See
+        :func:`repro.measure.supervise.run_supervised`.
+        """
+        from repro.measure.supervise import run_supervised
+
+        return run_supervised(
+            factory,
+            trials,
+            workers=self.workers,
+            timeout=timeout,
+            allow_failures=allow_failures,
+            deadline=deadline,
+            retries=retries,
+            journal=journal,
+            run_key=run_key,
+            capture_digest=capture_digest,
+        )
 
     def __repr__(self) -> str:
         return f"ParallelRunner(workers={self.workers})"

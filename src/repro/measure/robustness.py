@@ -197,6 +197,8 @@ def run_chaos_trials(
     factory: ScenarioFactory,
     trials: int,
     timeout: float = DEFAULT_TRIAL_TIMEOUT,
+    journal=None,
+    run_key: Optional[str] = None,
 ) -> RobustnessSummary:
     """Run ``trials`` independent page loads under a fault plan.
 
@@ -206,10 +208,30 @@ def run_chaos_trials(
             ``ShellStack.add_chaos``.
         trials: how many independent loads.
         timeout: virtual-time budget per trial before it counts as hung.
+        journal: a :class:`~repro.measure.journal.TrialJournal` or path.
+            Completed trials are replayed from it instead of re-run, and
+            each newly classified :class:`LoadOutcome` is checkpointed
+            (fsync'd) as it lands — a killed robustness sweep resumes to
+            the identical summary, since trials are deterministic.
+        run_key: stamps/validates a path-given journal (see
+            :func:`repro.measure.journal.run_key`).
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials!r}")
-    outcomes = [
-        run_chaos_trial(factory, trial, timeout) for trial in range(trials)
-    ]
+    if journal is not None:
+        from repro.measure.journal import TrialJournal
+
+        if not isinstance(journal, TrialJournal):
+            journal = TrialJournal(journal, key=run_key)
+    outcomes: List[LoadOutcome] = []
+    for trial in range(trials):
+        if journal is not None and trial in journal:
+            outcomes.append(journal.completed[trial])
+            continue
+        outcome = run_chaos_trial(factory, trial, timeout)
+        if journal is not None:
+            journal.append(trial, outcome)
+        outcomes.append(outcome)
+    if journal is not None:
+        journal.close()
     return RobustnessSummary(outcomes)

@@ -59,21 +59,39 @@ def run_trial(
     trial: int,
     timeout: float = DEFAULT_TRIAL_TIMEOUT,
     allow_failures: bool = False,
+    capture_digest: bool = False,
 ) -> PageLoadResult:
     """Build and drive one trial to completion.
 
-    The single-trial unit shared by the serial runner below and the
-    process-pool trampoline in :mod:`repro.measure.parallel` — keeping the
-    two paths identical in behaviour and error wording by construction.
+    The single-trial unit shared by the serial runner below, the
+    process-pool trampoline in :mod:`repro.measure.parallel`, and the
+    supervised sweep in :mod:`repro.measure.supervise` — keeping every
+    path identical in behaviour and error wording by construction.
+
+    Args:
+        capture_digest: install an event-stream digest
+            (:class:`~repro.analysis.sanitizer.EventStreamDigest`) on the
+            trial's simulator and stash its hex on
+            ``result.event_digest`` — the per-trial fingerprint that lets
+            a journal-resumed sweep prove byte-equivalence to an
+            uninterrupted run.
 
     Raises:
         ReproError: on a hung load, or failed resources unless allowed.
     """
     sim, result = factory(trial)
+    digest = None
+    if capture_digest:
+        from repro.analysis.sanitizer import EventStreamDigest
+
+        digest = EventStreamDigest()
+        sim.set_trace(digest)
     sim.run_until(lambda: result.complete, timeout=timeout)
     # Metrics ride along on the result so parallel trials (which pickle
     # results back from worker processes) keep their registries.
     result.metrics = sim.metrics
+    if digest is not None:
+        result.event_digest = digest.hexdigest
     if not result.complete:
         raise ReproError(
             f"trial {trial}: page load did not finish within "

@@ -1,0 +1,526 @@
+"""Supervised sweeps: watchdog, bounded retry, quarantine, resume.
+
+:func:`run_page_loads` and :class:`ParallelRunner` treat a sweep as
+all-or-nothing: the first failing trial raises and every completed trial
+is discarded. That is the right contract for a 5-trial unit test and the
+wrong one for the paper's production shape — Figure 2 sweeps 500 sites,
+Tables 1–2 run 100 loads per configuration, and at that scale a single
+OOM-killed worker or one pathological trial must not cost the run.
+
+:func:`run_supervised` is the harness-resilience contract:
+
+* **Watchdog** — every trial gets a *wall-clock* deadline in addition to
+  its virtual-time budget. A worker that stops making progress (a real
+  infinite loop, a deadlocked import, a pathological allocation) is
+  SIGKILLed at the deadline and treated like any other failed attempt.
+* **Crash detection** — a worker that dies without reporting (nonzero
+  exit, SIGKILL, segfault) is detected by its exit, not by a hung pipe.
+* **Bounded retry with quarantine** — a failed attempt is retried up to
+  ``retries`` times; a trial that exhausts its budget is *quarantined*:
+  recorded, excluded from the sample, and the sweep moves on.
+* **Partial results** — the sweep always returns a :class:`SweepResult`
+  carrying a per-trial outcome taxonomy (``ok`` / ``retried`` /
+  ``quarantined`` / ``crashed``) instead of raising on the first loss.
+* **Checkpoint/resume** — with a ``journal``, every completed trial is
+  fsync'd to disk as it finishes; a killed sweep restarted with the same
+  journal re-runs only the missing trials. Determinism (DESIGN.md §6)
+  makes the merge exact: the resumed sweep's sample and per-trial
+  event-stream digests are byte-identical to an uninterrupted run's.
+
+Wall clocks are deliberate here: this module is *harness*-domain, not
+simulation-domain (mm-lint's REP001 scope) — deadlines measure the real
+machine the sweep runs on, never the simulated world.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.measure.journal import TrialJournal
+from repro.measure.parallel import default_workers, fork_available
+from repro.measure.runner import (
+    DEFAULT_TRIAL_TIMEOUT,
+    ScenarioFactory,
+    run_trial,
+)
+from repro.measure.stats import Sample
+
+__all__ = [
+    "DEFAULT_DEADLINE",
+    "OUTCOME_STATES",
+    "SweepResult",
+    "TrialOutcome",
+    "run_supervised",
+]
+
+#: Default per-trial wall-clock deadline, seconds (None disables).
+DEFAULT_DEADLINE: Optional[float] = None
+
+#: The per-trial outcome taxonomy, in reporting order.
+OUTCOME_STATES = ("ok", "retried", "quarantined", "crashed")
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One trial's fate under supervision.
+
+    Attributes:
+        trial: the trial index.
+        status: ``ok`` (first attempt succeeded), ``retried`` (succeeded
+            after >= 1 failed attempt), ``quarantined`` (every attempt
+            failed with an error or deadline), ``crashed`` (the final
+            attempt's worker died without reporting).
+        attempts: attempts consumed (including the successful one).
+        error: the final failure message (None for ok/retried).
+        result: the trial's result (None for quarantined/crashed).
+        from_journal: True when the result was replayed from a journal
+            instead of re-run.
+        digest: the trial's event-stream digest hex (when captured).
+    """
+
+    trial: int
+    status: str
+    attempts: int
+    error: Optional[str]
+    result: Optional[Any]
+    from_journal: bool = False
+    digest: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status in ("ok", "retried")
+
+
+class SweepResult:
+    """Everything a supervised sweep produced, losses included.
+
+    Attributes:
+        outcomes: one :class:`TrialOutcome` per trial, in trial order.
+    """
+
+    def __init__(self, outcomes: List[TrialOutcome]) -> None:
+        self.outcomes = outcomes
+
+    @property
+    def results(self) -> List[Optional[Any]]:
+        """Per-trial results in trial order (None where the trial was
+        lost) — index-stable, so trial ``i`` is always ``results[i]``."""
+        return [o.result for o in self.outcomes]
+
+    @property
+    def sample(self) -> Sample:
+        """PLT sample over the successful trials, in trial order.
+
+        Because trials are deterministic and collected by index, this is
+        bit-identical however the sweep was scheduled, retried, or
+        resumed.
+
+        Raises:
+            ReproError: when every trial was lost (a Sample cannot be
+                empty); check :attr:`complete` or :meth:`counts` first.
+        """
+        successful = [o for o in self.outcomes if o.succeeded]
+        if not successful:
+            counts = self.counts()
+            raise ReproError(
+                f"sweep produced no successful trials "
+                f"({counts['quarantined']} quarantined, "
+                f"{counts['crashed']} crashed)"
+            )
+        return Sample(o.result.page_load_time for o in successful)
+
+    @property
+    def complete(self) -> bool:
+        """True when no trial was lost."""
+        return all(o.succeeded for o in self.outcomes)
+
+    def counts(self) -> Dict[str, int]:
+        """status -> trial count, over :data:`OUTCOME_STATES`."""
+        counts = {state: 0 for state in OUTCOME_STATES}
+        for outcome in self.outcomes:
+            counts[outcome.status] += 1
+        return counts
+
+    @property
+    def quarantined(self) -> List[TrialOutcome]:
+        """Trials lost to repeated errors or deadlines."""
+        return [o for o in self.outcomes if o.status == "quarantined"]
+
+    @property
+    def crashed(self) -> List[TrialOutcome]:
+        """Trials lost to worker crashes."""
+        return [o for o in self.outcomes if o.status == "crashed"]
+
+    @property
+    def digest(self) -> Optional[str]:
+        """Combined event-stream digest over successful trials.
+
+        BLAKE2 over ``trial:per-trial-digest`` lines in trial order —
+        the sweep-level fingerprint the kill-and-resume equivalence
+        check compares. None unless every successful trial carried a
+        digest (run with ``capture_digest=True``).
+        """
+        successful = [o for o in self.outcomes if o.succeeded]
+        if not successful or any(o.digest is None for o in successful):
+            return None
+        combined = hashlib.blake2b(digest_size=16)
+        for outcome in successful:
+            combined.update(f"{outcome.trial}:{outcome.digest}\n".encode())
+        return combined.hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (CI artifacts, reports)."""
+        return {
+            "trials": len(self.outcomes),
+            "counts": self.counts(),
+            "complete": self.complete,
+            "digest": self.digest,
+            "losses": [
+                {"trial": o.trial, "status": o.status,
+                 "attempts": o.attempts, "error": o.error}
+                for o in self.outcomes if not o.succeeded
+            ],
+            "resumed_trials": sum(
+                1 for o in self.outcomes if o.from_journal
+            ),
+        }
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        return (
+            f"<SweepResult trials={len(self.outcomes)} "
+            + " ".join(f"{k}={v}" for k, v in counts.items() if v)
+            + ">"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# worker side
+
+
+def _supervised_worker(
+    conn: Connection,
+    factory: ScenarioFactory,
+    trial: int,
+    timeout: float,
+    allow_failures: bool,
+    capture_digest: bool,
+) -> None:
+    """Run one trial in a forked worker and report through ``conn``.
+
+    The result is pickled *here*, so an unpicklable result becomes a
+    clear structured error instead of an opaque pool crash — the parent
+    re-raises it with the trial index attached.
+    """
+    try:
+        result = run_trial(factory, trial, timeout, allow_failures,
+                           capture_digest=capture_digest)
+        try:
+            payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            conn.send((
+                "error",
+                f"trial {trial} returned an unpicklable result "
+                f"({type(result).__name__}): {exc}",
+            ))
+        else:
+            conn.send(("ok", payload))
+    except BaseException as exc:
+        try:
+            conn.send(("error", f"trial {trial}: {exc}"
+                       if not str(exc).startswith(f"trial {trial}") else
+                       str(exc)))
+        except Exception:
+            pass  # parent will see the exit as a crash
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    """Parent-side record of one in-flight worker."""
+
+    process: multiprocessing.process.BaseProcess
+    reader: Connection
+    trial: int
+    attempt: int
+    started: float
+
+
+# ---------------------------------------------------------------------- #
+# supervisor
+
+
+def run_supervised(
+    factory: ScenarioFactory,
+    trials: int,
+    workers: Optional[int] = None,
+    timeout: float = DEFAULT_TRIAL_TIMEOUT,
+    allow_failures: bool = False,
+    deadline: Optional[float] = DEFAULT_DEADLINE,
+    retries: int = 1,
+    journal: Optional[Union[str, TrialJournal]] = None,
+    run_key: Optional[str] = None,
+    capture_digest: bool = False,
+) -> SweepResult:
+    """Run a sweep under supervision; never lose the whole run.
+
+    Args:
+        factory: the scenario factory (as for ``run_page_loads``).
+        trials: number of independent trials.
+        workers: worker process cap (default: one per core). ``1`` — or
+            a platform without ``fork`` — runs the serial fallback:
+            same taxonomy and journaling, but no wall-clock kill and no
+            crash containment (those need process isolation).
+        timeout: virtual-time budget per trial (inside the simulation).
+        allow_failures: forwarded to :func:`run_trial`.
+        deadline: wall-clock seconds per *attempt*; a worker still
+            running at its deadline is SIGKILLed and the attempt counts
+            as failed. None disables the watchdog.
+        retries: failed attempts retried at most this many times before
+            the trial is quarantined.
+        journal: a :class:`TrialJournal` or a path to one. Completed
+            trials found in it are replayed, not re-run; every newly
+            completed trial is appended (fsync'd) as it finishes.
+        run_key: stamps/validates the journal (see
+            :func:`repro.measure.journal.run_key`); ignored when
+            ``journal`` is already a TrialJournal.
+        capture_digest: capture each trial's event-stream digest (see
+            :func:`run_trial`) so :attr:`SweepResult.digest` can prove
+            kill-and-resume equivalence.
+
+    Returns:
+        A :class:`SweepResult` — partial results with a per-trial
+        outcome taxonomy instead of all-or-nothing failure.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials!r}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries!r}")
+    if deadline is not None and deadline <= 0:
+        raise ValueError(f"deadline must be positive, got {deadline!r}")
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+
+    if journal is not None and not isinstance(journal, TrialJournal):
+        journal = TrialJournal(journal, key=run_key)
+
+    outcomes: Dict[int, TrialOutcome] = {}
+    pending: List[int] = []
+    for trial in range(trials):
+        if journal is not None and trial in journal:
+            entry = journal.completed[trial]
+            status, attempts, result = _unwrap_journal_payload(entry)
+            outcomes[trial] = TrialOutcome(
+                trial=trial, status=status, attempts=attempts, error=None,
+                result=result, from_journal=True,
+                digest=journal.digest_for(trial),
+            )
+        else:
+            pending.append(trial)
+
+    if pending:
+        # The pool is used whenever it can be (even for one pending
+        # trial): supervision — the watchdog kill, crash containment —
+        # only works across a process boundary.
+        if workers == 1 or not fork_available():
+            _run_serial(factory, pending, timeout, allow_failures,
+                        retries, capture_digest, journal, outcomes)
+        else:
+            _run_pool(factory, pending, workers, timeout, allow_failures,
+                      deadline, retries, capture_digest, journal, outcomes)
+
+    if journal is not None:
+        journal.close()
+    return SweepResult([outcomes[trial] for trial in range(trials)])
+
+
+def _unwrap_journal_payload(entry: Any) -> Tuple[str, int, Any]:
+    """Journal payloads are ``{"status", "attempts", "result"}`` wrappers
+    (see :func:`_journal_record`); tolerate a bare result for journals
+    written by other callers."""
+    if isinstance(entry, dict) and "result" in entry:
+        return (str(entry.get("status", "ok")),
+                int(entry.get("attempts", 1)), entry["result"])
+    return "ok", 1, entry
+
+
+def _journal_record(journal: Optional[TrialJournal],
+                    outcome: TrialOutcome) -> None:
+    if journal is None or not outcome.succeeded:
+        return
+    journal.append(
+        outcome.trial,
+        {"status": outcome.status, "attempts": outcome.attempts,
+         "result": outcome.result},
+        digest=outcome.digest,
+    )
+
+
+def _success_outcome(trial: int, attempt: int, result: Any) -> TrialOutcome:
+    return TrialOutcome(
+        trial=trial,
+        status="ok" if attempt == 1 else "retried",
+        attempts=attempt,
+        error=None,
+        result=result,
+        digest=getattr(result, "event_digest", None),
+    )
+
+
+def _run_serial(
+    factory: ScenarioFactory,
+    pending: List[int],
+    timeout: float,
+    allow_failures: bool,
+    retries: int,
+    capture_digest: bool,
+    journal: Optional[TrialJournal],
+    outcomes: Dict[int, TrialOutcome],
+) -> None:
+    """In-process fallback: same taxonomy, no kill/crash containment."""
+    for trial in pending:
+        error = None
+        for attempt in range(1, retries + 2):
+            try:
+                result = run_trial(factory, trial, timeout, allow_failures,
+                                   capture_digest=capture_digest)
+            except ReproError as exc:
+                error = str(exc)
+                continue
+            outcomes[trial] = _success_outcome(trial, attempt, result)
+            _journal_record(journal, outcomes[trial])
+            break
+        else:
+            outcomes[trial] = TrialOutcome(
+                trial=trial, status="quarantined", attempts=retries + 1,
+                error=error, result=None,
+            )
+
+
+def _run_pool(
+    factory: ScenarioFactory,
+    pending: List[int],
+    workers: int,
+    timeout: float,
+    allow_failures: bool,
+    deadline: Optional[float],
+    retries: int,
+    capture_digest: bool,
+    journal: Optional[TrialJournal],
+    outcomes: Dict[int, TrialOutcome],
+) -> None:
+    """The supervising pool: fork-per-trial with watchdog and retry.
+
+    One process per in-flight trial (not a reusable pool): a crashed or
+    killed worker then takes down exactly one attempt, and SIGKILL needs
+    no cooperation from the victim. Page-load trials are seconds of work,
+    so the fork cost is noise.
+    """
+    context = multiprocessing.get_context("fork")
+    queue: List[Tuple[int, int]] = [(trial, 1) for trial in pending]
+    running: List[_Running] = []
+
+    def launch() -> None:
+        while queue and len(running) < workers:
+            trial, attempt = queue.pop(0)
+            reader, writer = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_supervised_worker,
+                args=(writer, factory, trial, timeout, allow_failures,
+                      capture_digest),
+            )
+            process.start()
+            writer.close()  # parent keeps only the read end
+            running.append(_Running(process, reader, trial, attempt,
+                                    time.monotonic()))
+
+    def retire(entry: _Running, failure: Optional[str],
+               crashed: bool) -> None:
+        running.remove(entry)
+        entry.reader.close()
+        if failure is None:
+            return
+        if entry.attempt <= retries:
+            queue.append((entry.trial, entry.attempt + 1))
+            return
+        outcomes[entry.trial] = TrialOutcome(
+            trial=entry.trial,
+            status="crashed" if crashed else "quarantined",
+            attempts=entry.attempt,
+            error=failure,
+            result=None,
+        )
+
+    try:
+        while queue or running:
+            launch()
+            tick = 0.25
+            if deadline is not None and running:
+                now = time.monotonic()
+                nearest = min(
+                    entry.started + deadline - now for entry in running
+                )
+                tick = max(0.01, min(tick, nearest))
+            connection_wait(
+                [entry.reader for entry in running]
+                + [entry.process.sentinel for entry in running],
+                timeout=tick,
+            )
+            for entry in list(running):
+                if entry.reader.poll():
+                    try:
+                        message = entry.reader.recv()
+                    except (EOFError, OSError):
+                        entry.process.join()
+                        retire(entry, _crash_message(entry), crashed=True)
+                        continue
+                    entry.process.join()
+                    if message[0] == "ok":
+                        result = pickle.loads(message[1])
+                        outcome = _success_outcome(
+                            entry.trial, entry.attempt, result
+                        )
+                        outcomes[entry.trial] = outcome
+                        _journal_record(journal, outcome)
+                        retire(entry, None, crashed=False)
+                    else:
+                        retire(entry, message[1], crashed=False)
+                elif not entry.process.is_alive():
+                    entry.process.join()
+                    retire(entry, _crash_message(entry), crashed=True)
+                elif (deadline is not None
+                      and time.monotonic() - entry.started > deadline):
+                    entry.process.kill()
+                    entry.process.join()
+                    retire(
+                        entry,
+                        f"trial {entry.trial}: exceeded the {deadline}s "
+                        f"wall-clock deadline (attempt {entry.attempt}); "
+                        f"worker killed by the watchdog",
+                        crashed=False,
+                    )
+    finally:
+        for entry in running:
+            entry.process.kill()
+            entry.process.join()
+            entry.reader.close()
+
+
+def _crash_message(entry: _Running) -> str:
+    code = entry.process.exitcode
+    how = f"signal {-code}" if code is not None and code < 0 else \
+        f"exit code {code}"
+    return (
+        f"trial {entry.trial}: worker process died without reporting "
+        f"({how}, attempt {entry.attempt})"
+    )

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.errors import ReproError
+from repro.fsutil import atomic_write_text
 from repro.obs.registry import MetricsRegistry
 from repro.obs.waterfall import Waterfall
 
@@ -165,7 +166,9 @@ def write_artifact(
                 record = capture_to_record(capture, name)
             emit(record)
 
-    out.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    # Atomic (temp + fsync + rename): a run killed mid-export leaves the
+    # previous artifact intact rather than a torn JSONL that half-parses.
+    atomic_write_text(out, "\n".join(lines) + "\n")
     return out
 
 

@@ -10,6 +10,7 @@ virtual (length only).
 from __future__ import annotations
 
 import base64
+import json
 from typing import Any, Dict, Optional
 
 from repro.errors import StoreFormatError
@@ -68,6 +69,19 @@ class RequestResponsePair:
                             self.response.reason],
             ),
         }
+
+    def to_canonical_bytes(self) -> bytes:
+        """The pair's canonical serialized form (sorted keys, no spaces).
+
+        This is the exact byte sequence :meth:`RecordedSite.save
+        <repro.record.store.RecordedSite.save>` writes to a pair file and
+        the input to the store's per-pair BLAKE2 checksum — one canonical
+        encoding, so a checksum mismatch always means damage, never an
+        encoder's whitespace mood.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RequestResponsePair":

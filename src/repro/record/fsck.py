@@ -1,0 +1,325 @@
+"""Recorded-store integrity checking and repair (the ``mm-fsck`` engine).
+
+A recorded folder is the *input* to every replay measurement, so a
+damaged folder silently skews results long after the recording session
+is gone. This module verifies a site folder the way a filesystem fsck
+verifies a disk — every pair file is checked for presence, size,
+checksum (format v2), JSON well-formedness, and semantic validity — and
+optionally repairs it:
+
+* damaged pair files are **quarantined** (moved into a ``quarantine/``
+  subfolder, never deleted — the bytes may still be forensically useful);
+* the manifest is **rewritten** to vouch for exactly the surviving
+  pairs (atomically, via temp + fsync + rename);
+* valid pair files are **never touched** — no rewrite, no renumber, no
+  re-encode;
+* format v1 folders are **upgraded** to v2 on repair (checksums computed
+  from the surviving files' bytes as they are).
+
+After a repair, :meth:`RecordedSite.load` succeeds strictly and
+ReplayShell serves the surviving pairs, with the losses counted in the
+obs artifact (see :class:`~repro.core.replayshell.ReplayShell`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import StoreFormatError
+from repro.fsutil import atomic_write_bytes
+from repro.record.entry import RequestResponsePair
+from repro.record.store import (
+    _PAIR_PREFIX,
+    _QUARANTINE_DIR,
+    _SITE_FILE,
+    pair_checksum,
+    pair_filename,
+    read_manifest,
+)
+
+__all__ = [
+    "FsckProblem",
+    "FsckReport",
+    "fsck_site",
+    "fsck_tree",
+    "is_site_dir",
+]
+
+
+@dataclass(frozen=True)
+class FsckProblem:
+    """One integrity problem found in a site folder."""
+
+    file: str  #: file name within the folder ("site.json" or a pair file)
+    kind: str  #: missing | truncated | corrupt | malformed | orphan | fatal
+    detail: str  #: human-readable specifics
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one :func:`fsck_site` pass."""
+
+    directory: str
+    format_version: Optional[int] = None
+    pairs_ok: int = 0
+    problems: List[FsckProblem] = field(default_factory=list)
+    quarantined: List[str] = field(default_factory=list)
+    repaired: bool = False
+    upgraded: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """True when the folder was fully intact."""
+        return not self.problems
+
+    @property
+    def fatal(self) -> bool:
+        """True when the folder cannot be repaired (site.json unusable)."""
+        return any(p.kind == "fatal" for p in self.problems)
+
+    def add(self, file: str, kind: str, detail: str) -> None:
+        self.problems.append(FsckProblem(file, kind, detail))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "directory": str(self.directory),
+            "format_version": self.format_version,
+            "pairs_ok": self.pairs_ok,
+            "clean": self.clean,
+            "repaired": self.repaired,
+            "upgraded": self.upgraded,
+            "quarantined": list(self.quarantined),
+            "problems": [
+                {"file": p.file, "kind": p.kind, "detail": p.detail}
+                for p in self.problems
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<FsckReport {self.directory!r} ok={self.pairs_ok} "
+            f"problems={len(self.problems)} repaired={self.repaired}>"
+        )
+
+
+def is_site_dir(directory: Any) -> bool:
+    """Whether ``directory`` looks like one recorded site folder."""
+    return os.path.isfile(os.path.join(os.fspath(directory), _SITE_FILE))
+
+
+def _verify_pair_file(
+    directory: str,
+    filename: str,
+    size: Optional[int],
+    checksum: Optional[str],
+) -> Tuple[Optional[FsckProblem], Optional[Dict[str, Any]]]:
+    """Check one pair file; return (problem, manifest-entry-if-valid)."""
+    path = os.path.join(directory, filename)
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except FileNotFoundError:
+        return FsckProblem(
+            filename, "missing", f"missing pair file: {path}"
+        ), None
+    if size is not None and len(raw) != size:
+        return FsckProblem(
+            filename, "truncated",
+            f"truncated pair file {path}: {len(raw)} bytes, "
+            f"manifest says {size}",
+        ), None
+    if checksum is not None and pair_checksum(raw) != checksum:
+        return FsckProblem(
+            filename, "corrupt", f"checksum mismatch in pair file {path}"
+        ), None
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        return FsckProblem(
+            filename, "corrupt", f"corrupt pair file {path}: {exc}"
+        ), None
+    try:
+        RequestResponsePair.from_dict(data)
+    except StoreFormatError as exc:
+        return FsckProblem(
+            filename, "malformed", f"malformed pair file {path}: {exc}"
+        ), None
+    return None, {
+        "file": filename,
+        "size": len(raw),
+        "checksum": pair_checksum(raw),
+    }
+
+
+def fsck_site(directory: Any, repair: bool = False) -> FsckReport:
+    """Verify (and optionally repair) one recorded site folder.
+
+    Args:
+        directory: the site folder.
+        repair: quarantine damaged/orphan pair files into
+            ``quarantine/`` and atomically rewrite the manifest (format
+            v2) to cover exactly the surviving pairs. Valid pair files
+            are never modified.
+
+    Returns:
+        An :class:`FsckReport`; ``report.clean`` means nothing was
+        wrong, ``report.repaired`` means damage was found and repaired.
+    """
+    directory = os.fspath(directory)
+    report = FsckReport(directory=directory)
+    try:
+        metadata = read_manifest(directory)
+    except StoreFormatError as exc:
+        report.add(_SITE_FILE, "fatal", str(exc))
+        return report
+    version = metadata.get("format_version")
+    report.format_version = version
+
+    valid_entries: List[Dict[str, Any]] = []
+    bad_files: List[str] = []
+
+    if version == 1:
+        # v1 manifests carry no per-pair metadata, so the folder itself
+        # is the source of truth: every pair-NNNNN.json present is a
+        # candidate (content-verified below), and holes in the numbering
+        # are reported as missing files. Repair keeps whatever verifies
+        # — the rewritten v2 manifest names survivors explicitly, so
+        # contiguous numbering stops being a load requirement.
+        found = sorted(
+            f for f in os.listdir(directory)
+            if f.startswith(_PAIR_PREFIX) and not f.endswith(".tmp")
+        )
+        declared = metadata.get("pair_count")
+        if declared is not None and declared != len(found):
+            report.add(
+                _SITE_FILE, "missing",
+                f"{os.path.join(directory, _SITE_FILE)} declares "
+                f"{declared} pairs but {len(found)} pair files exist",
+            )
+        top = max(len(found), declared or 0)
+        for index in range(top):
+            gap = pair_filename(index)
+            if gap not in found and index < (declared or len(found)):
+                report.add(
+                    gap, "missing",
+                    f"pair numbering has a gap: missing "
+                    f"{os.path.join(directory, gap)}",
+                )
+        for filename in found:
+            problem, entry = _verify_pair_file(
+                directory, filename, size=None, checksum=None
+            )
+            if problem is not None:
+                report.problems.append(problem)
+                bad_files.append(filename)
+            else:
+                valid_entries.append(entry)
+    else:
+        entries = metadata.get("pairs")
+        if not isinstance(entries, list):
+            report.add(
+                _SITE_FILE, "fatal",
+                f"{os.path.join(directory, _SITE_FILE)}: format v2 "
+                f"requires a 'pairs' manifest list",
+            )
+            return report
+        manifest_files = set()
+        for entry in entries:
+            try:
+                filename = entry["file"]
+                size = int(entry["size"])
+                checksum = str(entry["checksum"])
+            except (TypeError, KeyError, ValueError):
+                report.add(
+                    _SITE_FILE, "corrupt",
+                    f"malformed manifest entry {entry!r} in "
+                    f"{os.path.join(directory, _SITE_FILE)}",
+                )
+                continue
+            manifest_files.add(filename)
+            problem, valid = _verify_pair_file(
+                directory, filename, size=size, checksum=checksum
+            )
+            if problem is not None:
+                report.problems.append(problem)
+                if problem.kind != "missing":
+                    bad_files.append(filename)
+            else:
+                valid_entries.append(valid)
+        for filename in sorted(os.listdir(directory)):
+            if (filename.startswith(_PAIR_PREFIX)
+                    and not filename.endswith(".tmp")
+                    and filename not in manifest_files):
+                report.add(
+                    filename, "orphan",
+                    f"orphan pair file not in the manifest: "
+                    f"{os.path.join(directory, filename)}",
+                )
+                bad_files.append(filename)
+
+    report.pairs_ok = len(valid_entries)
+
+    if repair and report.problems and not report.fatal:
+        _repair(directory, metadata, valid_entries, bad_files, report)
+    return report
+
+
+def _repair(
+    directory: str,
+    metadata: Dict[str, Any],
+    valid_entries: List[Dict[str, Any]],
+    bad_files: List[str],
+    report: FsckReport,
+) -> None:
+    """Quarantine the damage and commit a clean v2 manifest."""
+    quarantine = os.path.join(directory, _QUARANTINE_DIR)
+    for filename in bad_files:
+        source = os.path.join(directory, filename)
+        if not os.path.exists(source):
+            continue
+        os.makedirs(quarantine, exist_ok=True)
+        os.replace(source, os.path.join(quarantine, filename))
+        report.quarantined.append(filename)
+    manifest = {
+        "format_version": 2,
+        "name": metadata.get("name", os.path.basename(directory)),
+        "pair_count": len(valid_entries),
+        "pairs": valid_entries,
+    }
+    atomic_write_bytes(
+        os.path.join(directory, _SITE_FILE),
+        json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8"),
+    )
+    report.repaired = True
+    report.upgraded = metadata.get("format_version") == 1
+
+
+def fsck_tree(
+    directory: Any, repair: bool = False
+) -> List[FsckReport]:
+    """Fsck a corpus folder: every immediate subdirectory with a
+    ``site.json``, in sorted order. A site folder passed directly is
+    checked as itself.
+
+    Raises:
+        StoreFormatError: when ``directory`` contains no recorded site.
+    """
+    directory = os.fspath(directory)
+    if is_site_dir(directory):
+        return [fsck_site(directory, repair=repair)]
+    if not os.path.isdir(directory):
+        raise StoreFormatError(f"not a directory: {directory}")
+    reports = []
+    for name in sorted(os.listdir(directory)):
+        candidate = os.path.join(directory, name)
+        if os.path.isdir(candidate) and is_site_dir(candidate):
+            reports.append(fsck_site(candidate, repair=repair))
+    if not reports:
+        raise StoreFormatError(
+            f"no recorded sites under {directory!r} "
+            f"(expected site folders containing {_SITE_FILE})"
+        )
+    return reports

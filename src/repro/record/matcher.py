@@ -46,9 +46,22 @@ class RequestMatcher:
     site (each Apache in Mahimahi can serve the whole folder), so requests
     that arrive at the "wrong" origin — as happens in single-server mode —
     still resolve.
+
+    Args:
+        pairs: the recorded exchanges to serve.
+        damaged_pairs: how many of the site's recorded pairs were lost
+            to store damage (quarantined by ``mm-fsck`` or skipped by a
+            tolerant load). A matcher over a damaged site still serves
+            every surviving pair; the count makes the degradation
+            visible — misses mention it, so a 404 during replay of a
+            damaged folder explains itself.
     """
 
-    def __init__(self, pairs: List[RequestResponsePair]) -> None:
+    def __init__(
+        self,
+        pairs: List[RequestResponsePair],
+        damaged_pairs: int = 0,
+    ) -> None:
         self._by_exact: Dict[Tuple[Optional[str], str], RequestResponsePair] = {}
         self._by_path: Dict[Tuple[Optional[str], str], List[RequestResponsePair]] = {}
         for pair in pairs:
@@ -57,6 +70,7 @@ class RequestMatcher:
             self._by_exact.setdefault(exact_key, pair)
             path_key = (pair.host, pair.request.path)
             self._by_path.setdefault(path_key, []).append(pair)
+        self.damaged_pairs = damaged_pairs
         self.exact_hits = 0
         self.prefix_hits = 0
         self.misses = 0
@@ -78,13 +92,19 @@ class RequestMatcher:
             self.prefix_hits += 1
             return MatchResult(best.response, best, False)
         self.misses += 1
-        return MatchResult(_not_found(request), None, False)
+        return MatchResult(
+            _not_found(request, self.damaged_pairs), None, False
+        )
 
 
-def _not_found(request: HttpRequest) -> HttpResponse:
-    body = Body.from_bytes(
-        f"no recorded response for {request.method} {request.uri}".encode()
-    )
+def _not_found(request: HttpRequest, damaged_pairs: int = 0) -> HttpResponse:
+    text = f"no recorded response for {request.method} {request.uri}"
+    if damaged_pairs:
+        text += (
+            f" (site store is damaged: {damaged_pairs} recorded pair(s) "
+            f"quarantined — the resource may be among them)"
+        )
+    body = Body.from_bytes(text.encode())
     headers = Headers([
         ("Content-Type", "text/plain"),
         ("Content-Length", str(body.length)),

@@ -5,21 +5,136 @@ A recorded site is a directory: ``site.json`` with metadata plus one
 Mahimahi's recorded folders of protobuf files. The store also answers the
 two questions ReplayShell asks: which (IP, port) origins existed, and which
 hostnames map to which recorded IP.
+
+Format v2 makes the folder *verifiable and durable* (the Web Execution
+Bundles argument: a recorded measurement is only reproducible if the
+recording itself can be checked):
+
+* ``site.json`` carries a **manifest**: one entry per pair file with its
+  size and a BLAKE2 checksum over the pair's canonical bytes, so
+  truncation, bitrot, and missing files are all detectable;
+* :meth:`RecordedSite.save` is **atomic** — every file is written to a
+  temp name, fsync'd, and ``os.replace``d, with the manifest committed
+  last, so a crash mid-save never leaves a folder that later loads as
+  valid-but-wrong;
+* :meth:`RecordedSite.load` verifies the manifest (strict: any damage
+  raises with the offending path); :meth:`RecordedSite.load_tolerant`
+  degrades gracefully — loads every valid pair and reports the damage in
+  a :class:`StoreDamage` so ReplayShell can serve what survives.
+
+Format v1 folders (no manifest) still load: checksums are simply not
+checked, and the pair numbering is validated against ``pair_count``
+instead. ``mm-fsck --repair`` upgrades a folder to v2 in place.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from typing import Dict, List, Set, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Set, Tuple
 
-from repro.errors import StoreFormatError
+from repro.errors import StoreFormatError, StoreIntegrityError
+from repro.fsutil import atomic_write_bytes, fsync_dir as _fsync_dir
 from repro.net.address import IPv4Address
 from repro.record.entry import RequestResponsePair
 
 _SITE_FILE = "site.json"
 _PAIR_PREFIX = "pair-"
-_FORMAT_VERSION = 1
+_QUARANTINE_DIR = "quarantine"
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+def pair_checksum(data: bytes) -> str:
+    """BLAKE2 checksum (hex) of a pair file's bytes."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def pair_filename(index: int) -> str:
+    """The canonical pair file name for recording index ``index``."""
+    return f"{_PAIR_PREFIX}{index:05d}.json"
+
+
+def read_manifest(directory: Any) -> Dict[str, Any]:
+    """Read and validate a site folder's ``site.json``.
+
+    Returns the metadata dict (format version already checked against
+    :data:`_SUPPORTED_VERSIONS`).
+
+    Raises:
+        StoreFormatError: missing folder/file, corrupt JSON, or an
+            unsupported format version — always naming the offending
+            path.
+    """
+    site_path = os.path.join(os.fspath(directory), _SITE_FILE)
+    try:
+        with open(site_path, "r", encoding="utf-8") as handle:
+            metadata = json.load(handle)
+    except FileNotFoundError:
+        raise StoreFormatError(f"not a recorded site: {directory}") from None
+    except json.JSONDecodeError as exc:
+        raise StoreFormatError(
+            f"corrupt {_SITE_FILE}: {site_path}: {exc}"
+        ) from exc
+    if not isinstance(metadata, dict):
+        raise StoreFormatError(
+            f"corrupt {_SITE_FILE}: {site_path}: not a JSON object"
+        )
+    version = metadata.get("format_version")
+    if version not in _SUPPORTED_VERSIONS:
+        raise StoreFormatError(
+            f"unsupported format version {version!r} in {site_path}"
+        )
+    return metadata
+
+
+class DamagedPair(NamedTuple):
+    """One damaged pair file, as found by a tolerant load or mm-fsck."""
+
+    file: str  #: pair file name within the site folder
+    problem: str  #: "missing" | "truncated" | "corrupt" | "malformed" | "orphan"
+    detail: str  #: human-readable specifics
+
+
+class StoreDamage:
+    """Damage report from :meth:`RecordedSite.load_tolerant`.
+
+    Attributes:
+        directory: the site folder inspected.
+        damaged: the per-file damage records.
+        pairs_loaded: pairs that survived and were loaded.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.damaged: List[DamagedPair] = []
+        self.pairs_loaded = 0
+
+    def add(self, file: str, problem: str, detail: str) -> None:
+        self.damaged.append(DamagedPair(file, problem, detail))
+
+    @property
+    def ok(self) -> bool:
+        """True when the folder was fully intact."""
+        return not self.damaged
+
+    def __len__(self) -> int:
+        return len(self.damaged)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "directory": str(self.directory),
+            "pairs_loaded": self.pairs_loaded,
+            "pairs_damaged": len(self.damaged),
+            "damaged": [d._asdict() for d in self.damaged],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<StoreDamage {self.directory!r} loaded={self.pairs_loaded} "
+            f"damaged={len(self.damaged)}>"
+        )
 
 
 class RecordedSite:
@@ -32,6 +147,9 @@ class RecordedSite:
     def __init__(self, name: str) -> None:
         self.name = name
         self._pairs: List[RequestResponsePair] = []
+        #: Damage report when this site came from :meth:`load_tolerant`
+        #: of a damaged folder (None for intact/in-memory sites).
+        self.damage: Optional[StoreDamage] = None
 
     # ------------------------------------------------------------------ #
     # content
@@ -80,52 +198,232 @@ class RecordedSite:
     # persistence
 
     def save(self, directory) -> None:
-        """Write the site folder (created if needed, pairs overwritten)."""
+        """Write the site folder atomically (format v2, with manifest).
+
+        Every pair file and the manifest go through temp + fsync +
+        ``os.replace``; the manifest is committed *last*, so a crash at
+        any point leaves either no loadable site (no/old ``site.json``)
+        or a complete one — never a half-written folder that loads as
+        valid.
+        """
+        directory = os.fspath(directory)
         os.makedirs(directory, exist_ok=True)
+        manifest_pairs: List[Dict[str, Any]] = []
+        for index, pair in enumerate(self._pairs):
+            filename = pair_filename(index)
+            data = pair.to_canonical_bytes()
+            atomic_write_bytes(os.path.join(directory, filename), data)
+            manifest_pairs.append({
+                "file": filename,
+                "size": len(data),
+                "checksum": pair_checksum(data),
+            })
         metadata = {
             "format_version": _FORMAT_VERSION,
             "name": self.name,
             "pair_count": len(self._pairs),
+            "pairs": manifest_pairs,
         }
-        with open(os.path.join(directory, _SITE_FILE), "w",
-                  encoding="utf-8") as handle:
-            json.dump(metadata, handle, indent=2)
-        for index, pair in enumerate(self._pairs):
-            path = os.path.join(directory, f"{_PAIR_PREFIX}{index:05d}.json")
-            with open(path, "w", encoding="utf-8") as handle:
-                json.dump(pair.to_dict(), handle)
+        atomic_write_bytes(
+            os.path.join(directory, _SITE_FILE),
+            json.dumps(metadata, indent=2, sort_keys=True).encode("utf-8"),
+        )
+        _fsync_dir(directory)
 
     @classmethod
     def load(cls, directory) -> "RecordedSite":
-        """Read a site folder.
+        """Read a site folder, verifying it completely (strict).
 
         Raises:
-            StoreFormatError: on a missing/malformed folder.
+            StoreFormatError: missing/malformed folder, orphan or gap in
+                the pair numbering, or a pair that fails to parse — the
+                message names the offending path.
+            StoreIntegrityError: a pair file whose size or checksum does
+                not match the manifest (truncation, bitrot).
         """
-        site_path = os.path.join(directory, _SITE_FILE)
-        try:
-            with open(site_path, "r", encoding="utf-8") as handle:
-                metadata = json.load(handle)
-        except FileNotFoundError:
-            raise StoreFormatError(f"not a recorded site: {directory}") from None
-        except json.JSONDecodeError as exc:
-            raise StoreFormatError(f"corrupt {_SITE_FILE}: {exc}") from exc
-        if metadata.get("format_version") != _FORMAT_VERSION:
-            raise StoreFormatError(
-                f"unsupported format version {metadata.get('format_version')!r}"
-            )
-        site = cls(str(metadata.get("name", os.path.basename(directory))))
-        for filename in sorted(os.listdir(directory)):
-            if not filename.startswith(_PAIR_PREFIX):
-                continue
-            path = os.path.join(directory, filename)
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    data = json.load(handle)
-            except json.JSONDecodeError as exc:
-                raise StoreFormatError(f"corrupt pair file {filename}: {exc}") from exc
-            site.add_pair(RequestResponsePair.from_dict(data))
+        site, damage = cls._load(os.fspath(directory), strict=True)
+        assert damage.ok
         return site
+
+    @classmethod
+    def load_tolerant(cls, directory) -> Tuple["RecordedSite", StoreDamage]:
+        """Read a site folder, salvaging every valid pair.
+
+        The graceful-degradation path ReplayShell uses on damaged
+        folders: damaged pairs are skipped and reported in the returned
+        :class:`StoreDamage` (also stashed on ``site.damage``) instead
+        of raising. Only an unreadable/unsupported ``site.json`` — where
+        nothing can be salvaged — still raises.
+
+        Raises:
+            StoreFormatError: when ``site.json`` itself is unusable.
+        """
+        site, damage = cls._load(os.fspath(directory), strict=False)
+        return site, damage
+
+    @classmethod
+    def _load(
+        cls, directory: str, strict: bool
+    ) -> Tuple["RecordedSite", StoreDamage]:
+        metadata = read_manifest(directory)
+        site = cls(str(metadata.get("name", os.path.basename(directory))))
+        damage = StoreDamage(directory)
+        version = metadata.get("format_version")
+        if version == 1:
+            cls._load_v1(directory, metadata, site, damage, strict)
+        else:
+            cls._load_v2(directory, metadata, site, damage, strict)
+        site.damage = None if damage.ok else damage
+        damage.pairs_loaded = len(site)
+        return site, damage
+
+    # -- v1: no manifest; discover files, validate numbering ----------- #
+
+    @classmethod
+    def _load_v1(
+        cls,
+        directory: str,
+        metadata: Dict[str, Any],
+        site: "RecordedSite",
+        damage: StoreDamage,
+        strict: bool,
+    ) -> None:
+        found = sorted(
+            f for f in os.listdir(directory)
+            if f.startswith(_PAIR_PREFIX) and not f.endswith(".tmp")
+        )
+        expected = [pair_filename(i) for i in range(len(found))]
+        if found != expected:
+            # Same length by construction, so the first positional
+            # mismatch names the file that breaks contiguous numbering —
+            # an orphan, or the first file after a gap.
+            offender, wanted = next(
+                (f, e) for f, e in zip(found, expected) if f != e
+            )
+            problem = (
+                f"pair numbering has an orphan or gap: found "
+                f"{os.path.join(directory, offender)} where "
+                f"{wanted} was expected"
+            )
+            if strict:
+                raise StoreFormatError(problem)
+            damage.add(offender, "orphan", problem)
+        declared = metadata.get("pair_count")
+        if declared is not None and declared != len(found):
+            problem = (
+                f"{os.path.join(directory, _SITE_FILE)} declares "
+                f"{declared} pairs but {len(found)} pair files exist"
+            )
+            if strict:
+                raise StoreFormatError(problem)
+            damage.add(_SITE_FILE, "missing", problem)
+        for filename in found:
+            if filename not in expected and not strict:
+                continue  # orphan already reported
+            cls._load_pair_file(
+                directory, filename, site, damage, strict,
+                size=None, checksum=None,
+            )
+
+    # -- v2: trust the manifest, verify everything against it ---------- #
+
+    @classmethod
+    def _load_v2(
+        cls,
+        directory: str,
+        metadata: Dict[str, Any],
+        site: "RecordedSite",
+        damage: StoreDamage,
+        strict: bool,
+    ) -> None:
+        entries = metadata.get("pairs")
+        if not isinstance(entries, list):
+            raise StoreFormatError(
+                f"{os.path.join(directory, _SITE_FILE)}: format v2 "
+                f"requires a 'pairs' manifest list"
+            )
+        manifest_files = set()
+        for entry in entries:
+            try:
+                filename = entry["file"]
+                size = int(entry["size"])
+                checksum = str(entry["checksum"])
+            except (TypeError, KeyError, ValueError) as exc:
+                raise StoreFormatError(
+                    f"{os.path.join(directory, _SITE_FILE)}: malformed "
+                    f"manifest entry {entry!r}: {exc}"
+                ) from exc
+            manifest_files.add(filename)
+            cls._load_pair_file(
+                directory, filename, site, damage, strict,
+                size=size, checksum=checksum,
+            )
+        # Orphans: pair files on disk the manifest does not vouch for.
+        for filename in sorted(os.listdir(directory)):
+            if (filename.startswith(_PAIR_PREFIX)
+                    and not filename.endswith(".tmp")
+                    and filename not in manifest_files):
+                problem = (
+                    f"orphan pair file not in the manifest: "
+                    f"{os.path.join(directory, filename)}"
+                )
+                if strict:
+                    raise StoreFormatError(problem)
+                damage.add(filename, "orphan", problem)
+
+    @classmethod
+    def _load_pair_file(
+        cls,
+        directory: str,
+        filename: str,
+        site: "RecordedSite",
+        damage: StoreDamage,
+        strict: bool,
+        size: Optional[int],
+        checksum: Optional[str],
+    ) -> None:
+        path = os.path.join(directory, filename)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            problem = f"missing pair file: {path}"
+            if strict:
+                raise StoreFormatError(problem) from None
+            damage.add(filename, "missing", problem)
+            return
+        if size is not None and len(raw) != size:
+            problem = (
+                f"truncated pair file {path}: {len(raw)} bytes, "
+                f"manifest says {size}"
+            )
+            if strict:
+                raise StoreIntegrityError(problem)
+            damage.add(filename, "truncated", problem)
+            return
+        if checksum is not None and pair_checksum(raw) != checksum:
+            problem = f"checksum mismatch in pair file {path}"
+            if strict:
+                raise StoreIntegrityError(problem)
+            damage.add(filename, "corrupt", problem)
+            return
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            problem = f"corrupt pair file {path}: {exc}"
+            if strict:
+                raise StoreFormatError(problem) from exc
+            damage.add(filename, "corrupt", problem)
+            return
+        try:
+            pair = RequestResponsePair.from_dict(data)
+        except StoreFormatError as exc:
+            problem = f"malformed pair file {path}: {exc}"
+            if strict:
+                raise StoreFormatError(problem) from exc
+            damage.add(filename, "malformed", problem)
+            return
+        site.add_pair(pair)
 
     def __repr__(self) -> str:
         return (

@@ -8,6 +8,7 @@ from repro.cli import (
     mm_chaos,
     mm_corpus,
     mm_delay,
+    mm_fsck,
     mm_link,
     mm_loss,
     mm_trace,
@@ -205,6 +206,128 @@ class TestMmCorpus:
     def test_stats_missing_dir(self):
         with pytest.raises(CliError):
             mm_corpus.run(["stats", "/nonexistent"], [])
+
+    def test_rejects_nesting(self):
+        with pytest.raises(CliError):
+            mm_corpus.run(["stats", "x"], [("delay", {"delay": 0.01})])
+
+
+class TestMmCorpusResume:
+    ARGS = ["--size", "4", "--singles", "1", "--scale", "0.3", "--seed", "2"]
+
+    def _generate(self, out, extra=()):
+        return mm_corpus.run(
+            ["generate", "--out", str(out), *self.ARGS, *extra], [])
+
+    def test_journal_removed_after_success(self, tmp_path, capsys):
+        out = tmp_path / "corpus"
+        assert self._generate(out) == 0
+        assert not (out / mm_corpus.JOURNAL_FILE).exists()
+        assert len(os.listdir(out)) == 4
+
+    def test_resume_skips_journaled_sites(self, tmp_path, capsys):
+        from repro.corpus import alexa_corpus
+        from repro.measure.journal import TrialJournal, run_key
+
+        out = tmp_path / "corpus"
+        assert self._generate(out) == 0
+        reference = {
+            name: (out / name / "site.json").read_bytes()
+            for name in os.listdir(out)
+        }
+        capsys.readouterr()
+        # Reconstruct the state a SIGKILL after two sites leaves behind:
+        # two journaled site folders, the rest missing.
+        sites = alexa_corpus(seed=2, size=4, single_origin_sites=1,
+                             scale=0.3)
+        key = run_key(seed=2, size=4, singles=1, scale=0.3)
+        for index in (2, 3):
+            import shutil
+
+            shutil.rmtree(out / sites[index].name)
+        with TrialJournal(out / mm_corpus.JOURNAL_FILE, key=key) as journal:
+            for index in (0, 1):
+                journal.append(index, sites[index].name)
+        assert self._generate(out, extra=["--resume"]) == 0
+        text = capsys.readouterr().out
+        assert "generated 2 of 4 sites" in text
+        assert "2 already journaled" in text
+        assert not (out / mm_corpus.JOURNAL_FILE).exists()
+        # A resumed corpus is byte-identical to the uninterrupted one.
+        for name, content in reference.items():
+            assert (out / name / "site.json").read_bytes() == content
+
+    def test_resume_with_different_parameters_refused(self, tmp_path):
+        from repro.measure.journal import TrialJournal, run_key
+
+        out = tmp_path / "corpus"
+        out.mkdir()
+        with TrialJournal(out / mm_corpus.JOURNAL_FILE,
+                          key=run_key(seed=99, size=4, singles=1,
+                                      scale=0.3)) as journal:
+            journal.append(0, "somesite.com")
+        with pytest.raises(CliError, match="cannot resume"):
+            self._generate(out, extra=["--resume"])
+
+    def test_fresh_run_discards_stale_journal(self, tmp_path, capsys):
+        from repro.measure.journal import TrialJournal
+
+        out = tmp_path / "corpus"
+        out.mkdir()
+        with TrialJournal(out / mm_corpus.JOURNAL_FILE,
+                          key="stale") as journal:
+            journal.append(0, "ghost.com")
+        assert self._generate(out) == 0
+        assert "generated 4 of 4 sites" in capsys.readouterr().out
+        assert not (out / mm_corpus.JOURNAL_FILE).exists()
+
+
+class TestMmFsck:
+    @pytest.fixture
+    def fsck_dir(self, tmp_path):
+        site = generate_site("fscked.com", seed=7, n_origins=3, scale=0.3)
+        directory = tmp_path / "fscked.com"
+        site.to_recorded_site().save(directory)
+        return directory
+
+    def test_clean_site_exits_zero(self, fsck_dir, capsys):
+        assert mm_fsck.run([str(fsck_dir)], []) == 0
+        assert "all clean" in capsys.readouterr().out
+
+    def test_damage_detected_exits_one(self, fsck_dir, capsys):
+        (fsck_dir / "pair-00000.json").write_bytes(b"junk")
+        assert mm_fsck.run([str(fsck_dir)], []) == 1
+        assert "truncated" in capsys.readouterr().out
+        # Detection never modifies the folder.
+        assert not (fsck_dir / "quarantine").exists()
+
+    def test_repair_then_clean(self, fsck_dir, capsys):
+        (fsck_dir / "pair-00000.json").write_bytes(b"junk")
+        assert mm_fsck.run([str(fsck_dir), "--repair"], []) == 1
+        assert "quarantined" in capsys.readouterr().out
+        assert (fsck_dir / "quarantine" / "pair-00000.json").exists()
+        assert mm_fsck.run([str(fsck_dir)], []) == 0
+
+    def test_json_output(self, fsck_dir, capsys):
+        import json
+
+        (fsck_dir / "pair-00001.json").write_bytes(b"junk")
+        assert mm_fsck.run([str(fsck_dir), "--json"], []) == 1
+        reports = json.loads(capsys.readouterr().out)
+        assert len(reports) == 1
+        assert reports[0]["problems"][0]["kind"] == "truncated"
+
+    def test_usage_errors(self, fsck_dir):
+        with pytest.raises(CliError):
+            mm_fsck.run([], [])
+        with pytest.raises(CliError):
+            mm_fsck.run(["--bogus", str(fsck_dir)], [])
+        with pytest.raises(CliError):
+            mm_fsck.run(["/nonexistent-dir"], [])
+
+    def test_rejects_nesting(self, fsck_dir):
+        with pytest.raises(CliError):
+            mm_fsck.run([str(fsck_dir)], [("delay", {"delay": 0.01})])
 
 
 class TestHelpers:

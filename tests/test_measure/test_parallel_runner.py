@@ -92,6 +92,51 @@ class TestParallelMap:
             parallel_map(lambda i: i, -1, workers=2)
         assert parallel_map(lambda i: i, 0, workers=4) == []
 
+    def test_explicit_indices_serial(self):
+        assert parallel_map(lambda i: i * 10, 6, workers=1,
+                            indices=[4, 1, 3]) == [40, 10, 30]
+        assert parallel_map(lambda i: i, 5, workers=4, indices=[]) == []
+
+    @needs_fork
+    def test_explicit_indices_pool_preserves_given_order(self):
+        assert parallel_map(lambda i: i * 10, 8, workers=3,
+                            indices=[5, 0, 2]) == [50, 0, 20]
+
+    def test_on_result_serial_checkpoints_each_completion(self):
+        seen = []
+        results = parallel_map(lambda i: i * i, 4, workers=1,
+                               on_result=lambda i, r: seen.append((i, r)))
+        assert results == [0, 1, 4, 9]
+        assert seen == [(0, 0), (1, 1), (2, 4), (3, 9)]
+
+    @needs_fork
+    def test_on_result_pool_sees_every_completion(self):
+        seen = {}
+        results = parallel_map(lambda i: i * i, 6, workers=3,
+                               on_result=lambda i, r: seen.__setitem__(i, r))
+        # Completion order is nondeterministic; coverage is not.
+        assert seen == {i: i * i for i in range(6)}
+        assert results == [i * i for i in range(6)]
+
+    @needs_fork
+    def test_lowest_failing_index_raised_with_trial_tag(self):
+        def task(i):
+            if i in (1, 3):
+                raise ReproError(f"trial {i} broke")
+            return i
+
+        with pytest.raises(ReproError, match="trial 1 broke") as excinfo:
+            parallel_map(task, 5, workers=2, indices=list(range(5)))
+        assert excinfo.value.trial_index == 1
+
+    @needs_fork
+    def test_unpicklable_result_is_a_clear_error(self):
+        def task(i):
+            return lambda: i  # closures do not pickle
+
+        with pytest.raises(ReproError, match="unpicklable"):
+            parallel_map(task, 2, workers=2)
+
 
 class TestParallelRunner:
     def test_default_workers_positive(self):

@@ -1,0 +1,316 @@
+"""Tests for supervised sweeps: watchdog, retry, quarantine, resume."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.browser import Browser
+from repro.core import HostMachine, ShellStack
+from repro.corpus import generate_site
+from repro.errors import ReproError
+from repro.measure.journal import TrialJournal, run_key
+from repro.measure.parallel import ParallelRunner, fork_available
+from repro.measure.supervise import (
+    OUTCOME_STATES,
+    SweepResult,
+    TrialOutcome,
+    run_supervised,
+)
+from repro.sim import Simulator
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+
+def _make_factory(pace: float = 0.0):
+    """A real page-load factory over a small generated site.
+
+    ``pace`` adds wall-clock seconds per trial so kill-mid-sweep tests
+    have a window to interrupt; zero for fast tests.
+    """
+    site = generate_site("supervised.com", seed=3, n_origins=2, scale=0.3)
+    store = site.to_recorded_site()
+
+    def factory(trial):
+        if pace:
+            time.sleep(pace)
+        sim = Simulator(seed=trial)
+        machine = HostMachine(sim)
+        stack = ShellStack(machine)
+        stack.add_replay(store)
+        browser = Browser(sim, stack.transport, stack.resolver_endpoint,
+                          machine=machine)
+        return sim, browser.load(site.page)
+
+    return factory
+
+
+def _flaky_factory(marker_dir, fail_with):
+    """Fails each trial's first attempt, succeeds on retry.
+
+    ``fail_with="error"`` raises ReproError; ``"crash"`` kills the
+    worker process outright; ``"stall"`` blocks past any deadline.
+    """
+    inner = _make_factory()
+
+    def factory(trial):
+        marker = os.path.join(marker_dir, f"attempted-{trial}")
+        if not os.path.exists(marker):
+            with open(marker, "w") as fh:
+                fh.write("x")
+            if fail_with == "error":
+                raise ReproError(f"trial {trial}: injected first-attempt "
+                                 f"failure")
+            if fail_with == "crash":
+                os._exit(17)
+            if fail_with == "stall":
+                time.sleep(3600)
+        return inner(trial)
+
+    return factory
+
+
+def _always_stalling_factory():
+    def factory(trial):
+        time.sleep(3600)
+
+    return factory
+
+
+class TestTaxonomy:
+    def test_all_ok(self):
+        result = run_supervised(_make_factory(), trials=3, workers=1)
+        assert isinstance(result, SweepResult)
+        assert result.complete
+        assert result.counts() == {
+            "ok": 3, "retried": 0, "quarantined": 0, "crashed": 0,
+        }
+        assert [o.trial for o in result.outcomes] == [0, 1, 2]
+        assert len(result.sample.values) == 3
+        assert all(r is not None for r in result.results)
+
+    def test_outcome_states_constant(self):
+        assert OUTCOME_STATES == ("ok", "retried", "quarantined", "crashed")
+
+    def test_matches_unsupervised_sample(self):
+        factory = _make_factory()
+        supervised = run_supervised(factory, trials=3, workers=1)
+        plain = ParallelRunner(workers=1).run_page_loads(factory, trials=3)
+        assert list(supervised.sample.values) == list(plain.sample.values)
+
+    def test_to_dict_shape(self):
+        result = run_supervised(_make_factory(), trials=2, workers=1)
+        data = result.to_dict()
+        assert data["trials"] == 2
+        assert data["complete"] is True
+        assert data["losses"] == []
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            run_supervised(_make_factory(), trials=0)
+        with pytest.raises(ValueError):
+            run_supervised(_make_factory(), trials=1, retries=-1)
+        with pytest.raises(ValueError):
+            run_supervised(_make_factory(), trials=1, deadline=0)
+
+
+class TestRetryAndQuarantine:
+    def test_serial_retry_then_success(self, tmp_path):
+        factory = _flaky_factory(str(tmp_path), fail_with="error")
+        result = run_supervised(factory, trials=2, workers=1, retries=1)
+        assert result.complete
+        assert result.counts()["retried"] == 2
+        assert all(o.attempts == 2 for o in result.outcomes)
+
+    def test_serial_quarantine_after_budget(self, tmp_path):
+        def factory(trial):
+            raise ReproError(f"trial {trial}: always broken")
+
+        result = run_supervised(factory, trials=2, workers=1, retries=1)
+        assert not result.complete
+        assert result.counts()["quarantined"] == 2
+        outcome = result.outcomes[0]
+        assert outcome.attempts == 2
+        assert "always broken" in outcome.error
+        assert result.results == [None, None]
+        with pytest.raises(ReproError, match="no successful trials"):
+            result.sample
+
+    @needs_fork
+    def test_pool_retry_after_crash(self, tmp_path):
+        factory = _flaky_factory(str(tmp_path), fail_with="crash")
+        result = run_supervised(factory, trials=2, workers=2, retries=1)
+        assert result.complete
+        assert result.counts()["retried"] == 2
+
+    @needs_fork
+    def test_pool_crash_taxonomy_when_budget_exhausted(self):
+        def factory(trial):
+            os._exit(23)
+
+        result = run_supervised(factory, trials=2, workers=2, retries=1)
+        assert result.counts()["crashed"] == 2
+        assert "died without reporting" in result.outcomes[0].error
+        assert "exit code 23" in result.outcomes[0].error
+
+
+class TestWatchdog:
+    @needs_fork
+    def test_stalled_trial_killed_retried_quarantined(self):
+        started = time.monotonic()
+        result = run_supervised(
+            _always_stalling_factory(), trials=1, workers=2,
+            deadline=0.3, retries=1,
+        )
+        elapsed = time.monotonic() - started
+        assert result.counts()["quarantined"] == 1
+        outcome = result.outcomes[0]
+        assert outcome.attempts == 2
+        assert "wall-clock deadline" in outcome.error
+        assert elapsed < 30  # two 0.3s deadlines, not an hour of sleep
+
+    @needs_fork
+    def test_stalled_first_attempt_recovers(self, tmp_path):
+        factory = _flaky_factory(str(tmp_path), fail_with="stall")
+        result = run_supervised(factory, trials=1, workers=2,
+                                deadline=1.0, retries=1)
+        assert result.complete
+        assert result.outcomes[0].status == "retried"
+
+    @needs_fork
+    def test_healthy_sweep_unaffected_by_deadline(self):
+        result = run_supervised(_make_factory(), trials=2, workers=2,
+                                deadline=120.0)
+        assert result.complete
+
+
+class TestUnpicklableResults:
+    @needs_fork
+    def test_clear_error_not_pool_crash(self):
+        def factory(trial):
+            from repro.sim import Simulator
+
+            sim = Simulator(seed=trial)
+
+            class FakeLoad:
+                complete = True
+                resources_failed = 0
+                errors = ()
+                page_load_time = 0.0
+                on_complete = staticmethod(lambda *a, **k: None)
+                fn = lambda self: None  # noqa: E731 - unpicklable member
+
+            return sim, FakeLoad()
+
+        result = run_supervised(factory, trials=1, workers=2, retries=0)
+        assert result.counts()["quarantined"] == 1
+        assert "unpicklable" in result.outcomes[0].error
+
+
+class TestJournalResume:
+    def test_journal_replay_skips_completed(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        factory = _make_factory()
+        first = run_supervised(factory, trials=3, workers=1, journal=path,
+                               run_key="k", capture_digest=True)
+        assert first.complete and first.digest is not None
+        # Second run replays everything from the journal.
+        second = run_supervised(factory, trials=3, workers=1, journal=path,
+                                run_key="k", capture_digest=True)
+        assert all(o.from_journal for o in second.outcomes)
+        assert second.to_dict()["resumed_trials"] == 3
+        assert list(second.sample.values) == list(first.sample.values)
+        assert second.digest == first.digest
+
+    def test_partial_journal_runs_only_missing(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        factory = _make_factory()
+        reference = run_supervised(factory, trials=4, workers=1,
+                                   capture_digest=True)
+        # Journal only trials 0 and 2, as a killed sweep would have.
+        with TrialJournal(path, key="k") as journal:
+            for outcome in (reference.outcomes[0], reference.outcomes[2]):
+                journal.append(
+                    outcome.trial,
+                    {"status": outcome.status, "attempts": outcome.attempts,
+                     "result": outcome.result},
+                    digest=outcome.digest,
+                )
+        resumed = run_supervised(factory, trials=4, workers=1, journal=path,
+                                 run_key="k", capture_digest=True)
+        assert [o.from_journal for o in resumed.outcomes] == \
+            [True, False, True, False]
+        assert list(resumed.sample.values) == list(reference.sample.values)
+        assert resumed.digest == reference.digest
+
+    def test_wrong_run_key_refused(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        run_supervised(_make_factory(), trials=1, workers=1, journal=path,
+                       run_key=run_key(config="a"))
+        from repro.errors import JournalError
+
+        with pytest.raises(JournalError):
+            run_supervised(_make_factory(), trials=1, workers=1,
+                           journal=path, run_key=run_key(config="b"))
+
+
+def _driver(journal_path):
+    """Child-process entry: run a paced, journaled sweep to completion."""
+    run_supervised(_make_factory(pace=0.2), trials=6, workers=2,
+                   journal=journal_path, run_key="kill-test",
+                   capture_digest=True)
+
+
+class TestKillAndResume:
+    """The acceptance scenario: SIGKILL a sweep mid-run, resume, and the
+    merged results are byte-identical to an uninterrupted run."""
+
+    @needs_fork
+    def test_sigkill_resume_equivalence(self, tmp_path):
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        journal_path = str(tmp_path / "sweep.jsonl")
+        driver = context.Process(target=_driver, args=(journal_path,))
+        driver.start()
+        # Wait for >= 2 journaled trials, then kill the whole driver.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if os.path.exists(journal_path):
+                with open(journal_path) as fh:
+                    if sum(1 for line in fh if '"trial"' in line) >= 2:
+                        break
+            time.sleep(0.02)
+        else:
+            driver.kill()
+            pytest.fail("driver never journaled two trials")
+        os.kill(driver.pid, signal.SIGKILL)
+        driver.join()
+        assert driver.exitcode == -signal.SIGKILL
+
+        # Resume from the journal left behind.
+        factory = _make_factory()
+        journal = TrialJournal(journal_path, key="kill-test")
+        assert 2 <= len(journal) < 6
+        resumed = run_supervised(factory, trials=6, workers=2,
+                                 journal=journal_path, run_key="kill-test",
+                                 capture_digest=True)
+        assert resumed.complete
+        assert any(o.from_journal for o in resumed.outcomes)
+
+        # Uninterrupted reference run: byte-identical sample and digest.
+        reference = run_supervised(factory, trials=6, workers=2,
+                                   capture_digest=True)
+        assert list(resumed.sample.values) == list(reference.sample.values)
+        assert resumed.digest == reference.digest
+
+
+class TestParallelRunnerIntegration:
+    def test_runner_method_delegates(self):
+        runner = ParallelRunner(workers=1)
+        result = runner.run_supervised(_make_factory(), trials=2)
+        assert result.complete
+        assert isinstance(result.outcomes[0], TrialOutcome)

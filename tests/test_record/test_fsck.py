@@ -1,0 +1,243 @@
+"""Tests for recorded-store integrity checking and repair (mm-fsck)."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import StoreFormatError, StoreIntegrityError
+from repro.http.body import Body
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.net.address import AddressAllocator, IPv4Address
+from repro.record.entry import RequestResponsePair
+from repro.record.fsck import fsck_site, fsck_tree, is_site_dir
+from repro.record.store import RecordedSite
+
+
+def make_pair(host, uri, ip):
+    request = HttpRequest("GET", uri, Headers([("Host", host)]))
+    response = HttpResponse(
+        200,
+        headers=Headers([("Content-Type", "text/html")]),
+        body=Body.from_bytes(f"<html>{uri}</html>".encode()),
+    )
+    return RequestResponsePair("http", IPv4Address(ip), 80, request, response)
+
+
+@pytest.fixture
+def site_dir(tmp_path):
+    site = RecordedSite("example")
+    for i in range(6):
+        site.add_pair(make_pair(f"h{i}.example.com", f"/r{i}",
+                                f"23.0.0.{i + 1}"))
+    directory = tmp_path / "site"
+    site.save(directory)
+    return directory
+
+
+def _seed_damage(site_dir):
+    """The acceptance corruptions: truncated, flipped byte, missing."""
+    truncated = site_dir / "pair-00000.json"
+    truncated.write_bytes(truncated.read_bytes()[:100])
+    flipped = site_dir / "pair-00001.json"
+    raw = bytearray(flipped.read_bytes())
+    raw[10] ^= 0xFF
+    flipped.write_bytes(bytes(raw))
+    (site_dir / "pair-00002.json").unlink()
+
+
+class TestCleanSite:
+    def test_clean_report(self, site_dir):
+        report = fsck_site(site_dir)
+        assert report.clean
+        assert report.pairs_ok == 6
+        assert report.format_version == 2
+        assert not report.repaired
+
+    def test_is_site_dir(self, site_dir, tmp_path):
+        assert is_site_dir(site_dir)
+        assert not is_site_dir(tmp_path)
+
+
+class TestDetection:
+    def test_every_seeded_corruption_reported(self, site_dir):
+        _seed_damage(site_dir)
+        report = fsck_site(site_dir)
+        kinds = {p.file: p.kind for p in report.problems}
+        assert kinds["pair-00000.json"] == "truncated"
+        assert kinds["pair-00001.json"] == "corrupt"
+        assert kinds["pair-00002.json"] == "missing"
+        assert report.pairs_ok == 3
+        assert not report.clean
+        # Detection alone never modifies the folder.
+        assert not (site_dir / "quarantine").exists()
+
+    def test_orphan_pair_detected(self, site_dir):
+        (site_dir / "pair-00099.json").write_text("{}")
+        report = fsck_site(site_dir)
+        assert [p.kind for p in report.problems] == ["orphan"]
+
+    def test_semantically_malformed_pair(self, site_dir):
+        # Valid JSON, valid checksum-on-disk... but not a pair. Rewrite
+        # the manifest entry so size/checksum match the bad content.
+        bad = site_dir / "pair-00003.json"
+        bad.write_text('{"scheme": "http"}')
+        manifest = json.loads((site_dir / "site.json").read_text())
+        from repro.record.store import pair_checksum
+
+        for entry in manifest["pairs"]:
+            if entry["file"] == "pair-00003.json":
+                entry["size"] = len(bad.read_bytes())
+                entry["checksum"] = pair_checksum(bad.read_bytes())
+        (site_dir / "site.json").write_text(json.dumps(manifest))
+        report = fsck_site(site_dir)
+        assert [p.kind for p in report.problems] == ["malformed"]
+
+    def test_unusable_manifest_is_fatal(self, tmp_path):
+        directory = tmp_path / "broken"
+        directory.mkdir()
+        (directory / "site.json").write_text("{not json")
+        report = fsck_site(directory)
+        assert report.fatal
+        repaired = fsck_site(directory, repair=True)
+        assert not repaired.repaired  # refuses to guess
+
+
+class TestRepair:
+    def test_repair_quarantines_and_rewrites(self, site_dir):
+        _seed_damage(site_dir)
+        survivors = {
+            name: (site_dir / name).read_bytes()
+            for name in ("pair-00003.json", "pair-00004.json",
+                         "pair-00005.json")
+        }
+        report = fsck_site(site_dir, repair=True)
+        assert report.repaired
+        assert sorted(report.quarantined) == [
+            "pair-00000.json", "pair-00001.json",
+        ]
+        quarantine = site_dir / "quarantine"
+        assert sorted(os.listdir(quarantine)) == [
+            "pair-00000.json", "pair-00001.json",
+        ]
+        # Valid pair files are byte-untouched.
+        for name, content in survivors.items():
+            assert (site_dir / name).read_bytes() == content
+        # The rewritten manifest covers exactly the survivors.
+        manifest = json.loads((site_dir / "site.json").read_text())
+        assert manifest["format_version"] == 2
+        assert manifest["pair_count"] == 3
+        assert sorted(e["file"] for e in manifest["pairs"]) == \
+            sorted(survivors)
+
+    def test_post_repair_strict_load_succeeds(self, site_dir):
+        _seed_damage(site_dir)
+        with pytest.raises((StoreFormatError, StoreIntegrityError)):
+            RecordedSite.load(site_dir)
+        fsck_site(site_dir, repair=True)
+        loaded = RecordedSite.load(site_dir)
+        assert len(loaded) == 3
+        assert loaded.damage is None
+        assert fsck_site(site_dir).clean
+
+    def test_repair_of_clean_site_is_noop(self, site_dir):
+        before = (site_dir / "site.json").read_bytes()
+        report = fsck_site(site_dir, repair=True)
+        assert report.clean and not report.repaired
+        assert (site_dir / "site.json").read_bytes() == before
+
+
+class TestV1Folders:
+    def _downgrade(self, site_dir):
+        manifest = json.loads((site_dir / "site.json").read_text())
+        v1 = {
+            "format_version": 1,
+            "name": manifest["name"],
+            "pair_count": manifest["pair_count"],
+            "pairs": [e["file"] for e in manifest["pairs"]],
+        }
+        (site_dir / "site.json").write_text(json.dumps(v1))
+
+    def test_clean_v1_passes(self, site_dir):
+        self._downgrade(site_dir)
+        report = fsck_site(site_dir)
+        assert report.clean
+        assert report.format_version == 1
+
+    def test_v1_gap_reported_and_survivors_kept(self, site_dir):
+        self._downgrade(site_dir)
+        (site_dir / "pair-00004.json").unlink()
+        report = fsck_site(site_dir, repair=True)
+        assert report.upgraded and report.repaired
+        # pair-00005 sits past the gap but is valid: it must survive.
+        manifest = json.loads((site_dir / "site.json").read_text())
+        assert manifest["format_version"] == 2
+        assert manifest["pair_count"] == 5
+        assert "pair-00005.json" in [e["file"] for e in manifest["pairs"]]
+        assert RecordedSite.load(site_dir).damage is None
+
+
+class TestFsckTree:
+    def test_corpus_directory(self, tmp_path):
+        for name in ("site-a", "site-b"):
+            site = RecordedSite(name)
+            site.add_pair(make_pair("x.com", "/", "23.0.0.1"))
+            site.save(tmp_path / name)
+        (tmp_path / "site-b" / "pair-00000.json").write_bytes(b"junk")
+        reports = fsck_tree(tmp_path)
+        assert len(reports) == 2
+        assert reports[0].clean and not reports[1].clean
+
+    def test_single_site_directory(self, site_dir):
+        reports = fsck_tree(site_dir)
+        assert len(reports) == 1
+
+    def test_no_sites_is_an_error(self, tmp_path):
+        with pytest.raises(StoreFormatError):
+            fsck_tree(tmp_path)
+
+
+class TestReplayAfterDamage:
+    def test_tolerant_load_serves_survivors_with_damage_counted(
+            self, site_dir):
+        from repro.core.replayshell import ReplayShell
+        from repro.net.namespace import NetworkNamespace
+        from repro.obs.registry import MetricsRegistry
+        from repro.sim.simulator import Simulator
+
+        _seed_damage(site_dir)
+        salvaged, damage = RecordedSite.load_tolerant(site_dir)
+        assert len(salvaged) == 3
+        assert len(damage) == 3
+        sim = Simulator(seed=1)
+        metrics = MetricsRegistry.install(sim)
+        shell = ReplayShell(sim, NetworkNamespace(sim, "root"),
+                            AddressAllocator(), salvaged)
+        counters = metrics.snapshot()["counters"]
+        assert counters["replayshell.store.pairs_loaded"] == 3
+        assert counters["replayshell.store.pairs_damaged"] == 3
+        # A miss on a quarantined resource explains itself.
+        request = HttpRequest("GET", "/r0",
+                              Headers([("Host", "h0.example.com")]))
+        match = shell.matcher.match(request)
+        assert match.response.status == 404
+        assert b"damaged" in match.response.body.as_bytes()
+        # Surviving pairs still serve.
+        request = HttpRequest("GET", "/r3",
+                              Headers([("Host", "h3.example.com")]))
+        assert shell.matcher.match(request).response.status == 200
+
+    def test_all_pairs_damaged_names_fsck(self, site_dir):
+        from repro.core.replayshell import ReplayShell
+        from repro.errors import ShellError
+        from repro.net.namespace import NetworkNamespace
+        from repro.sim.simulator import Simulator
+
+        for index in range(6):
+            (site_dir / f"pair-{index:05d}.json").write_bytes(b"junk")
+        salvaged, damage = RecordedSite.load_tolerant(site_dir)
+        assert len(salvaged) == 0
+        sim = Simulator(seed=1)
+        with pytest.raises(ShellError, match="mm-fsck"):
+            ReplayShell(sim, NetworkNamespace(sim, "root"),
+                        AddressAllocator(), salvaged)

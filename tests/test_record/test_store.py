@@ -142,3 +142,122 @@ class TestRecordedSite:
             json.dumps({"format_version": 999, "name": "x"}))
         with pytest.raises(StoreFormatError):
             RecordedSite.load(directory)
+
+
+class TestStoreIntegrityV2:
+    """Format v2: per-pair checksums, atomic save, tolerant loads."""
+
+    def _saved(self, tmp_path, pairs=3):
+        site = RecordedSite("v2site")
+        for i in range(pairs):
+            site.add_pair(make_pair(uri=f"/{i}",
+                                    body=Body.from_bytes(b"x" * (50 + i))))
+        directory = tmp_path / "v2"
+        site.save(directory)
+        return directory
+
+    def test_manifest_carries_size_and_checksum(self, tmp_path):
+        directory = self._saved(tmp_path)
+        manifest = json.loads((directory / "site.json").read_text())
+        assert manifest["format_version"] == 2
+        for entry in manifest["pairs"]:
+            raw = (directory / entry["file"]).read_bytes()
+            assert entry["size"] == len(raw)
+            from repro.record.store import pair_checksum
+            assert entry["checksum"] == pair_checksum(raw)
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        directory = self._saved(tmp_path)
+        assert not [f for f in os.listdir(directory) if f.endswith(".tmp")]
+
+    def test_truncated_pair_raises_integrity_error_with_path(self, tmp_path):
+        from repro.errors import StoreIntegrityError
+        directory = self._saved(tmp_path)
+        target = directory / "pair-00001.json"
+        target.write_bytes(target.read_bytes()[:10])
+        with pytest.raises(StoreIntegrityError, match="pair-00001.json"):
+            RecordedSite.load(directory)
+
+    def test_flipped_byte_raises_integrity_error_with_path(self, tmp_path):
+        from repro.errors import StoreIntegrityError
+        directory = self._saved(tmp_path)
+        target = directory / "pair-00002.json"
+        raw = bytearray(target.read_bytes())
+        raw[5] ^= 0x01
+        target.write_bytes(bytes(raw))
+        with pytest.raises(StoreIntegrityError, match="pair-00002.json"):
+            RecordedSite.load(directory)
+
+    def test_missing_pair_raises_with_path(self, tmp_path):
+        directory = self._saved(tmp_path)
+        (directory / "pair-00000.json").unlink()
+        with pytest.raises(StoreFormatError, match="pair-00000.json"):
+            RecordedSite.load(directory)
+
+    def test_orphan_pair_raises_with_path(self, tmp_path):
+        directory = self._saved(tmp_path)
+        (directory / "pair-00042.json").write_text("{}")
+        with pytest.raises(StoreFormatError, match="pair-00042.json"):
+            RecordedSite.load(directory)
+
+    def test_load_tolerant_salvages_survivors(self, tmp_path):
+        directory = self._saved(tmp_path)
+        (directory / "pair-00001.json").write_bytes(b"garbage")
+        site, damage = RecordedSite.load_tolerant(directory)
+        assert len(site) == 2
+        assert len(damage) == 1
+        assert site.damage is damage
+        assert damage.damaged[0].file == "pair-00001.json"
+        assert not damage.ok
+
+    def test_load_tolerant_clean_site_reports_no_damage(self, tmp_path):
+        directory = self._saved(tmp_path)
+        site, damage = RecordedSite.load_tolerant(directory)
+        assert len(site) == 3
+        assert damage.ok and len(damage) == 0
+
+
+class TestStoreV1BackCompat:
+    """Pre-checksum folders (format v1) still load."""
+
+    def _v1_dir(self, tmp_path, pairs=3):
+        site = RecordedSite("v1site")
+        for i in range(pairs):
+            site.add_pair(make_pair(uri=f"/{i}"))
+        directory = tmp_path / "v1"
+        site.save(directory)
+        manifest = json.loads((directory / "site.json").read_text())
+        v1 = {
+            "format_version": 1,
+            "name": manifest["name"],
+            "pair_count": manifest["pair_count"],
+            "pairs": [e["file"] for e in manifest["pairs"]],
+        }
+        (directory / "site.json").write_text(json.dumps(v1))
+        return directory
+
+    def test_v1_loads(self, tmp_path):
+        directory = self._v1_dir(tmp_path)
+        loaded = RecordedSite.load(directory)
+        assert len(loaded) == 3
+        assert loaded.name == "v1site"
+
+    def test_v1_gap_names_first_file_after_gap(self, tmp_path):
+        directory = self._v1_dir(tmp_path)
+        (directory / "pair-00001.json").unlink()
+        with pytest.raises(StoreFormatError, match="pair-00002.json"):
+            RecordedSite.load(directory)
+
+    def test_v1_orphan_names_offender(self, tmp_path):
+        directory = self._v1_dir(tmp_path)
+        (directory / "pair-00042.json").write_text("{}")
+        with pytest.raises(StoreFormatError, match="pair-00042.json"):
+            RecordedSite.load(directory)
+
+    def test_v1_pair_count_mismatch(self, tmp_path):
+        directory = self._v1_dir(tmp_path)
+        manifest = json.loads((directory / "site.json").read_text())
+        manifest["pair_count"] = 7
+        (directory / "site.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreFormatError, match="declares 7"):
+            RecordedSite.load(directory)
