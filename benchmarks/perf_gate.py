@@ -1,0 +1,361 @@
+"""Perf-regression gate: compare hot-core throughput against a committed
+baseline and fail on regressions beyond a noise margin.
+
+The problem with committing raw wall-clock numbers is that CI boxes differ
+in speed and are noisy. The gate therefore measures every workload as a
+*calibration-normalized score*: the workload's best-of-N time divided by
+the best-of-N time of a fixed pure-Python calibration loop run in the same
+process. Both numerator and denominator scale with the machine's
+single-core Python throughput, so the ratio is (to first order) a property
+of the *code*, not the box. A 30% default margin absorbs what the
+normalization doesn't.
+
+Workloads (mirroring ``bench_micro.py``'s hot-path benchmarks):
+
+* ``event_loop`` — schedule+dispatch of chained timer events (the
+  simulator kernel).
+* ``tcp_bulk``   — bytes through two full TCP stacks over a delay pipe.
+* ``page_load``  — one replayed page load through ReplayShell + LinkShell
+  + DelayShell (the unit every paper experiment multiplies).
+
+``REPRO_BENCH_SCALE`` scales the event count and transfer size exactly as
+the rest of the bench suite scales trial counts (CI uses 0.1); the scale
+is recorded in the baseline and a mismatch refuses to compare rather than
+silently comparing different workloads.
+
+Usage::
+
+    # gate (exit 1 on regression, delta table either way)
+    PYTHONPATH=src REPRO_BENCH_SCALE=0.1 python benchmarks/perf_gate.py
+
+    # regenerate the committed baseline after an intentional perf change
+    PYTHONPATH=src REPRO_BENCH_SCALE=0.1 python benchmarks/perf_gate.py \
+        --update
+
+    # prove the gate trips: pretend every workload got 2x slower
+    python benchmarks/perf_gate.py --inject-slowdown 2.0
+
+    # write the delta table as a markdown artifact
+    python benchmarks/perf_gate.py --report perf_gate_report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
+DEFAULT_MARGIN = 0.30
+SCHEMA = 1
+
+# ---------------------------------------------------------------------- #
+# calibration
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+_CAL_ITERS = 150_000
+
+
+def _calibrate_once() -> None:
+    """Fixed pure-Python mix: arithmetic, list appends, dict stores.
+
+    Deliberately exercises the same interpreter machinery the simulator's
+    hot loops do (attribute-free bytecode, list/dict ops), so its time
+    tracks the workloads' across boxes and Python versions.
+    """
+    acc = 0
+    data: List[int] = []
+    table: Dict[int, int] = {}
+    append = data.append
+    for i in range(_CAL_ITERS):
+        acc += i & 7
+        if i & 1:
+            append(i)
+        if not i & 15:
+            table[i] = acc
+
+
+# ---------------------------------------------------------------------- #
+# workloads — each returns its work amount (for the human-facing rate)
+
+
+def wl_event_loop() -> Tuple[float, str]:
+    from repro.sim import Simulator
+
+    n = max(2_000, int(20_000 * bench_scale()))
+    sim = Simulator()
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+        if count[0] < n:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.001, tick)
+    sim.run()
+    assert count[0] == n
+    return float(n), "events"
+
+
+def wl_tcp_bulk() -> Tuple[float, str]:
+    from repro.testing import delayed_world
+    from repro.transport.wire import pieces_len
+
+    total_bytes = max(200_000, int(2_000_000 * bench_scale()))
+    world = delayed_world(0.010)
+    done: List[bool] = []
+
+    def on_conn(conn) -> None:
+        conn.on_data = lambda p: conn.send_virtual(total_bytes)
+
+    world.server.listen(None, 80, on_conn)
+    conn = world.client.connect(world.server_endpoint)
+    received = [0]
+    conn.on_established = lambda: conn.send(b"GET")
+
+    def on_data(pieces) -> None:
+        received[0] += pieces_len(pieces)
+        if received[0] >= total_bytes:
+            done.append(True)
+
+    conn.on_data = on_data
+    world.sim.run_until(lambda: bool(done), timeout=120)
+    assert received[0] >= total_bytes
+    return total_bytes / 1e6, "MB"
+
+
+_PAGE_SITE = None
+
+
+def _page_site():
+    global _PAGE_SITE
+    if _PAGE_SITE is None:
+        from repro.corpus import generate_site
+
+        site = generate_site("perf-gate.com", seed=10, n_origins=15)
+        _PAGE_SITE = (site, site.to_recorded_site())
+    return _PAGE_SITE
+
+
+def wl_page_load() -> Tuple[float, str]:
+    from repro.browser import Browser
+    from repro.core import HostMachine, ShellStack
+    from repro.sim import Simulator
+
+    site, store = _page_site()
+    sim = Simulator(seed=0)
+    machine = HostMachine(sim)
+    stack = ShellStack(machine)
+    stack.add_replay(store)
+    stack.add_link(14, 14)
+    stack.add_delay(0.040)
+    browser = Browser(sim, stack.transport, stack.resolver_endpoint,
+                      machine=machine)
+    result = browser.load(site.page)
+    sim.run_until(lambda: result.complete, timeout=600)
+    assert result.resources_failed == 0
+    return 1.0, "loads"
+
+
+WORKLOADS: List[Tuple[str, Callable[[], Tuple[float, str]]]] = [
+    ("event_loop", wl_event_loop),
+    ("tcp_bulk", wl_tcp_bulk),
+    ("page_load", wl_page_load),
+]
+
+# ---------------------------------------------------------------------- #
+# measurement
+
+
+def best_of(fn: Callable[[], object], rounds: int) -> float:
+    """Minimum wall-clock time of ``rounds`` runs (noise rejects upward)."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def measure(rounds: int, slowdown: float) -> Dict[str, Dict[str, float]]:
+    # Warm imports and allocation caches outside the timed region, then
+    # interleave calibration and workloads so frequency drift hits both.
+    _calibrate_once()
+    for __, fn in WORKLOADS:
+        fn()
+    cal = best_of(_calibrate_once, rounds)
+    results: Dict[str, Dict[str, float]] = {}
+    for name, fn in WORKLOADS:
+        work, unit = fn()
+        elapsed = best_of(fn, rounds) * slowdown
+        results[name] = {
+            "units": elapsed / cal,
+            "seconds": elapsed,
+            "rate": work / elapsed,
+            "rate_unit": f"{unit}/s",
+        }
+    results["_calibration"] = {"seconds": cal}
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# comparison
+
+
+def compare(
+    baseline: Dict, current: Dict[str, Dict[str, float]], margin: float
+) -> Tuple[List[Dict], bool]:
+    rows: List[Dict] = []
+    failed = False
+    for name, __ in WORKLOADS:
+        base = baseline["benchmarks"].get(name)
+        cur = current[name]
+        if base is None:
+            rows.append({"name": name, "status": "NEW", "cur": cur})
+            continue
+        delta = cur["units"] / base["units"] - 1.0
+        regressed = delta > margin
+        failed = failed or regressed
+        rows.append({
+            "name": name,
+            "status": "FAIL" if regressed else "ok",
+            "base_units": base["units"],
+            "cur": cur,
+            "delta": delta,
+        })
+    return rows, failed
+
+
+def render_table(rows: List[Dict], margin: float) -> str:
+    lines = [
+        "| benchmark | baseline (units) | current (units) | delta | "
+        "rate | status |",
+        "|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        cur = row["cur"]
+        rate = f"{cur['rate']:,.0f} {cur['rate_unit']}"
+        if row["status"] == "NEW":
+            lines.append(
+                f"| {row['name']} | - | {cur['units']:.2f} | - | "
+                f"{rate} | NEW |"
+            )
+        else:
+            lines.append(
+                f"| {row['name']} | {row['base_units']:.2f} | "
+                f"{cur['units']:.2f} | {row['delta']:+.1%} | "
+                f"{rate} | {row['status']} |"
+            )
+    lines.append("")
+    lines.append(
+        f"units = workload time / calibration time (lower is better); "
+        f"gate fails past +{margin:.0%}."
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline JSON path (default: committed)")
+    parser.add_argument("--margin", type=float, default=DEFAULT_MARGIN,
+                        help="allowed regression fraction (default 0.30)")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timing rounds per workload (min is taken)")
+    parser.add_argument("--update", action="store_true",
+                        help="write the measured numbers as the new "
+                             "baseline instead of gating")
+    parser.add_argument("--inject-slowdown", type=float, default=1.0,
+                        metavar="FACTOR",
+                        help="multiply measured times by FACTOR (gate "
+                             "self-test; 2.0 must fail)")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="also write the delta table to PATH "
+                             "(markdown)")
+    args = parser.parse_args(argv)
+
+    scale = bench_scale()
+    current = measure(args.rounds, args.inject_slowdown)
+
+    if args.update:
+        payload = {
+            "schema": SCHEMA,
+            "scale": scale,
+            "rounds": args.rounds,
+            "note": (
+                "Calibration-normalized hot-core scores; regenerate with "
+                "`REPRO_BENCH_SCALE=%s python benchmarks/perf_gate.py "
+                "--update` after intentional perf changes." % scale
+            ),
+            "benchmarks": {
+                name: current[name] for name, __ in WORKLOADS
+            },
+        }
+        with open(args.baseline, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {args.baseline} (scale={scale})")
+        return 0
+
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 2
+    if baseline.get("schema") != SCHEMA:
+        print(f"baseline schema {baseline.get('schema')!r} != {SCHEMA}",
+              file=sys.stderr)
+        return 2
+    if baseline.get("scale") != scale:
+        print(
+            f"baseline scale {baseline.get('scale')} != current {scale}; "
+            f"set REPRO_BENCH_SCALE={baseline.get('scale')} or "
+            "regenerate with --update",
+            file=sys.stderr,
+        )
+        return 2
+
+    rows, failed = compare(baseline, current, args.margin)
+    table = render_table(rows, args.margin)
+    print(table)
+    if args.inject_slowdown != 1.0:
+        print(f"(times scaled by injected slowdown "
+              f"x{args.inject_slowdown})")
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write("# Perf gate report\n\n")
+            handle.write(table + "\n")
+            if args.inject_slowdown != 1.0:
+                handle.write(
+                    f"\n(times scaled by injected slowdown "
+                    f"x{args.inject_slowdown})\n"
+                )
+        print(f"report written to {args.report}")
+    if failed:
+        print("PERF GATE: FAIL", file=sys.stderr)
+        return 1
+    print("PERF GATE: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import DeterminismError
-from repro.sim.events import Event
+from repro.sim.events import EventCallback
 from repro.sim.simulator import Simulator
 
 __all__ = [
@@ -85,8 +85,8 @@ class EventStreamDigest:
         self._context = max(1, context)
         self._recent: List[TraceEntry] = []
 
-    def __call__(self, event: Event) -> None:
-        entry = (event.time, event.seq, callback_name(event.callback))
+    def __call__(self, time: float, seq: int, callback: EventCallback) -> None:
+        entry = (time, seq, callback_name(callback))
         self._hash.update(
             f"{entry[0]!r}|{entry[1]}|{entry[2]}\n".encode("utf-8")
         )

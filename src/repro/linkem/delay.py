@@ -9,6 +9,8 @@ ordering is preserved by construction.
 
 from __future__ import annotations
 
+from heapq import heappush
+
 from repro.linkem.overhead import OverheadModel
 from repro.linkem.processing import SerialProcessor
 from repro.net.packet import Packet
@@ -43,9 +45,34 @@ class DelayPipe(PacketPipe):
 
     def send(self, packet: Packet) -> None:
         self.packets_sent += 1
-        processed_at = self._processor.finish_time(self._sim.now)
-        deliver_at = processed_at + self.one_way_delay
-        self._sim.schedule_at(deliver_at, self.deliver, packet)
+        # SerialProcessor.finish_time and Simulator.schedule_at inlined:
+        # this runs once per packet on every delayed path. The delivery
+        # time is now + service + delay with both terms >= 0, so
+        # schedule_at's into-the-past check can never fire; the scheduled
+        # event (time, seq, DelayPipe.deliver) is identical either way.
+        sim = self._sim
+        now = sim._clock._now
+        processor = self._processor
+        service = processor.service_time
+        if service > 0.0:
+            busy = processor._busy_until
+            start = now if now > busy else busy
+            processed_at = start + service
+            processor._busy_until = processed_at
+            processor.packets_processed += 1
+        else:
+            processed_at = now
+        time = processed_at + self.one_way_delay
+        queue = sim._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        queue._live += 1
+        entry = [time, seq, self.deliver, (packet,)]
+        tail = queue._tail
+        if not tail or time >= tail[-1][0]:
+            tail.append(entry)
+        else:
+            heappush(queue._heap, entry)
 
 
 class LossPipe(PacketPipe):
@@ -100,8 +127,11 @@ class JitterDelayPipe(PacketPipe):
 
     def send(self, packet: Packet) -> None:
         self.packets_sent += 1
-        jitter = self._rng.expovariate(1.0 / self.jitter_mean) \
-            if self.jitter_mean > 0.0 else 0.0
+        jitter = (
+            self._rng.expovariate(1.0 / self.jitter_mean)
+            if self.jitter_mean > 0.0
+            else 0.0
+        )
         deliver_at = self._sim.now + self.base_delay + jitter
         if deliver_at < self._last_delivery:
             deliver_at = self._last_delivery

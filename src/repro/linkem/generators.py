@@ -21,7 +21,9 @@ from repro.linkem.trace import PacketDeliveryTrace
 from repro.net.packet import MTU_BYTES
 
 
-def constant_rate_trace(rate_mbps: float, duration_ms: int = 1000) -> PacketDeliveryTrace:
+def constant_rate_trace(
+    rate_mbps: float, duration_ms: int = 1000
+) -> PacketDeliveryTrace:
     """Build a constant-rate trace.
 
     Args:

@@ -22,6 +22,8 @@ class SerialProcessor:
             model (``finish_time`` returns ``now``).
     """
 
+    __slots__ = ("service_time", "_busy_until", "packets_processed")
+
     def __init__(self, service_time: float) -> None:
         if service_time < 0.0:
             raise ValueError(f"service_time must be >= 0, got {service_time!r}")

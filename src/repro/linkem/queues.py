@@ -24,6 +24,8 @@ class DropTailQueue:
             adding it would exceed either bound.
     """
 
+    __slots__ = ("_queue", "_bytes", "max_packets", "max_bytes", "drops", "enqueued")
+
     def __init__(
         self,
         max_packets: Optional[int] = None,

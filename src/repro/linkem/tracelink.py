@@ -118,14 +118,25 @@ class TracePipe(PacketPipe):
 
     def send(self, packet: Packet) -> None:
         self.packets_sent += 1
-        processed_at = self._processor.finish_time(self._sim.now)
-        if processed_at > self._sim.now:
-            self._sim.schedule_at(processed_at, self._enqueue, packet)
-        else:
-            self._enqueue(packet)
+        # SerialProcessor.finish_time inlined (runs per arriving packet).
+        # service > 0 always defers (_busy_until advances past now), so
+        # the direct-enqueue branch is exactly the service == 0 case.
+        sim = self._sim
+        processor = self._processor
+        service = processor.service_time
+        if service > 0.0:
+            now = sim._clock._now
+            busy = processor._busy_until
+            start = now if now > busy else busy
+            processed_at = start + service
+            processor._busy_until = processed_at
+            processor.packets_processed += 1
+            sim.schedule_at(processed_at, self._enqueue, packet)
+            return
+        self._enqueue(packet)
 
     def _enqueue(self, packet: Packet) -> None:
-        if not self._queue.push(packet, self._sim.now):
+        if not self._queue.push(packet, self._sim._clock._now):
             self.packets_dropped += 1
             if self._obs_drops is not None:
                 self._obs_drops.add(1)
@@ -134,7 +145,7 @@ class TracePipe(PacketPipe):
             self._schedule_wake()
 
     def _schedule_wake(self) -> None:
-        when = self._schedule.next_opportunity(self._sim.now)
+        when = self._schedule.next_opportunity(self._sim._clock._now)
         if self._outages is not None:
             # Opportunities inside an outage window never happen; the
             # next usable one is the schedule's first opportunity after
@@ -158,24 +169,50 @@ class TracePipe(PacketPipe):
     def _opportunity(self) -> None:
         self._wake = None
         self.opportunities_used += 1
+        # Batched drain: state is hoisted into locals for the loop and
+        # written back once, deliveries bypass PacketPipe.deliver's frame,
+        # and the delivery counters are bulk-updated after the loop. The
+        # event structure is untouched (deliveries were always direct
+        # calls), so the executed event stream — and the determinism
+        # digest — is bit-identical to the unbatched loop. _opportunity
+        # runs exactly at its scheduled time, so _wake_time is "now"
+        # without a clock read.
+        now = self._wake_time
+        queue = self._queue
+        sink = self._deliver
+        current = self._current
+        current_sent = self._current_sent
         budget = MTU_BYTES
+        delivered = 0
+        delivered_bytes = 0
         while budget > 0:
-            if self._current is None:
-                if not self._queue:
+            if current is None:
+                if not queue:
                     break
-                self._current = self._queue.pop(self._sim.now)
-                if self._current is None:
+                current = queue.pop(now)
+                if current is None:
                     # The discipline dropped its way to an empty queue.
                     break
-                self._current_sent = 0
-            remaining = self._current.size - self._current_sent
+                current_sent = 0
+            remaining = current.size - current_sent
             if remaining <= budget:
                 budget -= remaining
-                packet, self._current = self._current, None
-                self.deliver(packet)
+                packet = current
+                current = None
+                if sink is None:
+                    self.packets_dropped += 1
+                else:
+                    delivered += 1
+                    delivered_bytes += packet.size
+                    sink(packet)
             else:
-                self._current_sent += budget
+                current_sent += budget
                 budget = 0
+        self._current = current
+        self._current_sent = current_sent
+        if delivered:
+            self.packets_delivered += delivered
+            self.bytes_delivered += delivered_bytes
         if self._obs_util is not None:
             # Change-point recording: runs of identical values (a
             # full-MTU bulk transfer, a large packet held across

@@ -97,7 +97,7 @@ class IPv4Network:
     ``IPv4Network("10.1.2.3/24")`` equals ``IPv4Network("10.1.2.0/24")``.
     """
 
-    __slots__ = ("_network", "_prefix_len")
+    __slots__ = ("_network", "_prefix_len", "_mask")
 
     def __init__(self, spec, prefix_len: int = None) -> None:
         if isinstance(spec, str) and prefix_len is None:
@@ -115,13 +115,17 @@ class IPv4Network:
         if not 0 <= prefix_len <= 32:
             raise AddressError(f"prefix length out of range: {prefix_len!r}")
         self._prefix_len = prefix_len
-        self._network = address.value & self.netmask_int()
+        # Precomputed once: containment checks sit on the per-packet routing
+        # path, where recomputing the mask per lookup shows up in profiles.
+        if prefix_len == 0:
+            self._mask = 0
+        else:
+            self._mask = (_MAX_IPV4 << (32 - prefix_len)) & _MAX_IPV4
+        self._network = address.value & self._mask
 
     def netmask_int(self) -> int:
         """The netmask as a 32-bit integer."""
-        if self._prefix_len == 0:
-            return 0
-        return (_MAX_IPV4 << (32 - self._prefix_len)) & _MAX_IPV4
+        return self._mask
 
     @property
     def network_address(self) -> IPv4Address:
@@ -140,11 +144,11 @@ class IPv4Network:
 
     def __contains__(self, address) -> bool:
         addr = IPv4Address(address)
-        return (addr.value & self.netmask_int()) == self._network
+        return (addr.value & self._mask) == self._network
 
     def contains_int(self, value: int) -> bool:
         """Fast containment check on a raw integer address."""
-        return (value & self.netmask_int()) == self._network
+        return (value & self._mask) == self._network
 
     def hosts(self) -> Iterator[IPv4Address]:
         """Iterate the usable host addresses (skips network & broadcast for

@@ -23,7 +23,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _FIRST_NAT_PORT = 32768
 _LAST_NAT_PORT = 60999
 
-FlowKey = Tuple[str, IPv4Address, int, IPv4Address, int]
+# Flow keys hash raw 32-bit address values rather than IPv4Address
+# objects: NAT translation runs per packet per shell hop, and int tuple
+# hashing skips the IPv4Address.__hash__/__eq__ frames on that path.
+FlowKey = Tuple[str, int, int, int, int]
 
 
 class Nat:
@@ -40,10 +43,13 @@ class Nat:
     def __init__(self, namespace: "NetworkNamespace") -> None:
         self._namespace = namespace
         self._masquerade: Set[str] = set()
-        # (proto, inner_src, inner_sport, dst, dport) -> allocated port
+        # (proto, inner_src value, inner_sport, dst value, dport) -> port
         self._outbound: Dict[FlowKey, int] = {}
-        # (proto, remote, remote_port, nat_port) -> (inner_src, inner_sport)
-        self._inbound: Dict[Tuple[str, IPv4Address, int, int], Tuple[IPv4Address, int]] = {}
+        # (proto, remote value, remote_port, nat_port) ->
+        #     (inner_src, inner_sport)
+        self._inbound: Dict[
+            Tuple[str, int, int, int], Tuple[IPv4Address, int]
+        ] = {}
         self._next_port = _FIRST_NAT_PORT
         self.translations = 0
         namespace.nat = self
@@ -67,21 +73,22 @@ class Nat:
         if self._namespace.is_local(packet.src):
             return
         external = out_interface.primary_address
-        key: FlowKey = (packet.protocol, packet.src, packet.sport,
-                        packet.dst, packet.dport)
+        key: FlowKey = (packet.protocol, packet.src._value, packet.sport,
+                        packet.dst._value, packet.dport)
         port = self._outbound.get(key)
         if port is None:
             port = self._allocate_port()
             self._outbound[key] = port
-            self._inbound[(packet.protocol, packet.dst, packet.dport, port)] = (
-                packet.src, packet.sport)
+            self._inbound[
+                (packet.protocol, packet.dst._value, packet.dport, port)
+            ] = (packet.src, packet.sport)
         packet.src = external
         packet.sport = port
         self.translations += 1
 
     def translate_inbound(self, packet: Packet) -> None:
         """Reverse-translate a reply addressed to a masqueraded flow."""
-        key = (packet.protocol, packet.src, packet.sport, packet.dport)
+        key = (packet.protocol, packet.src._value, packet.sport, packet.dport)
         mapping = self._inbound.get(key)
         if mapping is None:
             return

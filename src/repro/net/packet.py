@@ -46,7 +46,7 @@ class Packet:
     """
 
     __slots__ = ("src", "dst", "sport", "dport", "protocol", "payload",
-                 "size", "ttl", "uid")
+                 "size", "ttl", "uid", "_in_pool")
 
     def __init__(
         self,
@@ -72,6 +72,7 @@ class Packet:
         self.size = size
         self.ttl = ttl
         self.uid = next(_packet_ids)
+        self._in_pool = False
 
     @property
     def flow(self) -> tuple:
@@ -88,6 +89,86 @@ class Packet:
             f"{self.src}:{self.sport} -> {self.dst}:{self.dport} "
             f"{self.size}B ttl={self.ttl}>"
         )
+
+
+class PacketPool:
+    """Free lists of :class:`Packet` and TCP segment objects.
+
+    One pool per simulator (stored as ``sim.packet_pool`` so parallel worlds
+    never share mutable state). The TCP hot path allocates thousands of
+    short-lived packet/segment pairs per page load; recycling them at the
+    single terminal demux point (``TransportHost._receive_tcp``) skips both
+    object construction and ``Packet.__init__``'s per-packet validation —
+    the transport layer validates ``mss`` + headers against the MTU once
+    per connection instead.
+
+    The free lists are plain list attributes on purpose: the hot paths in
+    :mod:`repro.transport.tcp` pop and re-stamp records inline rather than
+    paying a method call per packet. The ``_in_pool`` flag on each pooled
+    object makes recycling idempotent — a double recycle (or recycling an
+    object already handed back) is a no-op rather than a corruption, and
+    the flag is what the pool-reuse tests assert on.
+
+    Lifecycle contract:
+
+    * acquire (pop + re-stamp every slot, ``_in_pool = False``) only from a
+      free list; a fresh construction is the fallback when the list is dry.
+    * recycle only a packet that has reached its terminal consumer and
+      whose payload has been fully copied out (the reassembly buffer slices
+      pieces into new lists, so a delivered segment retains nothing).
+    * dropped packets are *not* recycled — drops happen in many places
+      (queues, loss pipes, TTL, downed interfaces) and chasing them all
+      risks recycling a packet something still holds; the garbage collector
+      handles the rare drop just fine.
+    """
+
+    __slots__ = ("packets", "segments")
+
+    def __init__(self) -> None:
+        #: Free :class:`Packet` records, ready to re-stamp.
+        self.packets: list = []
+        #: Free ``TcpSegment`` records (typed loosely: the segment class
+        #: lives in :mod:`repro.transport.tcp`, which imports this module).
+        self.segments: list = []
+
+    def acquire_tcp(
+        self,
+        src: IPv4Address,
+        dst: IPv4Address,
+        sport: int,
+        dport: int,
+        payload: Any,
+        size: int,
+    ) -> Packet:
+        """Reference (cold-path) acquire: pooled TCP packet or a fresh one.
+
+        Callers must guarantee ``size`` <= MTU; pooled reuse skips the
+        constructor's validation (the fresh-construction fallback still
+        validates).
+        """
+        packets = self.packets
+        if packets:
+            packet = packets.pop()
+            packet._in_pool = False
+            packet.src = src
+            packet.dst = dst
+            packet.sport = sport
+            packet.dport = dport
+            packet.protocol = "tcp"
+            packet.payload = payload
+            packet.size = size
+            packet.ttl = 64
+            packet.uid = next(_packet_ids)
+            return packet
+        return Packet(src, dst, sport, dport, "tcp", payload, size)
+
+    def recycle(self, packet: Packet) -> None:
+        """Hand a terminally-consumed packet back to the pool (idempotent)."""
+        if packet._in_pool:
+            return
+        packet._in_pool = True
+        packet.payload = None
+        self.packets.append(packet)
 
 
 def tcp_packet(

@@ -8,7 +8,7 @@ keep an optional ``via`` field for documentation and table dumps.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional, TYPE_CHECKING
+from typing import Dict, List, NamedTuple, Optional, TYPE_CHECKING
 
 from repro.errors import RoutingError
 from repro.net.address import IPv4Address, IPv4Network
@@ -34,11 +34,16 @@ class RoutingTable:
 
     Routes are kept sorted by descending prefix length, so lookup scans find
     the most specific match first. Tables here are tiny (a handful of
-    entries per namespace), so a scan beats fancier structures.
+    entries per namespace), so a scan beats fancier structures — but the
+    scan still runs per forwarded packet, so resolved lookups are memoised
+    in an int-keyed cache that add/remove invalidate. The active destination
+    set of a simulation is small (one entry per peer address), so the cache
+    stays tiny too.
     """
 
     def __init__(self) -> None:
         self._routes: List[Route] = []
+        self._cache: Dict[int, Route] = {}
 
     def add(
         self,
@@ -52,6 +57,7 @@ class RoutingTable:
         route = Route(prefix, interface, via)
         self._routes.append(route)
         self._routes.sort(key=lambda r: r.prefix.prefix_len, reverse=True)
+        self._cache.clear()
         return route
 
     def add_default(
@@ -66,6 +72,23 @@ class RoutingTable:
             self._routes.remove(route)
         except ValueError:
             raise RoutingError(f"route not in table: {route}") from None
+        self._cache.clear()
+
+    def lookup_value(self, value: int) -> Optional[Route]:
+        """Most specific route for a raw 32-bit destination, or None.
+
+        The per-packet fast path: one dict probe when the destination has
+        been routed before, one table scan (then memoised) when not.
+        """
+        route = self._cache.get(value)
+        if route is not None:
+            return route
+        for route in self._routes:
+            prefix = route.prefix
+            if (value & prefix._mask) == prefix._network:
+                self._cache[value] = route
+                return route
+        return None
 
     def lookup(self, destination) -> Route:
         """Return the most specific route for ``destination``.
@@ -75,18 +98,16 @@ class RoutingTable:
         """
         addr = destination if isinstance(destination, IPv4Address) \
             else IPv4Address(destination)
-        value = addr.value
-        for route in self._routes:
-            if route.prefix.contains_int(value):
-                return route
-        raise RoutingError(f"no route to {addr}")
+        route = self.lookup_value(addr._value)
+        if route is None:
+            raise RoutingError(f"no route to {addr}")
+        return route
 
     def try_lookup(self, destination) -> Optional[Route]:
         """Like :meth:`lookup` but returns None instead of raising."""
-        try:
-            return self.lookup(destination)
-        except RoutingError:
-            return None
+        addr = destination if isinstance(destination, IPv4Address) \
+            else IPv4Address(destination)
+        return self.lookup_value(addr._value)
 
     def __len__(self) -> int:
         return len(self._routes)

@@ -8,13 +8,14 @@ tie-break on simultaneous events and (b) named, seeded random streams from
 """
 
 from repro.sim.clock import VirtualClock
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import EventCallback, EventHandle, EventQueue
 from repro.sim.random import RandomStreams, stable_seed
 from repro.sim.simulator import Simulator
 from repro.sim.timers import PeriodicTask, Timer
 
 __all__ = [
-    "Event",
+    "EventCallback",
+    "EventHandle",
     "EventQueue",
     "PeriodicTask",
     "RandomStreams",

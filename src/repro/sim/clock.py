@@ -37,9 +37,7 @@ class VirtualClock:
             ClockError: if ``time`` is earlier than the current time.
         """
         if time < self._now:
-            raise ClockError(
-                f"clock cannot move backwards: {time!r} < {self._now!r}"
-            )
+            raise ClockError(f"clock cannot move backwards: {time!r} < {self._now!r}")
         self._now = time
 
     def __repr__(self) -> str:

@@ -3,19 +3,35 @@
 One :class:`Simulator` instance owns the virtual clock and the event queue
 for an entire emulated world (all namespaces, links, connections, browsers).
 Components schedule callbacks; ``run`` drains the queue in causal order.
+
+The scheduling entry points and the drain loops are the hottest code in the
+toolkit — every packet, timer, and browser action passes through them — so
+they work on the queue's lanes and event records directly (see
+:mod:`repro.sim.events` for the layout and its invariants) instead of
+through per-event method calls. ``run`` and ``run_until`` each have two
+drain loops: an allocation-lean fast loop used when no trace hook or event
+budget is installed, and a checked loop that replicates the exact same
+dispatch order while honouring ``max_events`` and the trace hook. Both
+produce bit-identical event streams — the determinism sanitizer digests
+(time, seq, callback) per executed event and is run against both paths.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.clock import VirtualClock
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import EventCallback, EventHandle, EventQueue
 from repro.sim.random import RandomStreams
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.packet import PacketPool
     from repro.obs.registry import MetricsRegistry
+
+#: A trace hook: called as ``hook(time, seq, callback)`` per executed event.
+TraceHook = Callable[[float, int, EventCallback], None]
 
 
 class Simulator:
@@ -41,11 +57,14 @@ class Simulator:
         self._streams = RandomStreams(seed)
         self._running = False
         self._events_processed = 0
-        self._trace: Optional[Callable[[Event], None]] = None
+        self._trace: Optional[TraceHook] = None
         #: Observability registry (None = uninstrumented). Components read
         #: this at construction to capture their probe handles, so attach
         #: a registry *before* building the world (see repro.obs).
         self.metrics: Optional["MetricsRegistry"] = None
+        #: Shared packet pool, created on first use by the transport layer
+        #: (kept per-simulator so parallel worlds never share mutable state).
+        self.packet_pool: Optional["PacketPool"] = None
 
     @property
     def now(self) -> float:
@@ -62,7 +81,11 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Total events executed so far (diagnostic)."""
+        """Total events executed so far (diagnostic).
+
+        Updated when a drain loop exits, not per event — a callback that
+        reads it mid-run sees the count as of the loop's entry.
+        """
         return self._events_processed
 
     @property
@@ -71,41 +94,77 @@ class Simulator:
         return len(self._queue)
 
     def schedule(
-        self, delay: float, callback: Callable[..., Any], *args: Any
-    ) -> Event:
+        self, delay: float, callback: EventCallback, *args: Any
+    ) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        This is :meth:`EventQueue.push` inlined (the single hottest call
+        in a simulation): monotone pushes — zero delays and chained
+        timeouts — append to the queue's tail lane in O(1).
 
         Raises:
             SimulationError: if ``delay`` is negative.
         """
         if delay < 0.0:
             raise SimulationError(f"cannot schedule into the past: delay={delay!r}")
-        return self._queue.push(self._clock.now + delay, callback, args)
+        time = self._clock._now + delay
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        queue._live += 1
+        entry: EventHandle = [time, seq, callback, args]
+        tail = queue._tail
+        if not tail or time >= tail[-1][0]:
+            tail.append(entry)
+        else:
+            heapq.heappush(queue._heap, entry)
+        return entry
 
     def schedule_at(
-        self, time: float, callback: Callable[..., Any], *args: Any
-    ) -> Event:
+        self, time: float, callback: EventCallback, *args: Any
+    ) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute virtual time ``time``.
 
         Raises:
             SimulationError: if ``time`` is before the current time.
         """
-        if time < self._clock.now:
+        if time < self._clock._now:
             raise SimulationError(
-                f"cannot schedule into the past: t={time!r} < now={self._clock.now!r}"
+                f"cannot schedule into the past: "
+                f"t={time!r} < now={self._clock._now!r}"
             )
-        return self._queue.push(time, callback, args)
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        queue._live += 1
+        entry: EventHandle = [time, seq, callback, args]
+        tail = queue._tail
+        if not tail or time >= tail[-1][0]:
+            tail.append(entry)
+        else:
+            heapq.heappush(queue._heap, entry)
+        return entry
 
-    def call_soon(self, callback: Callable[..., Any], *args: Any) -> Event:
+    def call_soon(self, callback: EventCallback, *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at the current instant (after pending
         same-time events already in the queue)."""
-        return self._queue.push(self._clock.now, callback, args)
+        time = self._clock._now
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        queue._live += 1
+        entry: EventHandle = [time, seq, callback, args]
+        tail = queue._tail
+        if not tail or time >= tail[-1][0]:
+            tail.append(entry)
+        else:
+            heapq.heappush(queue._heap, entry)
+        return entry
 
-    def cancel(self, event: Event) -> None:
-        """Cancel a scheduled event. Cancelling twice is a no-op."""
-        if not event.cancelled:
-            event.cancel()
-            self._queue.note_cancelled()
+    def cancel(self, event: EventHandle) -> None:
+        """Cancel a scheduled event. Cancelling twice (or cancelling a
+        handle whose event already fired) is a no-op."""
+        self._queue.cancel(event)
 
     def use_metrics(self, registry: Optional["MetricsRegistry"]) -> None:
         """Attach (or, with None, detach) an observability registry.
@@ -120,29 +179,32 @@ class Simulator:
         """
         self.metrics = registry
 
-    def set_trace(self, hook: Optional[Callable[[Event], None]]) -> None:
+    def set_trace(self, hook: Optional[TraceHook]) -> None:
         """Install (or, with None, remove) an execution observer.
 
-        The hook is called once per executed event, after the clock has
-        advanced to the event's time and immediately before its callback
-        runs. The main loops read it once per drain, so install it before
-        calling :meth:`run` / :meth:`run_until`. The intended consumer is
-        the determinism sanitizer
-        (:class:`repro.analysis.sanitizer.EventStreamDigest`); when no
-        hook is installed the per-event cost is a single None check.
+        The hook is called as ``hook(time, seq, callback)`` once per
+        executed event, after the clock has advanced to the event's time
+        and immediately before its callback runs. The main loops read it
+        once per drain, so install it before calling :meth:`run` /
+        :meth:`run_until`. The intended consumer is the determinism
+        sanitizer (:class:`repro.analysis.sanitizer.EventStreamDigest`);
+        when no hook is installed the drain takes an allocation-lean fast
+        loop with zero per-event hook cost.
         """
         self._trace = hook
 
     def step(self) -> bool:
         """Execute the single earliest event. Returns False if queue empty."""
-        if not self._queue:
+        queue = self._queue
+        entry = queue.pop_due(None)
+        if entry is None:
             return False
-        event = self._queue.pop()
-        self._clock.advance_to(event.time)
+        self._clock.advance_to(entry[0])
+        callback, args = queue.consume(entry)
         self._events_processed += 1
         if self._trace is not None:
-            self._trace(event)
-        event.callback(*event.args)
+            self._trace(entry[0], entry[1], callback)
+        callback(*args)
         return True
 
     def run(
@@ -167,29 +229,71 @@ class Simulator:
         clock = self._clock
         trace = self._trace
         try:
-            while True:
-                event = queue.pop_due(until)
-                if event is None:
-                    break
-                clock.advance_to(event.time)
-                self._events_processed += 1
-                executed += 1
-                if max_events is not None and executed > max_events:
-                    raise SimulationError(
-                        f"run() exceeded max_events={max_events}; "
-                        "likely an event loop that never drains"
-                    )
-                if trace is not None:
-                    trace(event)
-                event.callback(*event.args)
-            if until is not None and until > clock.now:
+            if trace is None and max_events is None:
+                # Fast loop: EventQueue.pop_due / consume inlined onto the
+                # lanes. Containers are cached once — the queue compacts
+                # them in place, never rebinding (EventQueue._compact).
+                heap = queue._heap
+                tail = queue._tail
+                heappop = heapq.heappop
+                while True:
+                    if tail:
+                        head = tail[0]
+                        if heap and heap[0] < head:
+                            head = heappop(heap)
+                        else:
+                            tail.popleft()
+                    elif heap:
+                        head = heappop(heap)
+                    else:
+                        break
+                    callback = head[2]
+                    if callback is None:  # cancelled: discard lazily
+                        queue._dead -= 1
+                        continue
+                    time = head[0]
+                    if until is not None and time > until:
+                        # Overshot: un-pop (lane choice only affects cost).
+                        heapq.heappush(heap, head)
+                        break
+                    if time > clock._now:
+                        # Direct store: pop order is monotone by
+                        # construction, so this cannot move backwards.
+                        clock._now = time
+                    args = head[3]
+                    head[2] = None
+                    head[3] = None
+                    queue._live -= 1
+                    executed += 1
+                    if args:
+                        callback(*args)
+                    else:
+                        callback()
+            else:
+                while True:
+                    entry = queue.pop_due(until)
+                    if entry is None:
+                        break
+                    clock.advance_to(entry[0])
+                    callback, cb_args = queue.consume(entry)
+                    executed += 1
+                    if max_events is not None and executed > max_events:
+                        raise SimulationError(
+                            f"run() exceeded max_events={max_events}; "
+                            "likely an event loop that never drains"
+                        )
+                    if trace is not None:
+                        trace(entry[0], entry[1], callback)
+                    callback(*cb_args)
+            if until is not None and until > clock._now:
                 clock.advance_to(until)
         finally:
+            self._events_processed += executed
             self._running = False
 
     def run_for(self, duration: float) -> None:
         """Run for ``duration`` seconds of virtual time from now."""
-        self.run(until=self._clock.now + duration)
+        self.run(until=self._clock._now + duration)
 
     def run_until(
         self,
@@ -214,30 +318,78 @@ class Simulator:
         """
         if check_every < 1:
             raise ValueError(f"check_every must be >= 1, got {check_every!r}")
-        deadline = None if timeout is None else self._clock.now + timeout
+        deadline = None if timeout is None else self._clock._now + timeout
         if predicate():
             return True
         queue = self._queue
         clock = self._clock
         trace = self._trace
+        executed = 0
         countdown = check_every
-        while True:
-            event = queue.pop_due(deadline)
-            if event is None:
-                if deadline is not None and queue.peek_time() is not None:
-                    # Events remain, but all after the deadline.
-                    clock.advance_to(deadline)
-                return predicate()
-            clock.advance_to(event.time)
-            self._events_processed += 1
-            if trace is not None:
-                trace(event)
-            event.callback(*event.args)
-            countdown -= 1
-            if countdown == 0:
-                if predicate():
-                    return True
-                countdown = check_every
+        try:
+            if trace is None:
+                # Fast loop: same two-lane drain as ``run``'s, plus the
+                # predicate countdown.
+                heap = queue._heap
+                tail = queue._tail
+                heappop = heapq.heappop
+                while True:
+                    if tail:
+                        head = tail[0]
+                        if heap and heap[0] < head:
+                            head = heappop(heap)
+                        else:
+                            tail.popleft()
+                    elif heap:
+                        head = heappop(heap)
+                    else:
+                        return predicate()
+                    callback = head[2]
+                    if callback is None:
+                        queue._dead -= 1
+                        continue
+                    time = head[0]
+                    if deadline is not None and time > deadline:
+                        # Events remain, but all after the deadline.
+                        heapq.heappush(heap, head)
+                        clock.advance_to(deadline)
+                        return predicate()
+                    if time > clock._now:
+                        clock._now = time
+                    args = head[3]
+                    head[2] = None
+                    head[3] = None
+                    queue._live -= 1
+                    executed += 1
+                    if args:
+                        callback(*args)
+                    else:
+                        callback()
+                    countdown -= 1
+                    if countdown == 0:
+                        if predicate():
+                            return True
+                        countdown = check_every
+            else:
+                while True:
+                    entry = queue.pop_due(deadline)
+                    if entry is None:
+                        if deadline is not None and queue.peek_time() is not None:
+                            # Events remain, but all after the deadline.
+                            clock.advance_to(deadline)
+                        return predicate()
+                    clock.advance_to(entry[0])
+                    callback, cb_args = queue.consume(entry)
+                    executed += 1
+                    trace(entry[0], entry[1], callback)
+                    callback(*cb_args)
+                    countdown -= 1
+                    if countdown == 0:
+                        if predicate():
+                            return True
+                        countdown = check_every
+        finally:
+            self._events_processed += executed
 
     def reset(self) -> None:
         """Drop all pending events (the clock keeps its value)."""

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import EventHandle
 from repro.sim.simulator import Simulator
 
 
@@ -21,22 +21,24 @@ class Timer:
     fires at most once per arming.
     """
 
+    __slots__ = ("_sim", "_callback", "_event")
+
     def __init__(self, sim: Simulator, callback: Callable[[], Any]) -> None:
         self._sim = sim
         self._callback = callback
-        self._event: Optional[Event] = None
+        self._event: Optional[EventHandle] = None
 
     @property
     def armed(self) -> bool:
         """True if the timer is currently counting down."""
-        return self._event is not None and not self._event.cancelled
+        return self._event is not None
 
     @property
     def deadline(self) -> Optional[float]:
         """Virtual time at which the timer will fire, or None if disarmed."""
-        if self.armed:
-            assert self._event is not None
-            return self._event.time
+        event = self._event
+        if event is not None:
+            return event[0]
         return None
 
     def start(self, delay: float) -> None:
@@ -64,6 +66,8 @@ class PeriodicTask:
     zero virtual time anyway unless they schedule work).
     """
 
+    __slots__ = ("_sim", "_interval", "_callback", "_event", "_next_tick")
+
     def __init__(
         self, sim: Simulator, interval: float, callback: Callable[[], Any]
     ) -> None:
@@ -72,7 +76,7 @@ class PeriodicTask:
         self._sim = sim
         self._interval = interval
         self._callback = callback
-        self._event: Optional[Event] = None
+        self._event: Optional[EventHandle] = None
         self._next_tick = 0.0
 
     @property

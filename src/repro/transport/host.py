@@ -16,7 +16,7 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.errors import PortInUse, TransportError
 from repro.net.address import Endpoint, IPv4Address
 from repro.net.namespace import NetworkNamespace
-from repro.net.packet import Packet, tcp_packet
+from repro.net.packet import Packet, PacketPool, tcp_packet
 from repro.sim.simulator import Simulator
 from repro.transport.tcp import TcpConfig, TcpConnection, TcpSegment
 from repro.transport.udp import UdpSocket
@@ -24,7 +24,10 @@ from repro.transport.udp import UdpSocket
 _EPHEMERAL_FIRST = 49152
 _EPHEMERAL_LAST = 65535
 
-ConnKey = Tuple[IPv4Address, int, IPv4Address, int]
+#: Connection-table key: raw 32-bit address values, not IPv4Address — the
+#: demux probe runs once per delivered packet and int keys hash without a
+#: Python __hash__/__eq__ frame.
+ConnKey = Tuple[int, int, int, int]
 
 
 class TcpListener:
@@ -80,10 +83,16 @@ class TransportHost:
         namespace.attach_transport(self.receive)
         namespace.transport_host = self
         self._connections: Dict[ConnKey, TcpConnection] = {}
-        self._listeners: Dict[Tuple[Optional[IPv4Address], int], TcpListener] = {}
-        self._udp_sockets: Dict[Tuple[IPv4Address, int], UdpSocket] = {}
+        self._listeners: Dict[Tuple[Optional[int], int], TcpListener] = {}
+        self._udp_sockets: Dict[Tuple[int, int], UdpSocket] = {}
         self._next_ephemeral = _EPHEMERAL_FIRST
         self.rst_sent = 0
+        # One packet/segment pool per simulator, shared by every host in
+        # the world (packets recycle at the *receiving* host).
+        pool = sim.packet_pool
+        if pool is None:
+            pool = sim.packet_pool = PacketPool()
+        self._pool = pool
 
     @classmethod
     def ensure(
@@ -122,7 +131,7 @@ class TransportHost:
             PortInUse: if another listener holds the same binding.
         """
         addr = None if address is None else IPv4Address(address)
-        key = (addr, port)
+        key = (None if addr is None else addr._value, port)
         if key in self._listeners:
             raise PortInUse(f"already listening on {addr}:{port}")
         listener = TcpListener(self, addr, port, on_connection, config)
@@ -146,12 +155,16 @@ class TransportHost:
             local_address = self._source_address_for(remote.address)
         local = Endpoint(local_address, self._allocate_port(local_address))
         conn = TcpConnection(
-            self.sim, self, local, remote,
+            self.sim,
+            self,
+            local,
+            remote,
             config if config is not None else self.tcp_config,
             passive=False,
         )
-        self._connections[(local.address, local.port,
-                           remote.address, remote.port)] = conn
+        self._connections[
+            (local.address._value, local.port, remote.address._value, remote.port)
+        ] = conn
         conn.connect()
         return conn
 
@@ -160,29 +173,32 @@ class TransportHost:
             return destination
         route = self.namespace.routes.try_lookup(destination)
         if route is None:
-            raise TransportError(
-                f"{self.namespace.name}: no route to {destination}"
-            )
+            raise TransportError(f"{self.namespace.name}: no route to {destination}")
         return route.interface.primary_address
 
     def _allocate_port(self, address: IPv4Address) -> int:
+        value = address._value
         for __ in range(_EPHEMERAL_LAST - _EPHEMERAL_FIRST + 1):
             port = self._next_ephemeral
             self._next_ephemeral += 1
             if self._next_ephemeral > _EPHEMERAL_LAST:
                 self._next_ephemeral = _EPHEMERAL_FIRST
             in_use = any(
-                key[0] == address and key[1] == port
+                key[0] == value and key[1] == port
                 for key in self._connections
             )
-            if not in_use and (address, port) not in self._udp_sockets:
+            if not in_use and (value, port) not in self._udp_sockets:
                 return port
         raise TransportError("ephemeral port range exhausted")
 
     def connection_closed(self, conn: TcpConnection) -> None:
         """Remove a terminated connection from the table (called by TCP)."""
-        key = (conn.local.address, conn.local.port,
-               conn.remote.address, conn.remote.port)
+        key = (
+            conn.local.address._value,
+            conn.local.port,
+            conn.remote.address._value,
+            conn.remote.port,
+        )
         self._connections.pop(key, None)
 
     # ------------------------------------------------------------------ #
@@ -202,15 +218,15 @@ class TransportHost:
         addr = IPv4Address(address)
         if port == 0:
             port = self._allocate_port(addr)
-        if (addr, port) in self._udp_sockets:
+        if (addr._value, port) in self._udp_sockets:
             raise PortInUse(f"UDP {addr}:{port} already bound")
         sock = UdpSocket(self, Endpoint(addr, port), on_datagram)
-        self._udp_sockets[(addr, port)] = sock
+        self._udp_sockets[(addr._value, port)] = sock
         return sock
 
     def udp_socket_closed(self, sock: UdpSocket) -> None:
         """Remove a closed UDP socket (called by the socket)."""
-        self._udp_sockets.pop((sock.local.address, sock.local.port), None)
+        self._udp_sockets.pop((sock.local.address._value, sock.local.port), None)
 
     # ------------------------------------------------------------------ #
     # datapath
@@ -228,14 +244,31 @@ class TransportHost:
         # Other protocols are silently dropped, like an unhandled proto.
 
     def _receive_tcp(self, packet: Packet) -> None:
-        key = (packet.dst, packet.dport, packet.src, packet.sport)
-        conn = self._connections.get(key)
+        conn = self._connections.get(
+            (packet.dst._value, packet.dport, packet.src._value, packet.sport)
+        )
         if conn is not None:
-            conn.segment_arrived(packet.payload)
+            segment: TcpSegment = packet.payload
+            conn.segment_arrived(segment)
+            # This is the terminal consumer of an in-flight TCP packet:
+            # the reassembly buffer copied any payload pieces out during
+            # segment_arrived, so both records go back to the pool. The
+            # _in_pool flag makes a double recycle a no-op (see
+            # repro.net.packet.PacketPool for the lifecycle contract).
+            pool = self._pool
+            if not packet._in_pool:
+                packet._in_pool = True
+                packet.payload = None
+                pool.packets.append(packet)
+            if not segment._in_pool:
+                segment._in_pool = True
+                segment.pieces = ()
+                segment.sack = ()
+                pool.segments.append(segment)
             return
-        segment: TcpSegment = packet.payload
+        segment = packet.payload
         if "S" in segment.flags and "A" not in segment.flags:
-            listener = self._listeners.get((packet.dst, packet.dport))
+            listener = self._listeners.get((packet.dst._value, packet.dport))
             if listener is None:
                 listener = self._listeners.get((None, packet.dport))
             if listener is not None:
@@ -249,8 +282,9 @@ class TransportHost:
         remote = Endpoint(packet.src, packet.sport)
         config = listener.config if listener.config is not None else self.tcp_config
         conn = TcpConnection(self.sim, self, local, remote, config, passive=True)
-        self._connections[(local.address, local.port,
-                           remote.address, remote.port)] = conn
+        self._connections[
+            (local.address._value, local.port, remote.address._value, remote.port)
+        ] = conn
 
         def _accepted() -> None:
             listener.accepted += 1
@@ -262,19 +296,20 @@ class TransportHost:
     def _send_rst(self, packet: Packet) -> None:
         segment: TcpSegment = packet.payload
         rst = TcpSegment("R", segment.ack, 0, [], 0, 0)
-        reply = tcp_packet(packet.dst, packet.src, packet.dport, packet.sport,
-                           rst, 0)
+        reply = tcp_packet(packet.dst, packet.src, packet.dport, packet.sport, rst, 0)
         self.rst_sent += 1
         self.send_packet(reply)
 
     def _receive_udp(self, packet: Packet) -> None:
-        sock = self._udp_sockets.get((packet.dst, packet.dport))
+        sock = self._udp_sockets.get((packet.dst._value, packet.dport))
         if sock is None:
             return
         sock.datagram_arrived(packet)
 
     def _remove_listener(self, listener: TcpListener) -> None:
-        self._listeners.pop((listener.address, listener.port), None)
+        address = listener.address
+        key = (None if address is None else address._value, listener.port)
+        self._listeners.pop(key, None)
 
     # ------------------------------------------------------------------ #
     # diagnostics

@@ -20,7 +20,14 @@ from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import ConnectionClosed, ConnectionReset, TransportError
 from repro.net.address import Endpoint
-from repro.net.packet import tcp_packet
+from repro.net.packet import (
+    IP_HEADER_BYTES,
+    MTU_BYTES,
+    TCP_HEADER_BYTES,
+    Packet,
+    PacketPool,
+    _packet_ids,
+)
 from repro.sim.simulator import Simulator
 from repro.sim.timers import Timer
 from repro.transport.congestion import CongestionControl, NewReno
@@ -85,7 +92,9 @@ class TcpSegment:
     ranges, like the SACK option every modern stack negotiates.
     """
 
-    __slots__ = ("flags", "seq", "ack", "pieces", "data_len", "wnd", "sack")
+    __slots__ = (
+        "flags", "seq", "ack", "pieces", "data_len", "wnd", "sack", "_in_pool"
+    )
 
     def __init__(
         self,
@@ -104,6 +113,7 @@ class TcpSegment:
         self.data_len = data_len
         self.wnd = wnd
         self.sack = sack
+        self._in_pool = False
 
     def __repr__(self) -> str:
         return (
@@ -179,6 +189,61 @@ class TcpConnection:
     * ``on_error(exc)`` — reset or handshake failure; connection is dead.
     """
 
+    __slots__ = (
+        "sim",
+        "host",
+        "local",
+        "remote",
+        "config",
+        "passive",
+        "state",
+        "on_established",
+        "on_data",
+        "on_remote_close",
+        "on_close",
+        "on_error",
+        "_send_buffer",
+        "_snd_una",
+        "_snd_nxt",
+        "_cc",
+        "_rtt",
+        "_rto_timer",
+        "_dupacks",
+        "_in_recovery",
+        "_recover_seq",
+        "_sacked",
+        "_rexmit_next",
+        "_lost_edge",
+        "_rexmit_out",
+        "_rtt_seq",
+        "_rtt_time",
+        "_peer_rwnd",
+        "_fin_queued",
+        "_fin_sent",
+        "_syn_retries",
+        "_write_waiter",
+        "_reasm",
+        "_rcv_nxt",
+        "_peer_fin_seq",
+        "_ack_pending",
+        "_established_fired",
+        "bytes_sent",
+        "bytes_delivered",
+        "segments_sent",
+        "segments_received",
+        "retransmissions",
+        "established_at",
+        "_obs_cwnd",
+        "_obs_rto",
+        "_obs_cwnd_pts",
+        "_obs_rto_pts",
+        "_obs_prev_cwnd",
+        "_obs_prev_rto",
+        "_header_bytes",
+        "_rcv_wnd",
+        "_pool",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -195,6 +260,22 @@ class TcpConnection:
         self.config = config if config is not None else TcpConfig()
         self.passive = passive
         self.state = CLOSED
+
+        # Hot-path precomputation. The per-packet header size and the MTU
+        # bound are fixed for the connection's lifetime, so the old
+        # per-segment arithmetic and per-packet size validation
+        # (Packet.__init__) collapse to this single check — pooled packet
+        # reuse in _send_segment re-stamps records without re-validating.
+        self._header_bytes = IP_HEADER_BYTES + TCP_HEADER_BYTES
+        if self.config.mss + self._header_bytes > MTU_BYTES:
+            raise TransportError(
+                f"mss {self.config.mss} + headers exceeds MTU {MTU_BYTES}"
+            )
+        self._rcv_wnd = self.config.receive_window
+        pool = sim.packet_pool
+        if pool is None:
+            pool = sim.packet_pool = PacketPool()
+        self._pool = pool
 
         # Callbacks
         self.on_established: Optional[Callable[[], None]] = None
@@ -378,17 +459,29 @@ class TcpConnection:
     def segment_arrived(self, segment: TcpSegment) -> None:
         """Process one arriving segment."""
         self.segments_received += 1
-        if "R" in segment.flags:
+        flags = segment.flags
+        if flags == "A":
+            # Pure-ACK / data fast path: every segment after the handshake
+            # carries exactly "A", so the SYN/FIN/RST flag probes are
+            # skipped for the steady state.
+            self._peer_rwnd = segment.wnd
+            self._handle_ack(segment)
+            if segment.data_len:
+                self._handle_data(segment)
+            self._try_send()
+            self._flush_pending_ack()
+            return
+        if "R" in flags:
             self._handle_rst()
             return
         self._peer_rwnd = segment.wnd
-        if "S" in segment.flags:
+        if "S" in flags:
             self._handle_syn(segment)
-        if "A" in segment.flags:
+        if "A" in flags:
             self._handle_ack(segment)
         if segment.data_len:
             self._handle_data(segment)
-        if "F" in segment.flags:
+        if "F" in flags:
             self._handle_fin(segment)
         self._try_send()
         self._flush_pending_ack()
@@ -558,9 +651,19 @@ class TcpConnection:
         if self.state not in _DATA_STATES and self.state != CLOSE_WAIT:
             return
         offset = segment.seq - 1
-        self._reasm.insert(offset, segment.pieces)
-        ready = self._reasm.pop_ready()
-        self._rcv_nxt = self._reasm.next_offset + 1
+        reasm = self._reasm
+        if offset == reasm.next_offset and not reasm._fragments:
+            # In-order fast path (the overwhelmingly common case): hand the
+            # segment's piece list straight to the application instead of
+            # copying it through the interval map. Ownership transfers
+            # cleanly — the sender built the list fresh per segment and
+            # segment recycling rebinds (never mutates) the pieces slot.
+            ready = segment.pieces
+            reasm.next_offset = offset + segment.data_len
+        else:
+            reasm.insert(offset, segment.pieces)
+            ready = reasm.pop_ready()
+        self._rcv_nxt = reasm.next_offset + 1
         self._ack_pending = True
         if ready:
             delivered = sum(
@@ -569,10 +672,7 @@ class TcpConnection:
             self.bytes_delivered += delivered
             if self.on_data is not None:
                 self.on_data(ready)
-        if (
-            self._peer_fin_seq is not None
-            and self._peer_fin_seq == self._rcv_nxt
-        ):
+        if self._peer_fin_seq is not None and self._peer_fin_seq == self._rcv_nxt:
             self._peer_fin_seq = None
             self._process_fin()
 
@@ -613,13 +713,27 @@ class TcpConnection:
         # Hole repair needs loss evidence: a formal recovery episode,
         # enough SACKed bytes above a hole (RFC 6675's IsLost heuristic),
         # or an RTO having declared the outstanding window lost.
-        repairing = (
-            self._in_recovery
-            or self._snd_una < self._lost_edge
-            or (self._sacked_bytes()
-                >= self.config.dupack_threshold * self.config.mss)
-        )
-        pipe = self._pipe_bytes()
+        if (
+            not self._in_recovery
+            and not self._sacked
+            and self._snd_una >= self._lost_edge
+        ):
+            # Loss-free fast path (the steady state): no scoreboard, no
+            # declared losses — repairing is trivially off and the pipe
+            # estimate collapses to plain flight (what _pipe_bytes
+            # computes for this state, minus its method and helper calls).
+            repairing = False
+            pipe = self._snd_nxt - self._snd_una
+        else:
+            repairing = (
+                self._in_recovery
+                or self._snd_una < self._lost_edge
+                or (
+                    self._sacked_bytes()
+                    >= self.config.dupack_threshold * self.config.mss
+                )
+            )
+            pipe = self._pipe_bytes()
         while pipe < window:
             if repairing:
                 hole = self._next_hole()
@@ -637,8 +751,11 @@ class TcpConnection:
             seg_len = min(self.config.mss, available, window - pipe)
             pieces = self._send_buffer.slice(stream_sent, seg_len)
             self._send_segment(
-                "A", seq=self._snd_nxt, ack=self._rcv_nxt,
-                pieces=pieces, data_len=seg_len,
+                "A",
+                seq=self._snd_nxt,
+                ack=self._rcv_nxt,
+                pieces=pieces,
+                data_len=seg_len,
             )
             self._snd_nxt += seg_len
             self.bytes_sent += seg_len
@@ -675,12 +792,12 @@ class TcpConnection:
             if self._fin_sent:
                 self._send_segment("FA", seq=self._snd_una, ack=self._rcv_nxt)
             return
-        seg_len = min(self.config.mss, stream_len - head_offset,
-                      self._snd_nxt - self._snd_una)
+        seg_len = min(
+            self.config.mss, stream_len - head_offset, self._snd_nxt - self._snd_una
+        )
         pieces = self._send_buffer.slice(head_offset, seg_len)
         self._send_segment(
-            "A", seq=self._snd_una, ack=self._rcv_nxt,
-            pieces=pieces, data_len=seg_len,
+            "A", seq=self._snd_una, ack=self._rcv_nxt, pieces=pieces, data_len=seg_len
         )
 
     def _retransmit_at(self, start_seq: int, max_end: int) -> int:
@@ -688,8 +805,12 @@ class TcpConnection:
         length. ``max_end`` bounds the segment (the next SACKed byte)."""
         stream_len = self._send_buffer.length
         offset = start_seq - 1
-        seg_len = min(self.config.mss, max_end - start_seq,
-                      stream_len - offset, self._snd_nxt - start_seq)
+        seg_len = min(
+            self.config.mss,
+            max_end - start_seq,
+            stream_len - offset,
+            self._snd_nxt - start_seq,
+        )
         if seg_len <= 0:
             return 0
         pieces = self._send_buffer.slice(offset, seg_len)
@@ -698,8 +819,7 @@ class TcpConnection:
             self._rexmit_out, start_seq, start_seq + seg_len
         )
         self._send_segment(
-            "A", seq=start_seq, ack=self._rcv_nxt,
-            pieces=pieces, data_len=seg_len,
+            "A", seq=start_seq, ack=self._rcv_nxt, pieces=pieces, data_len=seg_len
         )
         return seg_len
 
@@ -783,8 +903,7 @@ class TcpConnection:
         if self.state in (SYN_SENT, SYN_RCVD):
             self._syn_retries += 1
             if self._syn_retries > self.config.max_syn_retries:
-                self._fail(TransportError(
-                    f"handshake to {self.remote} timed out"))
+                self._fail(TransportError(f"handshake to {self.remote} timed out"))
                 return
         self._rtt.on_timeout()
         if self._established_fired:
@@ -824,18 +943,60 @@ class TcpConnection:
         pieces: Optional[List[Piece]] = None,
         data_len: int = 0,
     ) -> None:
-        sack = ()
+        sack: tuple = ()
         if "A" in flags and "S" not in flags and self._reasm._fragments:
             sack = self._build_sack()
-        segment = TcpSegment(
-            flags, seq, ack, pieces if pieces is not None else [],
-            data_len, self.config.receive_window, sack,
-        )
-        packet = tcp_packet(
-            self.local.address, self.remote.address,
-            self.local.port, self.remote.port,
-            segment, data_len,
-        )
+        # Pooled construction: pop and re-stamp free records instead of
+        # running the constructors (see repro.net.packet.PacketPool for
+        # the lifecycle contract). The MTU bound was checked once in
+        # __init__, so re-stamping skips the per-packet size validation.
+        pool = self._pool
+        free_segments = pool.segments
+        if free_segments:
+            segment = free_segments.pop()
+            segment._in_pool = False
+            segment.flags = flags
+            segment.seq = seq
+            segment.ack = ack
+            segment.pieces = pieces if pieces is not None else []
+            segment.data_len = data_len
+            segment.wnd = self._rcv_wnd
+            segment.sack = sack
+        else:
+            segment = TcpSegment(
+                flags,
+                seq,
+                ack,
+                pieces if pieces is not None else [],
+                data_len,
+                self._rcv_wnd,
+                sack,
+            )
+        local = self.local
+        remote = self.remote
+        free_packets = pool.packets
+        if free_packets:
+            packet = free_packets.pop()
+            packet._in_pool = False
+            packet.src = local.address
+            packet.dst = remote.address
+            packet.sport = local.port
+            packet.dport = remote.port
+            packet.protocol = "tcp"
+            packet.payload = segment
+            packet.size = self._header_bytes + data_len
+            packet.ttl = 64
+            packet.uid = next(_packet_ids)
+        else:
+            packet = Packet(
+                local.address,
+                remote.address,
+                local.port,
+                remote.port,
+                "tcp",
+                segment,
+                self._header_bytes + data_len,
+            )
         self.segments_sent += 1
         if "A" in flags:
             self._ack_pending = False

@@ -61,9 +61,12 @@ class UdpSocket:
         if self.closed:
             raise ConnectionClosed("sendto() on closed UDP socket")
         packet = udp_packet(
-            self.local.address, remote.address,
-            self.local.port, remote.port,
-            UdpDatagram(data), len(data),
+            self.local.address,
+            remote.address,
+            self.local.port,
+            remote.port,
+            UdpDatagram(data),
+            len(data),
         )
         self.datagrams_sent += 1
         self.host.send_packet(packet)

@@ -88,6 +88,8 @@ class SendBuffer:
     by :meth:`ack_to` (releasing memory for real pieces).
     """
 
+    __slots__ = ("_starts", "_pieces", "_length", "_acked")
+
     def __init__(self) -> None:
         self._starts: List[int] = []
         self._pieces: List[Piece] = []
@@ -127,9 +129,7 @@ class SendBuffer:
         """
         end = start + length
         if start < self._acked:
-            raise ValueError(
-                f"slice start {start} below acked prefix {self._acked}"
-            )
+            raise ValueError(f"slice start {start} below acked prefix {self._acked}")
         if end > self._length:
             raise ValueError(f"slice end {end} beyond stream end {self._length}")
         if length == 0:
@@ -176,6 +176,8 @@ class ReassemblyBuffer:
     and ``pop_ready`` releases whatever is now contiguous from
     :attr:`next_offset`.
     """
+
+    __slots__ = ("next_offset", "_fragments")
 
     def __init__(self) -> None:
         self.next_offset = 0

@@ -1,8 +1,11 @@
 """EventQueue internals: lazy cancellation, compaction, and edge cases.
 
-Regression focus: the PR-1 compaction sweep (rebuild-and-heapify once
-cancelled entries outnumber live ones) interacting with ``pop_due()``
-when *every* queued event has been cancelled — the empty-heap edge case.
+Regression focus: the compaction sweep (rebuild-and-heapify once cancelled
+entries outnumber live ones) interacting with ``pop_due()`` when *every*
+queued event has been cancelled — the empty-heap edge case — plus the
+record-reuse guarantees of the two-lane queue: a handle for an event that
+already fired must be inert (cancel is a no-op, no state leaks through the
+record's slots).
 """
 
 from repro.sim.events import COMPACT_MIN_SIZE, EventQueue
@@ -16,40 +19,39 @@ def _noop():
 class TestAllCancelled:
     def test_pop_due_on_fully_cancelled_queue_returns_none(self):
         queue = EventQueue()
-        events = [
+        handles = [
             queue.push(0.001 * i, _noop, ()) for i in range(COMPACT_MIN_SIZE * 2)
         ]
-        for event in events:
-            event.cancel()
-            queue.note_cancelled()
+        for handle in handles:
+            queue.cancel(handle)
         # Compaction fired at some point (dead > live at size >= floor),
-        # leaving at most the post-compaction cancellations in the heap.
+        # leaving at most the post-compaction cancellations in the lanes.
         assert len(queue) == 0
         assert not queue
         assert queue.pop_due(None) is None
         assert queue.pop_due(1e9) is None
         assert queue.peek_time() is None
-        # The dead prefix was drained; internals agree the heap is empty.
+        # The dead entries were drained; internals agree both lanes are empty.
         assert queue._heap == []
+        assert not queue._tail
 
     def test_compaction_sweep_ran_during_mass_cancel(self):
         queue = EventQueue()
-        events = [
+        handles = [
             queue.push(0.001 * i, _noop, ()) for i in range(COMPACT_MIN_SIZE * 2)
         ]
         # Cancel just over half: the sweep triggers when dead > live.
-        for event in events[: COMPACT_MIN_SIZE + 1]:
-            event.cancel()
-            queue.note_cancelled()
-        assert queue._dead == 0  # sweep rebuilt the heap
-        assert len(queue._heap) == len(queue) == COMPACT_MIN_SIZE - 1
+        for handle in handles[: COMPACT_MIN_SIZE + 1]:
+            queue.cancel(handle)
+        assert queue._dead == 0  # sweep rebuilt the lanes
+        assert len(queue._heap) + len(queue._tail) == len(queue)
+        assert len(queue) == COMPACT_MIN_SIZE - 1
 
     def test_pop_raises_on_fully_cancelled_queue(self):
         queue = EventQueue()
-        events = [queue.push(float(i), _noop, ()) for i in range(8)]
-        for event in events:
-            event.cancel()
-            queue.note_cancelled()
+        handles = [queue.push(float(i), _noop, ()) for i in range(8)]
+        for handle in handles:
+            queue.cancel(handle)
         try:
             queue.pop()
         except IndexError:
@@ -59,26 +61,26 @@ class TestAllCancelled:
 
     def test_queue_usable_after_full_cancellation(self):
         queue = EventQueue()
-        events = [
+        handles = [
             queue.push(0.001 * i, _noop, ()) for i in range(COMPACT_MIN_SIZE * 2)
         ]
-        for event in events:
-            event.cancel()
-            queue.note_cancelled()
+        for handle in handles:
+            queue.cancel(handle)
         fresh = queue.push(0.5, _noop, ())
         assert len(queue) == 1
         assert queue.peek_time() == 0.5
         assert queue.pop_due(None) is fresh
+        queue.consume(fresh)
         assert len(queue) == 0
 
     def test_simulator_run_with_everything_cancelled(self):
         sim = Simulator(seed=0)
-        events = [
+        handles = [
             sim.schedule(0.001 * (i + 1), _noop)
             for i in range(COMPACT_MIN_SIZE * 2)
         ]
-        for event in events:
-            sim.cancel(event)
+        for handle in handles:
+            sim.cancel(handle)
         sim.run()  # must terminate immediately, executing nothing
         assert sim.events_processed == 0
         assert sim.now == 0.0
@@ -86,15 +88,99 @@ class TestAllCancelled:
 
     def test_run_until_predicate_with_everything_cancelled(self):
         sim = Simulator(seed=0)
-        events = [
+        handles = [
             sim.schedule(0.001 * (i + 1), _noop)
             for i in range(COMPACT_MIN_SIZE * 2)
         ]
-        for event in events:
-            sim.cancel(event)
+        for handle in handles:
+            sim.cancel(handle)
         # Queue exhausts without the predicate firing; deadline branch
-        # must not trip over the drained heap.
+        # must not trip over the drained lanes.
         assert sim.run_until(lambda: False, timeout=10.0) is False
+
+
+class TestRecordLifecycle:
+    def test_fired_handle_is_inert(self):
+        # A handle whose event already fired: cancel must be a no-op and
+        # must not corrupt later events.
+        queue = EventQueue()
+        stale = queue.push(0.1, _noop, ())
+        popped = queue.pop_due(None)
+        assert popped is stale
+        queue.consume(popped)
+        successor = queue.push(0.2, _noop, ())
+        assert queue.cancel(stale) is False
+        assert len(queue) == 1  # successor still live
+        assert queue.pop_due(None) is successor
+
+    def test_consume_releases_callback_and_args(self):
+        # The record's slots are nulled on consume, so a retained handle
+        # cannot keep payloads (packets, closures) alive.
+        queue = EventQueue()
+        payload = object()
+        handle = queue.push(0.1, _noop, (payload,))
+        entry = queue.pop_due(None)
+        queue.consume(entry)
+        assert handle[2] is None
+        assert handle[3] is None
+
+    def test_double_cancel_reports_noop(self):
+        queue = EventQueue()
+        handle = queue.push(0.1, _noop, ())
+        assert queue.cancel(handle) is True
+        assert queue.cancel(handle) is False
+        assert len(queue) == 0
+
+    def test_tail_lane_merges_with_heap_in_seq_order(self):
+        sim = Simulator(seed=0)
+        fired = []
+        sim.schedule(0.0, fired.append, "tail-a")  # seq 0, tail lane
+        sim.call_soon(fired.append, "tail-b")  # seq 1, tail lane
+        sim.schedule_at(0.0, fired.append, "tail-c")  # seq 2, tail lane
+        sim.schedule(0.1, fired.append, "tail-d")  # seq 3, still monotone
+        sim.schedule(0.05, fired.append, "heap")  # seq 4, out of order
+        sim.run()
+        assert fired == ["tail-a", "tail-b", "tail-c", "heap", "tail-d"]
+
+    def test_zero_delay_event_scheduled_mid_run_fires_same_instant(self):
+        sim = Simulator(seed=0)
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(0.0, chain)
+
+        sim.schedule(0.5, chain)
+        sim.run()
+        assert fired == [0.5, 0.5, 0.5]
+
+    def test_zero_delay_after_future_tail_entry_stays_ordered(self):
+        # A later-scheduled zero-delay event must still fire before an
+        # earlier-scheduled future event: the monotone check routes it to
+        # the heap when the tail lane has run ahead.
+        sim = Simulator(seed=0)
+        fired = []
+
+        def at_half():
+            fired.append("t=0.5")
+
+        def zero():
+            fired.append("t=0")
+
+        sim.schedule(0.5, at_half)  # tail lane runs ahead to t=0.5
+        sim.schedule(0.0, zero)  # must fire first, via the heap
+        sim.run()
+        assert fired == ["t=0", "t=0.5"]
+
+    def test_cancel_tail_entry(self):
+        sim = Simulator(seed=0)
+        fired = []
+        doomed = sim.call_soon(fired.append, "doomed")
+        sim.call_soon(fired.append, "kept")
+        sim.cancel(doomed)
+        sim.run()
+        assert fired == ["kept"]
 
 
 class TestCompactionCorrectness:
@@ -103,20 +189,37 @@ class TestCompactionCorrectness:
         fired = []
         keep = []
         for i in range(COMPACT_MIN_SIZE * 2):
-            event = sim.schedule(0.001 * (i + 1), fired.append, i)
+            handle = sim.schedule(0.001 * (i + 1), fired.append, i)
             if i % 2:
                 keep.append(i)
             else:
-                sim.cancel(event)  # cancels half -> triggers sweeps
+                sim.cancel(handle)  # cancels half -> triggers sweeps
         sim.run()
         assert fired == keep
+
+    def test_compaction_preserves_both_lanes(self):
+        queue = EventQueue()
+        kept_now = queue.push(0.0, _noop, ())
+        doomed_now = queue.push(0.0, _noop, ())
+        # Force heap-lane entries by pushing a far-future tail entry first.
+        far = queue.push(1e6, _noop, ())
+        handles = [
+            queue.push(0.001 * (i + 1), _noop, ())
+            for i in range(COMPACT_MIN_SIZE * 2)
+        ]
+        queue.cancel(doomed_now)
+        queue.cancel(far)
+        for handle in handles[:COMPACT_MIN_SIZE]:
+            queue.cancel(handle)
+        assert queue._dead == 0  # sweep ran, both lanes rebuilt
+        assert queue.pop_due(None) is kept_now
 
 
 class TestTraceHook:
     def test_hook_sees_every_executed_event_in_order(self):
         sim = Simulator(seed=0)
         seen = []
-        sim.set_trace(lambda event: seen.append((event.time, event.seq)))
+        sim.set_trace(lambda time, seq, callback: seen.append((time, seq)))
         sim.schedule(0.2, _noop)
         sim.schedule(0.1, _noop)
         sim.run()
@@ -125,7 +228,7 @@ class TestTraceHook:
     def test_hook_skips_cancelled_events(self):
         sim = Simulator(seed=0)
         seen = []
-        sim.set_trace(lambda event: seen.append(event.seq))
+        sim.set_trace(lambda time, seq, callback: seen.append(seq))
         sim.schedule(0.2, _noop)
         doomed = sim.schedule(0.1, _noop)
         sim.cancel(doomed)
@@ -135,7 +238,7 @@ class TestTraceHook:
     def test_hook_fires_in_step_and_run_until(self):
         sim = Simulator(seed=0)
         seen = []
-        sim.set_trace(lambda event: seen.append(event.seq))
+        sim.set_trace(lambda time, seq, callback: seen.append(seq))
         sim.schedule(0.1, _noop)
         sim.schedule(0.2, _noop)
         assert sim.step()
@@ -145,7 +248,7 @@ class TestTraceHook:
     def test_hook_removable(self):
         sim = Simulator(seed=0)
         seen = []
-        sim.set_trace(lambda event: seen.append(event.seq))
+        sim.set_trace(lambda time, seq, callback: seen.append(seq))
         sim.schedule(0.1, _noop)
         sim.run()
         sim.set_trace(None)
@@ -156,7 +259,15 @@ class TestTraceHook:
     def test_hook_runs_before_callback(self):
         sim = Simulator(seed=0)
         order = []
-        sim.set_trace(lambda event: order.append("trace"))
+        sim.set_trace(lambda time, seq, callback: order.append("trace"))
         sim.schedule(0.1, order.append, "callback")
         sim.run()
         assert order == ["trace", "callback"]
+
+    def test_hook_receives_the_callback_object(self):
+        sim = Simulator(seed=0)
+        seen = []
+        sim.set_trace(lambda time, seq, callback: seen.append(callback))
+        sim.schedule(0.1, _noop)
+        sim.run()
+        assert seen == [_noop]

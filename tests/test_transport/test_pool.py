@@ -1,0 +1,138 @@
+"""Packet/segment pool lifecycle: recycled objects never leak state.
+
+The allocation-free packet path (DESIGN.md §10) recycles Packet and
+TcpSegment objects through a per-simulator :class:`PacketPool`. The
+contract under test: recycling strips payload references, recycling is
+idempotent (a packet can never enter the free list twice), and an
+acquired object carries only the fields of its new flow — a fresh uid,
+no stale payload, no stale SACK blocks.
+"""
+
+from __future__ import annotations
+
+from repro.net.address import IPv4Address
+from repro.net.packet import Packet, PacketPool
+from repro.testing import delayed_world
+from repro.transport.wire import pieces_len
+
+
+def _mk_packet() -> Packet:
+    return Packet(
+        IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2"),
+        1234, 80, "tcp", b"payload", 100,
+    )
+
+
+class TestPacketPool:
+    def test_recycle_strips_payload(self):
+        pool = PacketPool()
+        packet = _mk_packet()
+        pool.recycle(packet)
+        assert packet._in_pool is True
+        assert packet.payload is None
+        assert pool.packets == [packet]
+
+    def test_recycle_is_idempotent(self):
+        pool = PacketPool()
+        packet = _mk_packet()
+        pool.recycle(packet)
+        pool.recycle(packet)
+        assert pool.packets == [packet], \
+            "double recycle must not duplicate the free-list entry"
+
+    def test_acquire_reuses_and_restamps(self):
+        pool = PacketPool()
+        old = _mk_packet()
+        old_uid = old.uid
+        pool.recycle(old)
+        src = IPv4Address("192.168.1.1")
+        dst = IPv4Address("192.168.1.2")
+        fresh = pool.acquire_tcp(src, dst, 5555, 443, "segment", 64)
+        assert fresh is old, "the pooled object must be reused"
+        assert fresh._in_pool is False
+        assert fresh.uid != old_uid, "reused packets need a fresh uid"
+        assert fresh.src is src and fresh.dst is dst
+        assert fresh.sport == 5555 and fresh.dport == 443
+        assert fresh.protocol == "tcp"
+        assert fresh.payload == "segment"
+        assert fresh.size == 64
+        assert fresh.ttl == 64
+
+    def test_acquire_falls_back_to_allocation(self):
+        pool = PacketPool()
+        packet = pool.acquire_tcp(
+            IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2"),
+            1, 2, None, 40,
+        )
+        assert isinstance(packet, Packet)
+        assert packet._in_pool is False
+
+
+class TestPoolUnderTransfer:
+    def test_transfer_recycles_without_state_leaks(self):
+        world = delayed_world(0.010)
+        done = []
+
+        def on_conn(conn):
+            conn.on_data = lambda p: conn.send_virtual(300_000)
+
+        world.server.listen(None, 80, on_conn)
+        conn = world.client.connect(world.server_endpoint)
+        total = [0]
+        conn.on_established = lambda: conn.send(b"GET")
+
+        def on_data(pieces):
+            total[0] += pieces_len(pieces)
+            if total[0] >= 300_000:
+                done.append(True)
+
+        conn.on_data = on_data
+        world.sim.run_until(lambda: bool(done), timeout=60)
+        assert total[0] >= 300_000, "transfer must complete"
+
+        pool = world.sim.packet_pool
+        assert pool is not None
+        assert pool.packets, "steady-state transfer must recycle packets"
+        assert pool.segments, "steady-state transfer must recycle segments"
+        for packet in pool.packets:
+            assert packet._in_pool is True
+            assert packet.payload is None, \
+                "a pooled packet holding a payload is a state leak"
+        for segment in pool.segments:
+            assert segment._in_pool is True
+            assert segment.pieces == (), \
+                "a pooled segment holding pieces is a state leak"
+            assert segment.sack == (), \
+                "a pooled segment holding SACK blocks is a state leak"
+
+    def test_back_to_back_transfers_deliver_identical_data(self):
+        # Two transfers on one simulator share the pool; the second rides
+        # entirely on recycled objects and must still deliver every byte.
+        world = delayed_world(0.010)
+
+        def run_transfer(port, nbytes):
+            done = []
+
+            def on_conn(conn):
+                conn.on_data = lambda p: conn.send_virtual(nbytes)
+
+            world.server.listen(None, port, on_conn)
+            conn = world.client.connect(
+                world.server_endpoint._replace(port=port)
+            )
+            total = [0]
+            conn.on_established = lambda: conn.send(b"GET")
+
+            def on_data(pieces):
+                total[0] += pieces_len(pieces)
+                if total[0] >= nbytes:
+                    done.append(True)
+
+            conn.on_data = on_data
+            world.sim.run_until(lambda: bool(done), timeout=60)
+            return total[0]
+
+        assert run_transfer(80, 100_000) >= 100_000
+        pooled_before = len(world.sim.packet_pool.packets)
+        assert run_transfer(81, 100_000) >= 100_000
+        assert pooled_before > 0
