@@ -1,24 +1,44 @@
-"""Determinism analysis: static lint + runtime sanitizer.
+"""Determinism analysis: static lint + dataflow engine + runtime sanitizer.
 
 The reproduction's headline claim (Table 1) tightens, in a single-clock
 simulator, to *bit-identical replay*: the same seed must produce the same
 event stream, byte for byte, on any machine. This package makes that
 contract mechanically checked rather than hoped for:
 
-* :mod:`repro.analysis.lint` — ``mm-lint``, an AST lint pass with
-  repo-specific rules (REP001–REP006) that reject wall-clock reads,
-  unseeded randomness, float equality on virtual times, unordered
-  iteration feeding the event queue, environment reads, and fork-hostile
-  module state in simulation-domain code.
+* :mod:`repro.analysis.lint` — ``mm-lint``, the front end: per-node AST
+  rules (REP001-REP007) plus the flow rules below, with JSON/SARIF
+  output, a committed-findings baseline, a content-hash incremental
+  cache, and a stale-suppression audit.
+* :mod:`repro.analysis.flow` — the interprocedural dataflow engine:
+  per-module call graph, function summaries, and a forward abstract
+  interpretation tracking pool lifecycle, wall-clock/env taint, RNG
+  identity, and fork-hostile handles.
+* :mod:`repro.analysis.rules_flow` — flow rules REP008-REP012
+  (use-after-recycle, pooled-object escape, taint-to-sink, RNG stream
+  aliasing, handle capture in forked workers).
+* :mod:`repro.analysis.base` — the shared front end (file discovery,
+  domain classification, suppression comments, :class:`Diagnostic`).
+* :mod:`repro.analysis.output` / :mod:`repro.analysis.baseline` /
+  :mod:`repro.analysis.cache` — machine-readable reports, the committed
+  baseline, and the incremental cache.
 * :mod:`repro.analysis.sanitizer` — an opt-in
   :class:`~repro.sim.simulator.Simulator` execution observer that folds
   every executed event into a BLAKE2 digest, and
   :func:`~repro.analysis.sanitizer.check_determinism`, which replays a
   scenario and reports the first divergent event.
 
-Submodules are intentionally not imported here: both are run as
-``python -m repro.analysis.<mod>``, and an eager package import would put
-a second copy of the module in ``sys.modules`` under ``runpy``.
+Submodules are intentionally not imported here: lint and sanitizer are
+run as ``python -m repro.analysis.<mod>``, and an eager package import
+would put a second copy of the module in ``sys.modules`` under ``runpy``.
 """
 
-__all__ = ["lint", "sanitizer"]
+__all__ = [
+    "base",
+    "baseline",
+    "cache",
+    "flow",
+    "lint",
+    "output",
+    "rules_flow",
+    "sanitizer",
+]

@@ -1,0 +1,135 @@
+"""Committed-baseline mechanism for ``mm-lint`` (``--baseline``).
+
+New rules should start enforcing immediately on *new* code without
+blocking on a cleanup of every pre-existing finding. The baseline file
+records a fingerprint for each known finding; ``mm-lint --baseline
+lint-baseline.json`` subtracts baselined findings from its report (and
+its exit code), so CI fails only on findings introduced after the
+baseline was written.
+
+Fingerprints are content-anchored, not line-anchored: BLAKE2 over
+``(posix path, rule code, stripped source line, occurrence index)``.
+Findings survive unrelated edits that shift line numbers, but *any*
+change to the offending line retires its baseline entry — touched code
+must be brought up to the rules. The occurrence index disambiguates
+identical lines carrying identical findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path, PurePath
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.base import Diagnostic
+
+__all__ = [
+    "BaselineError",
+    "fingerprint_diagnostics",
+    "load_baseline",
+    "partition",
+    "write_baseline",
+]
+
+#: On-disk format version.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or has an unknown version."""
+
+
+def _line_text(path: str, line: int, cache: Dict[str, List[str]]) -> str:
+    """The stripped source line a diagnostic points at ('' if unreadable)."""
+    lines = cache.get(path)
+    if lines is None:
+        try:
+            lines = Path(path).read_text(encoding="utf-8").splitlines()
+        except OSError:
+            lines = []
+        cache[path] = lines
+    if 0 < line <= len(lines):
+        return lines[line - 1].strip()
+    return ""
+
+
+def fingerprint_diagnostics(
+    diagnostics: Sequence[Diagnostic],
+) -> List[Tuple[Diagnostic, str]]:
+    """Pair every diagnostic with its content-anchored fingerprint."""
+    source_cache: Dict[str, List[str]] = {}
+    occurrence: Dict[Tuple[str, str, str], int] = {}
+    out: List[Tuple[Diagnostic, str]] = []
+    for diag in diagnostics:
+        text = _line_text(diag.path, diag.line, source_cache)
+        key = (PurePath(diag.path).as_posix(), diag.code, text)
+        index = occurrence.get(key, 0)
+        occurrence[key] = index + 1
+        digest = hashlib.blake2b(
+            f"{key[0]}::{key[1]}::{key[2]}::{index}".encode("utf-8"),
+            digest_size=16,
+        ).hexdigest()
+        out.append((diag, digest))
+    return out
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, Dict[str, object]]:
+    """Load a baseline file; returns fingerprint -> recorded metadata."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise BaselineError(f"baseline {path}: missing 'entries' table")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path}: unsupported version {version!r} "
+            f"(this mm-lint writes version {BASELINE_VERSION})"
+        )
+    entries = payload["entries"]
+    if not isinstance(entries, dict):
+        raise BaselineError(f"baseline {path}: 'entries' must be an object")
+    return entries
+
+
+def write_baseline(
+    path: Union[str, Path], diagnostics: Sequence[Diagnostic]
+) -> int:
+    """Write a baseline covering the given findings; returns the count.
+
+    Entries keep human-readable context (path/code/line) so reviewers can
+    audit what debt the baseline is carrying; only the fingerprint key is
+    load-bearing.
+    """
+    entries: Dict[str, Dict[str, object]] = {}
+    for diag, digest in fingerprint_diagnostics(diagnostics):
+        entries[digest] = {
+            "path": PurePath(diag.path).as_posix(),
+            "code": diag.code,
+            "line": diag.line,
+            "message": diag.message,
+        }
+    document = {"version": BASELINE_VERSION, "tool": "mm-lint", "entries": entries}
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def partition(
+    diagnostics: Sequence[Diagnostic],
+    baseline: Optional[Dict[str, Dict[str, object]]],
+) -> Tuple[List[Diagnostic], int]:
+    """Split findings into (new, baselined-count) against a baseline."""
+    if not baseline:
+        return list(diagnostics), 0
+    fresh: List[Diagnostic] = []
+    suppressed = 0
+    for diag, digest in fingerprint_diagnostics(diagnostics):
+        if digest in baseline:
+            suppressed += 1
+        else:
+            fresh.append(diag)
+    return fresh, suppressed

@@ -1,0 +1,124 @@
+"""Content-hash incremental cache for ``mm-lint`` (``--cache DIR``).
+
+Linting is a pure function of (file contents, analyzer sources, rule
+selection), so results are cached under a BLAKE2 key of exactly those
+inputs. A cache hit skips parsing and both analysis passes for the file;
+any edit to the file *or* to the analyzer itself changes the key and
+re-lints. This is what keeps the CI lint job fast as the tree grows: the
+workflow persists the cache directory keyed on the analysis-source hash
+(see ``.github/workflows/ci.yml``), so a typical PR re-analyzes only the
+files it touched.
+
+Entries are tiny JSON files named by their key, written atomically
+(temp + rename via :mod:`repro.fsutil`) so a killed lint run never
+leaves a torn entry. Unreadable or malformed entries are treated as
+misses and rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.analysis.base import Diagnostic
+from repro.analysis.output import diagnostics_from_json
+
+__all__ = ["LintCache", "analyzer_fingerprint"]
+
+#: Bump when the cache entry format itself changes shape.
+_CACHE_FORMAT = 1
+
+#: Analyzer modules whose sources parameterize every cache key. Any edit
+#: to the rules or the engine invalidates the whole cache.
+_ANALYZER_MODULES = (
+    "base.py",
+    "flow.py",
+    "rules_flow.py",
+    "lint.py",
+    "output.py",
+    "baseline.py",
+    "cache.py",
+)
+
+_fingerprint_memo: Optional[str] = None
+
+
+def analyzer_fingerprint() -> str:
+    """BLAKE2 digest over the analyzer's own source files."""
+    global _fingerprint_memo
+    if _fingerprint_memo is not None:
+        return _fingerprint_memo
+    digest = hashlib.blake2b(digest_size=16)
+    package_dir = Path(__file__).resolve().parent
+    digest.update(f"format:{_CACHE_FORMAT}".encode("ascii"))
+    for name in _ANALYZER_MODULES:
+        module_path = package_dir / name
+        digest.update(b"\x00" + name.encode("ascii") + b"\x00")
+        try:
+            digest.update(module_path.read_bytes())
+        except OSError:
+            digest.update(b"<missing>")
+    _fingerprint_memo = digest.hexdigest()
+    return _fingerprint_memo
+
+
+class LintCache:
+    """Directory-backed diagnostic cache keyed by content hashes."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, source: bytes, select: Optional[Sequence[str]]) -> str:
+        """Cache key for one file's source under a rule selection."""
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(analyzer_fingerprint().encode("ascii"))
+        digest.update(b"\x00")
+        digest.update(
+            ",".join(sorted(select)).encode("utf-8") if select else b"<all>"
+        )
+        digest.update(b"\x00")
+        digest.update(source)
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        # Two-level fanout keeps directory listings short on big trees.
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[List[Diagnostic]]:
+        """Cached diagnostics for a key, or None on a miss."""
+        entry = self._entry_path(key)
+        try:
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+            diagnostics = diagnostics_from_json(payload["diagnostics"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return diagnostics
+
+    def put(self, key: str, diagnostics: Sequence[Diagnostic]) -> None:
+        """Store diagnostics for a key (atomic write, best-effort)."""
+        entry = self._entry_path(key)
+        document = {
+            "diagnostics": [
+                {
+                    "path": diag.path,
+                    "line": diag.line,
+                    "col": diag.col,
+                    "code": diag.code,
+                    "message": diag.message,
+                }
+                for diag in diagnostics
+            ],
+        }
+        try:
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            from repro.fsutil import atomic_write_text
+
+            atomic_write_text(entry, json.dumps(document, sort_keys=True))
+        except OSError:
+            pass  # a cold cache is always safe

@@ -1,9 +1,20 @@
-"""``mm-lint`` — AST lint rules that enforce the determinism contract.
+"""``mm-lint`` — static rules that enforce the determinism contract.
 
 The simulator promises bit-identical replay for a given seed (DESIGN.md,
 "Determinism contract"). Nothing in Python stops a contributor from
 breaking that promise with one innocent-looking line, so this module
-checks the contract statically. Rules:
+checks the contract statically, with two engines behind one front end:
+
+* **Per-node AST rules** (REP001-REP007, this module): hazards visible
+  in a single expression — wall-clock reads, unseeded RNG, float ``==``
+  on virtual time, hash-ordered scheduling, environment reads,
+  module-level mutable state, observer-effect writes.
+* **Interprocedural dataflow rules** (REP008-REP012,
+  :mod:`repro.analysis.flow` + :mod:`repro.analysis.rules_flow`):
+  hazards that emerge from statement order and calls between functions —
+  use-after-recycle, pooled-object escape, wall-clock/env taint reaching
+  sinks, RNG stream aliasing across domains, fork-hostile handles inside
+  forked workers.
 
 ======  ==============================================================
 REP001  No wall-clock reads (``time.time``/``time.monotonic``/argless
@@ -30,22 +41,46 @@ REP007  Observer-domain code (the ``repro.obs`` package) may not
         on a simulator, or mutate queues — probes read simulation
         state and append to observer-owned storage, nothing else (the
         zero-observer-effect contract).
+REP008  No use-after-recycle: a name handed back to a ``PacketPool``
+        may not be read, stored, or scheduled afterwards on any path.
+REP009  No pooled-object escape: pool-acquired objects may not be
+        stored into containers/attributes that outlive the handler
+        without a ``# mm-lint: transfer`` ownership annotation.
+REP010  No wall-clock/environment taint reaching ``schedule()``, RNG
+        seeds, or obs artifacts — tracked through assignments and call
+        returns, not just the call sites REP001/REP005 flag.
+REP011  No seeded ``random.Random`` instance shared across the chaos /
+        link / transport domains — derive one stream per domain via
+        ``stable_seed``.
+REP012  No fork-hostile handles (files, locks, journals, sockets)
+        created pre-fork and used inside ``ParallelRunner`` /
+        ``run_supervised`` / ``parallel_map`` worker functions.
 ======  ==============================================================
 
-Rules REP001, REP003, REP005 and REP006 apply to *simulation-domain*
-files (any file under a :data:`SIM_DOMAIN_DIRS` directory); REP007
-applies to *observer-domain* files (under an :data:`OBS_DOMAIN_DIRS`
-directory); REP002 and REP004 apply everywhere (REP002 excepts
-``sim/random.py`` itself, where the blessed streams live).
+Rules REP001, REP003, REP005, REP006 and REP008-REP011 apply to
+*simulation-domain* files (any file under a :data:`SIM_DOMAIN_DIRS`
+directory); REP007 applies to *observer-domain* files (under an
+:data:`OBS_DOMAIN_DIRS` directory); REP002, REP004 and REP012 apply
+everywhere (REP002 excepts ``sim/random.py`` itself, where the blessed
+streams live).
 
 Any diagnostic can be silenced for one line with an inline escape hatch::
 
     self._first_above_time = 0.0  # mm-lint: disable=REP003
 
 (``disable=all`` silences every rule on the line). The comment is the
-audit trail: it marks the spot as reviewed-and-intentional.
+audit trail: it marks the spot as reviewed-and-intentional, and
+``mm-lint --check-suppressions`` flags comments that no longer silence
+anything so the audit trail cannot rot. REP009 additionally honours a
+``# mm-lint: transfer`` annotation marking a deliberate ownership
+hand-off of a pooled object.
 
-Run as ``mm-lint [paths…]`` or ``python -m repro.analysis.lint``.
+The CLI supports machine-readable output (``--output json|sarif``), a
+committed-findings baseline (``--baseline lint-baseline.json`` with
+``--write-baseline`` to refresh it), and a content-hash incremental
+cache (``--cache DIR``) so CI lint time tracks the size of the diff, not
+the tree. Run as ``mm-lint [paths…]`` or ``python -m
+repro.analysis.lint``.
 """
 
 from __future__ import annotations
@@ -56,49 +91,116 @@ import re
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Union
+
+from repro.analysis.base import (
+    OBS_DOMAIN_DIRS,
+    SIM_DOMAIN_DIRS,
+    Diagnostic,
+    chain_parts as _chain_parts,
+    disabled_codes as _disabled_codes,
+    dotted as _dotted,
+    has_transfer_annotation,
+    is_obs_domain,
+    is_sim_domain,
+    iter_python_files as _iter_python_files,
+    suppression_comments,
+    terminal_name as _terminal_name,
+)
+from repro.analysis.rules_flow import FLOW_RULES, run_flow_rules
 
 __all__ = [
     "Diagnostic",
     "OBS_DOMAIN_DIRS",
     "RULES",
+    "RULE_REGISTRY",
+    "Rule",
     "SIM_DOMAIN_DIRS",
+    "check_suppressions",
     "lint_file",
     "lint_paths",
     "lint_source",
     "main",
 ]
 
-#: Directories whose code runs inside the simulated world. A file is
-#: "simulation-domain" when any of its path components is one of these.
-SIM_DOMAIN_DIRS = frozenset(
-    {"sim", "linkem", "transport", "core", "browser", "web", "dns", "http",
-     "chaos"}
-)
 
-#: Directories whose code *observes* the simulated world. A file is
-#: "observer-domain" when any of its path components is one of these;
-#: REP007 holds such code to the zero-observer-effect contract.
-OBS_DOMAIN_DIRS = frozenset({"obs"})
+@dataclass(frozen=True)
+class Rule:
+    """One entry in the unified rule registry."""
 
-#: Rule code -> one-line summary (shown by ``mm-lint --list-rules``).
-RULES: Dict[str, str] = {
-    "REP001": "wall-clock read in simulation-domain code (use sim.now)",
-    "REP002": "unseeded or unstably-seeded RNG (derive seeds via stable_seed)",
-    "REP003": "float equality on a virtual-time expression",
-    "REP004": "unordered iteration feeds the event queue (sort first)",
-    "REP005": "environment read inside a simulation component",
-    "REP006": "module-level mutable state survives ParallelRunner forks",
-    "REP007": "observer-domain code schedules events or writes sim state",
+    code: str
+    summary: str
+    #: Which engine implements it: "ast" (per-node) or "flow" (dataflow).
+    engine: str
+    #: Scope: "sim" (simulation-domain files), "obs" (observer-domain
+    #: files), or "all".
+    scope: str
+
+
+#: The unified registry both engines report against. Ordered by code.
+RULE_REGISTRY: Dict[str, Rule] = {
+    "REP001": Rule(
+        "REP001",
+        "wall-clock read in simulation-domain code (use sim.now)",
+        "ast",
+        "sim",
+    ),
+    "REP002": Rule(
+        "REP002",
+        "unseeded or unstably-seeded RNG (derive seeds via stable_seed)",
+        "ast",
+        "all",
+    ),
+    "REP003": Rule(
+        "REP003", "float equality on a virtual-time expression", "ast", "sim"
+    ),
+    "REP004": Rule(
+        "REP004",
+        "unordered iteration feeds the event queue (sort first)",
+        "ast",
+        "all",
+    ),
+    "REP005": Rule(
+        "REP005", "environment read inside a simulation component", "ast", "sim"
+    ),
+    "REP006": Rule(
+        "REP006",
+        "module-level mutable state survives ParallelRunner forks",
+        "ast",
+        "sim",
+    ),
+    "REP007": Rule(
+        "REP007",
+        "observer-domain code schedules events or writes sim state",
+        "ast",
+        "obs",
+    ),
+    "REP008": Rule("REP008", FLOW_RULES["REP008"], "flow", "sim"),
+    "REP009": Rule("REP009", FLOW_RULES["REP009"], "flow", "sim"),
+    "REP010": Rule("REP010", FLOW_RULES["REP010"], "flow", "sim"),
+    "REP011": Rule("REP011", FLOW_RULES["REP011"], "flow", "sim"),
+    "REP012": Rule("REP012", FLOW_RULES["REP012"], "flow", "all"),
 }
 
-#: Rules restricted to simulation-domain files.
-SIM_DOMAIN_RULES = frozenset({"REP001", "REP003", "REP005", "REP006"})
+#: Rule code -> one-line summary (shown by ``mm-lint --list-rules``).
+RULES: Dict[str, str] = {code: rule.summary for code, rule in RULE_REGISTRY.items()}
 
-#: Rules restricted to observer-domain files.
-OBS_DOMAIN_RULES = frozenset({"REP007"})
+#: AST-engine rules restricted to simulation-domain files.
+SIM_DOMAIN_RULES = frozenset(
+    rule.code
+    for rule in RULE_REGISTRY.values()
+    if rule.engine == "ast" and rule.scope == "sim"
+)
 
-_DISABLE_RE = re.compile(r"#\s*mm-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+#: AST-engine rules restricted to observer-domain files.
+OBS_DOMAIN_RULES = frozenset(
+    rule.code for rule in RULE_REGISTRY.values() if rule.scope == "obs"
+)
+
+#: Codes implemented by the dataflow engine.
+FLOW_RULE_CODES = frozenset(
+    rule.code for rule in RULE_REGISTRY.values() if rule.engine == "flow"
+)
 
 #: Virtual-time identifiers: exactly now/deadline/at, or a ``*_time`` suffix.
 _TIME_NAME_RE = re.compile(r"^(?:now|deadline|at)$|_time$")
@@ -179,70 +281,10 @@ _MUTABLE_FACTORIES = frozenset(
 )
 
 
-@dataclass(frozen=True)
-class Diagnostic:
-    """One lint finding, pointing at a file position."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def format(self) -> str:
-        """``path:line:col: REPxxx message`` — editor-clickable."""
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
-
-
-def is_sim_domain(path: Union[str, Path]) -> bool:
-    """Whether ``path`` lies in a simulation-domain directory."""
-    return any(part in SIM_DOMAIN_DIRS for part in Path(path).parts[:-1])
-
-
-def is_obs_domain(path: Union[str, Path]) -> bool:
-    """Whether ``path`` lies in an observer-domain directory."""
-    return any(part in OBS_DOMAIN_DIRS for part in Path(path).parts[:-1])
-
-
 def _is_blessed_random_module(path: Union[str, Path]) -> bool:
     """``repro/sim/random.py`` — the one place allowed to build streams."""
     p = Path(path)
     return p.name == "random.py" and p.parent.name == "sim"
-
-
-def _dotted(node: ast.expr) -> Optional[str]:
-    """Dotted-name string of a Name/Attribute chain, else None."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    parts.append(node.id)
-    return ".".join(reversed(parts))
-
-
-def _terminal_name(node: ast.expr) -> Optional[str]:
-    """Last identifier of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Name):
-        return node.id
-    return None
-
-
-def _chain_parts(node: ast.expr) -> List[str]:
-    """All identifiers of a Name/Attribute chain (``a.b.c`` ->
-    ``[a, b, c]``); empty when the chain is rooted elsewhere."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return []
-    parts.append(node.id)
-    parts.reverse()
-    return parts
 
 
 def _is_time_named(node: ast.expr) -> bool:
@@ -312,7 +354,7 @@ def _is_empty_container(node: ast.expr) -> bool:
 
 
 class _Checker(ast.NodeVisitor):
-    """One-pass visitor collecting diagnostics for every enabled rule."""
+    """One-pass visitor collecting diagnostics for every AST-engine rule."""
 
     def __init__(
         self,
@@ -651,26 +693,26 @@ class _Checker(ast.NodeVisitor):
                 )
 
 
-def _disabled_codes(line: str) -> Set[str]:
-    """Rule codes silenced by an inline ``# mm-lint: disable=`` comment."""
-    match = _DISABLE_RE.search(line)
-    if match is None:
-        return set()
-    return {code.strip().upper() for code in match.group(1).split(",") if code.strip()}
-
-
 def lint_source(
     source: str,
     path: Union[str, Path] = "<string>",
     select: Optional[Set[str]] = None,
+    *,
+    respect_suppressions: bool = True,
 ) -> List[Diagnostic]:
     """Lint one module's source text; returns sorted diagnostics.
+
+    Runs both engines: the per-node AST rules and (unless ``select``
+    excludes every flow rule) the interprocedural dataflow rules.
 
     Args:
         source: the module text.
         path: where it (notionally) lives — drives the simulation-domain
             rule scoping and appears in diagnostics.
         select: restrict to these rule codes (default: all rules).
+        respect_suppressions: honour inline ``# mm-lint: disable=`` and
+            ``# mm-lint: transfer`` comments (disabled by the
+            stale-suppression audit, which needs the raw findings).
     """
     path_str = str(path)
     try:
@@ -685,59 +727,130 @@ def lint_source(
                 f"syntax error: {exc.msg}",
             )
         ]
+    sim_domain = is_sim_domain(path)
     checker = _Checker(
         path_str,
-        sim_domain=is_sim_domain(path),
+        sim_domain=sim_domain,
         blessed_random=_is_blessed_random_module(path),
         obs_domain=is_obs_domain(path),
     )
     checker.visit(tree)
     checker.check_module_level(tree)
+    diagnostics = list(checker.diagnostics)
+    if select is None or select & FLOW_RULE_CODES:
+        diagnostics.extend(run_flow_rules(tree, path_str, sim_domain=sim_domain))
     lines = source.splitlines()
     kept: List[Diagnostic] = []
-    for diag in checker.diagnostics:
+    for diag in diagnostics:
         if select is not None and diag.code not in select:
             continue
         line_text = lines[diag.line - 1] if 0 < diag.line <= len(lines) else ""
-        disabled = _disabled_codes(line_text)
-        if "ALL" in disabled or diag.code in disabled:
-            continue
+        if respect_suppressions:
+            disabled = _disabled_codes(line_text)
+            if "ALL" in disabled or diag.code in disabled:
+                continue
+            if diag.code == "REP009" and has_transfer_annotation(line_text):
+                continue
         kept.append(diag)
     kept.sort(key=lambda d: (d.line, d.col, d.code))
     return kept
 
 
 def lint_file(
-    path: Union[str, Path], select: Optional[Set[str]] = None
+    path: Union[str, Path],
+    select: Optional[Set[str]] = None,
+    cache: Optional["LintCacheProtocol"] = None,
 ) -> List[Diagnostic]:
-    """Lint one file on disk."""
-    text = Path(path).read_text(encoding="utf-8")
-    return lint_source(text, path, select)
+    """Lint one file on disk (optionally through the incremental cache)."""
+    raw = Path(path).read_bytes()
+    if cache is not None:
+        key = cache.key(raw, sorted(select) if select else None)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    diagnostics = lint_source(raw.decode("utf-8"), path, select)
+    if cache is not None:
+        cache.put(key, diagnostics)
+    return diagnostics
 
 
-def _iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            for candidate in sorted(path.rglob("*.py")):
-                if any(
-                    part.startswith(".") or part == "__pycache__"
-                    for part in candidate.parts
-                ):
-                    continue
-                yield candidate
-        else:
-            yield path
+class LintCacheProtocol(Protocol):
+    """Structural interface ``lint_file`` expects of a cache (see
+    :class:`repro.analysis.cache.LintCache`)."""
+
+    def key(self, source: bytes, select: Optional[Sequence[str]]) -> str:
+        ...
+
+    def get(self, key: str) -> Optional[List[Diagnostic]]:
+        ...
+
+    def put(self, key: str, diagnostics: Sequence[Diagnostic]) -> None:
+        ...
 
 
 def lint_paths(
-    paths: Sequence[Union[str, Path]], select: Optional[Set[str]] = None
+    paths: Sequence[Union[str, Path]],
+    select: Optional[Set[str]] = None,
+    cache: Optional[LintCacheProtocol] = None,
 ) -> List[Diagnostic]:
     """Lint files and directory trees; returns all diagnostics."""
     diagnostics: List[Diagnostic] = []
     for path in _iter_python_files(paths):
-        diagnostics.extend(lint_file(path, select))
+        diagnostics.extend(lint_file(path, select, cache))
     return diagnostics
+
+
+def check_suppressions(
+    paths: Sequence[Union[str, Path]],
+) -> List[Diagnostic]:
+    """Find stale ``# mm-lint: disable=`` comments (``--check-suppressions``).
+
+    A suppression is *stale* when the code it names (or, for
+    ``disable=all``, any rule) no longer produces a diagnostic on that
+    line — the hazard it documented is gone, so the comment is now a
+    misleading audit trail. Suppressions inside string literals are
+    ignored (they are documentation, not comments).
+    """
+    stale: List[Diagnostic] = []
+    for file_path in _iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        comments = suppression_comments(source)
+        if not comments:
+            continue
+        raw = lint_source(source, file_path, respect_suppressions=False)
+        by_line: Dict[int, Set[str]] = {}
+        for diag in raw:
+            by_line.setdefault(diag.line, set()).add(diag.code)
+        for line, codes in sorted(comments.items()):
+            present = by_line.get(line, set())
+            if "ALL" in codes:
+                if not present:
+                    stale.append(
+                        Diagnostic(
+                            str(file_path),
+                            line,
+                            0,
+                            "SUP001",
+                            "stale suppression: 'disable=all' but no rule "
+                            "fires on this line — remove the comment",
+                        )
+                    )
+                continue
+            for code in sorted(codes - present):
+                stale.append(
+                    Diagnostic(
+                        str(file_path),
+                        line,
+                        0,
+                        "SUP001",
+                        f"stale suppression: 'disable={code}' but {code} "
+                        "no longer fires on this line — remove the comment",
+                    )
+                )
+    return stale
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -745,7 +858,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="mm-lint",
         description="Determinism lint for the Mahimahi reproduction "
-        "(rules REP001-REP007; see repro.analysis.lint).",
+        "(rules REP001-REP012; see repro.analysis.lint).",
     )
     parser.add_argument(
         "paths",
@@ -761,26 +874,112 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
+    parser.add_argument(
+        "--output",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text; json/sarif for CI annotation)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="subtract findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline FILE and exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="content-hash incremental cache directory",
+    )
+    parser.add_argument(
+        "--check-suppressions",
+        action="store_true",
+        help="audit inline disable= comments; stale ones fail the run",
+    )
     options = parser.parse_args(argv)
     if options.list_rules:
         for code, summary in RULES.items():
             print(f"{code}  {summary}")
         return 0
+
+    if options.check_suppressions:
+        stale = check_suppressions(options.paths)
+        for diag in stale:
+            print(diag.format())
+        if stale:
+            print(
+                f"mm-lint: {len(stale)} stale suppression(s)", file=sys.stderr
+            )
+            return 1
+        return 0
+
     select: Optional[Set[str]] = None
     if options.select:
         select = {code.strip().upper() for code in options.select.split(",")}
         unknown = select - set(RULES)
         if unknown:
             parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
-    diagnostics = lint_paths(options.paths, select)
-    for diag in diagnostics:
-        print(diag.format())
-    if diagnostics:
+
+    cache: Optional[LintCacheProtocol] = None
+    if options.cache:
+        from repro.analysis.cache import LintCache
+
+        cache = LintCache(options.cache)
+
+    diagnostics = lint_paths(options.paths, select, cache)
+
+    if options.write_baseline:
+        if not options.baseline:
+            parser.error("--write-baseline requires --baseline FILE")
+        from repro.analysis.baseline import write_baseline
+
+        count = write_baseline(options.baseline, diagnostics)
         print(
-            f"mm-lint: {len(diagnostics)} determinism violation(s)",
+            f"mm-lint: wrote {count} finding(s) to baseline "
+            f"{options.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baselined = 0
+    if options.baseline:
+        from repro.analysis.baseline import BaselineError, load_baseline, partition
+
+        try:
+            entries = load_baseline(options.baseline)
+        except FileNotFoundError:
+            parser.error(f"baseline file not found: {options.baseline}")
+        except BaselineError as exc:
+            parser.error(str(exc))
+        diagnostics, baselined = partition(diagnostics, entries)
+
+    if options.output == "json":
+        from repro.analysis.output import to_json
+
+        sys.stdout.write(to_json(diagnostics))
+    elif options.output == "sarif":
+        from repro.analysis.output import to_sarif
+
+        sys.stdout.write(to_sarif(diagnostics, RULES))
+    else:
+        for diag in diagnostics:
+            print(diag.format())
+    if diagnostics:
+        suffix = f" ({baselined} baselined)" if baselined else ""
+        print(
+            f"mm-lint: {len(diagnostics)} determinism violation(s){suffix}",
             file=sys.stderr,
         )
         return 1
+    if baselined:
+        print(
+            f"mm-lint: clean ({baselined} baselined finding(s) remain)",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -1,0 +1,136 @@
+"""Machine-readable output for ``mm-lint`` (``--output json|sarif``).
+
+The JSON form is the stable, minimal interchange format (consumed by the
+incremental cache and by scripts); the SARIF 2.1.0 form is what CI
+uploads so code-scanning UIs can annotate PRs with findings. Both are
+rendered with sorted keys and a trailing newline so identical findings
+produce byte-identical artifacts — the same rule the obs layer follows.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePath
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.analysis.base import Diagnostic
+
+__all__ = ["diagnostics_from_json", "to_json", "to_sarif"]
+
+#: Schema identifier stamped into the JSON output.
+JSON_SCHEMA_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _uri(path: str) -> str:
+    """Forward-slash relative URI for SARIF artifact locations."""
+    pure = PurePath(path)
+    return pure.as_posix()
+
+
+def to_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """Render diagnostics as the versioned mm-lint JSON document."""
+    counts: Dict[str, int] = {}
+    for diag in diagnostics:
+        counts[diag.code] = counts.get(diag.code, 0) + 1
+    document = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "tool": "mm-lint",
+        "counts": counts,
+        "diagnostics": [
+            {
+                "path": diag.path,
+                "line": diag.line,
+                "col": diag.col,
+                "code": diag.code,
+                "message": diag.message,
+            }
+            for diag in diagnostics
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def diagnostics_from_json(payload: Any) -> List[Diagnostic]:
+    """Rebuild diagnostics from the ``diagnostics`` list of a JSON doc
+    (also the on-disk format of the incremental cache)."""
+    out: List[Diagnostic] = []
+    for entry in payload:
+        out.append(
+            Diagnostic(
+                path=str(entry["path"]),
+                line=int(entry["line"]),
+                col=int(entry["col"]),
+                code=str(entry["code"]),
+                message=str(entry["message"]),
+            )
+        )
+    return out
+
+
+def to_sarif(
+    diagnostics: Sequence[Diagnostic], rules: Mapping[str, str]
+) -> str:
+    """Render diagnostics as a SARIF 2.1.0 log (single run).
+
+    Args:
+        diagnostics: the findings to report.
+        rules: rule code -> one-line summary; every code referenced by a
+            diagnostic gets a ``reportingDescriptor`` so viewers can show
+            the rule text next to each result.
+    """
+    used_codes = sorted({diag.code for diag in diagnostics} | set(rules))
+    descriptors = [
+        {
+            "id": code,
+            "shortDescription": {
+                "text": rules.get(code, "mm-lint diagnostic"),
+            },
+        }
+        for code in used_codes
+    ]
+    results = [
+        {
+            "ruleId": diag.code,
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _uri(diag.path)},
+                        "region": {
+                            "startLine": diag.line,
+                            # SARIF columns are 1-based; Diagnostic.col
+                            # is the 0-based AST offset.
+                            "startColumn": diag.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for diag in diagnostics
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "mm-lint",
+                        "informationUri": (
+                            "https://example.invalid/mahimahi-repro/mm-lint"
+                        ),
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -120,9 +120,20 @@ class PacketPool:
       (queues, loss pipes, TTL, downed interfaces) and chasing them all
       risks recycling a packet something still holds; the garbage collector
       handles the rare drop just fine.
+
+    Under ``__debug__`` the pool also tracks which TCP packet uids are
+    currently in flight (:meth:`mark_in_flight` on send,
+    :meth:`mark_arrived` at the terminal demux), and :meth:`recycle`
+    asserts the packet being handed back is not one of them — the runtime
+    counterpart of mm-lint's REP008 use-after-recycle rule. Both markers
+    return ``True`` so call sites can wrap them in ``assert`` and the
+    bookkeeping vanishes entirely under ``python -O``. Dropped packets
+    are never unmarked (drops are not recycled, so the stale uid can
+    never trip the assert); the set grows with lifetime drops, which is
+    acceptable for a debug aid.
     """
 
-    __slots__ = ("packets", "segments")
+    __slots__ = ("packets", "segments", "_in_flight")
 
     def __init__(self) -> None:
         #: Free :class:`Packet` records, ready to re-stamp.
@@ -130,6 +141,8 @@ class PacketPool:
         #: Free ``TcpSegment`` records (typed loosely: the segment class
         #: lives in :mod:`repro.transport.tcp`, which imports this module).
         self.segments: list = []
+        #: Debug-only: uids of TCP packets between send and terminal demux.
+        self._in_flight: set = set()
 
     def acquire_tcp(
         self,
@@ -162,10 +175,25 @@ class PacketPool:
             return packet
         return Packet(src, dst, sport, dport, "tcp", payload, size)
 
+    def mark_in_flight(self, packet: Packet) -> bool:
+        """Debug marker: this packet has been handed to the network."""
+        self._in_flight.add(packet.uid)
+        return True
+
+    def mark_arrived(self, packet: Packet) -> bool:
+        """Debug marker: this packet reached its terminal consumer."""
+        self._in_flight.discard(packet.uid)
+        return True
+
     def recycle(self, packet: Packet) -> None:
         """Hand a terminally-consumed packet back to the pool (idempotent)."""
         if packet._in_pool:
             return
+        assert packet.uid not in self._in_flight, (
+            f"recycling in-flight packet #{packet.uid}: it has not reached "
+            "its terminal consumer, so something still holds it and the "
+            "next acquire would re-stamp it underneath them"
+        )
         packet._in_pool = True
         packet.payload = None
         self.packets.append(packet)

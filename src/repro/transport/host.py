@@ -233,6 +233,9 @@ class TransportHost:
 
     def send_packet(self, packet: Packet) -> None:
         """Hand an outbound packet to the namespace's routing."""
+        # Debug-only in-flight tracking: PacketPool.recycle asserts a
+        # packet between here and the terminal demux is never recycled.
+        assert packet.protocol != "tcp" or self._pool.mark_in_flight(packet)
         self.namespace.originate(packet)
 
     def receive(self, packet: Packet) -> None:
@@ -244,6 +247,7 @@ class TransportHost:
         # Other protocols are silently dropped, like an unhandled proto.
 
     def _receive_tcp(self, packet: Packet) -> None:
+        assert self._pool.mark_arrived(packet)
         conn = self._connections.get(
             (packet.dst._value, packet.dport, packet.src._value, packet.sport)
         )

@@ -411,6 +411,11 @@ class TestLintInfrastructure:
             "REP005",
             "REP006",
             "REP007",
+            "REP008",
+            "REP009",
+            "REP010",
+            "REP011",
+            "REP012",
         ]
 
     def test_lint_paths_walks_directories(self, tmp_path):
@@ -581,3 +586,61 @@ class TestChaosDomainCoverage:
     def test_shipped_chaos_package_is_clean(self):
         diags = lint_paths(["src/repro/chaos"])
         assert diags == []
+
+
+class TestDomainClassificationEdgeCases:
+    """Classification is lexical over path components — these pin the
+    corner cases: nesting, symlinks, and sim/obs overlap."""
+
+    def test_nested_sim_dir_classifies_everything_below_it(self):
+        # Any component matching a sim-domain dir suffices, however deep,
+        # and regardless of what sits above it.
+        assert is_sim_domain("tools/extra/sim/helpers/deep/mod.py")
+        src = """
+            import time
+
+            def f():
+                return time.time()
+        """
+        assert codes(src, path="tools/extra/sim/helpers/deep/mod.py") == [
+            "REP001"
+        ]
+
+    def test_filename_alone_never_classifies(self):
+        # Only *directory* components count: a file named sim.py outside
+        # a sim dir is not simulation-domain.
+        assert not is_sim_domain("src/repro/measure/sim.py")
+        assert codes("import time\nt = time.time()\n",
+                     path="src/repro/measure/sim.py") == []
+
+    def test_symlinked_path_is_classified_lexically(self, tmp_path):
+        # The lint never resolves links: a file reached through a
+        # sim-named symlink is sim-domain even though its real location
+        # is not, and vice versa.
+        real = tmp_path / "scratch"
+        real.mkdir()
+        (real / "mod.py").write_text(
+            "import time\n\ndef f():\n    return time.time()\n"
+        )
+        link = tmp_path / "sim"
+        link.symlink_to(real, target_is_directory=True)
+        through_link = lint_paths([link])
+        assert [d.code for d in through_link] == ["REP001"]
+        direct = lint_paths([real])
+        assert direct == []
+
+    def test_sim_and_obs_overlap_applies_both_rule_sets(self):
+        # A path under both a sim dir and an obs dir gets the sim-domain
+        # rules AND the observer-effect rule.
+        path = "src/repro/sim/obs/probe.py"
+        assert is_sim_domain(path)
+        src = """
+            import time
+
+            def probe(sim):
+                sim.schedule(0.1, None)
+                return time.time()
+        """
+        found = codes(src, path=path)
+        assert "REP001" in found, "sim-domain rules must apply"
+        assert "REP007" in found, "observer-domain rules must apply"

@@ -10,6 +10,8 @@ no stale payload, no stale SACK blocks.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.net.address import IPv4Address
 from repro.net.packet import Packet, PacketPool
 from repro.testing import delayed_world
@@ -66,6 +68,64 @@ class TestPacketPool:
         )
         assert isinstance(packet, Packet)
         assert packet._in_pool is False
+
+
+class TestInFlightTracking:
+    """Debug-mode guard: an in-flight packet can never be recycled
+    (the runtime counterpart of mm-lint's REP008)."""
+
+    def test_recycling_in_flight_packet_asserts(self):
+        pool = PacketPool()
+        packet = _mk_packet()
+        assert pool.mark_in_flight(packet) is True
+        with pytest.raises(AssertionError, match="in-flight"):
+            pool.recycle(packet)
+        assert pool.packets == [], "a refused recycle must not pool the packet"
+
+    def test_arrival_clears_the_guard(self):
+        pool = PacketPool()
+        packet = _mk_packet()
+        pool.mark_in_flight(packet)
+        assert pool.mark_arrived(packet) is True
+        pool.recycle(packet)
+        assert pool.packets == [packet]
+
+    def test_markers_are_assert_safe_and_idempotent(self):
+        # Both markers return True so call sites can wrap them in a bare
+        # assert (vanishing under -O), and re-marking never throws.
+        pool = PacketPool()
+        packet = _mk_packet()
+        assert pool.mark_arrived(packet) is True  # never marked: a no-op
+        assert pool.mark_in_flight(packet) is True
+        assert pool.mark_in_flight(packet) is True
+
+    def test_transfer_leaves_no_pooled_packet_in_flight(self):
+        world = delayed_world(0.010)
+        done = []
+
+        def on_conn(conn):
+            conn.on_data = lambda p: conn.send_virtual(100_000)
+
+        world.server.listen(None, 80, on_conn)
+        conn = world.client.connect(world.server_endpoint)
+        total = [0]
+        conn.on_established = lambda: conn.send(b"GET")
+
+        def on_data(pieces):
+            total[0] += pieces_len(pieces)
+            if total[0] >= 100_000:
+                done.append(True)
+
+        conn.on_data = on_data
+        world.sim.run_until(lambda: bool(done), timeout=60)
+        assert total[0] >= 100_000
+
+        pool = world.sim.packet_pool
+        assert pool.packets, "steady-state transfer must recycle packets"
+        pooled_uids = {packet.uid for packet in pool.packets}
+        assert not (pooled_uids & pool._in_flight), \
+            "a pooled packet still marked in flight means the terminal " \
+            "demux failed to mark_arrived before the hand-back"
 
 
 class TestPoolUnderTransfer:
