@@ -168,10 +168,38 @@ def wl_page_load() -> Tuple[float, str]:
     return 1.0, "loads"
 
 
+_LOAD_POPULATION = None
+
+
+def _load_population():
+    global _LOAD_POPULATION
+    if _LOAD_POPULATION is None:
+        from repro.load import default_population
+
+        _LOAD_POPULATION = default_population(seed=0, n_sites=3, scale=0.2)
+    return _LOAD_POPULATION
+
+
+def wl_load_clients() -> Tuple[float, str]:
+    from repro.load import LoadScenario, run_load
+    from repro.load.arrivals import Poisson
+
+    clients = max(20, int(200 * bench_scale()))
+    scenario = LoadScenario(
+        population=_load_population(),
+        arrivals=Poisson(clients / 10.0),
+        clients=clients,
+    )
+    result = run_load(scenario, seed=0)
+    assert result.completed == clients
+    return float(clients), "clients"
+
+
 WORKLOADS: List[Tuple[str, Callable[[], Tuple[float, str]]]] = [
     ("event_loop", wl_event_loop),
     ("tcp_bulk", wl_tcp_bulk),
     ("page_load", wl_page_load),
+    ("load_clients_per_s", wl_load_clients),
 ]
 
 # ---------------------------------------------------------------------- #

@@ -41,7 +41,7 @@ __all__ = [
 #: "simulation-domain" when any of its path components is one of these.
 SIM_DOMAIN_DIRS = frozenset(
     {"sim", "linkem", "transport", "core", "browser", "web", "dns", "http",
-     "chaos"}
+     "chaos", "load"}
 )
 
 #: Directories whose code *observes* the simulated world. A file is

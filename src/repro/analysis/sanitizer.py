@@ -22,11 +22,14 @@ import argparse
 import hashlib
 import sys
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.errors import DeterminismError
 from repro.sim.events import EventCallback
 from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:
+    from repro.load.runner import LoadSession
 
 __all__ = [
     "DeterminismReport",
@@ -380,9 +383,57 @@ def _chaos_scenario(seed: int, instrument: bool = False) -> Simulator:
     return sim
 
 
+def _load_world(seed: int, instrument: bool) -> LoadSession:
+    """The load sanitizer's world: a reduced heavy-traffic level.
+
+    60 open-loop clients (browser/api/fetch mix) Poisson-arriving at
+    8/s against a 3-site corpus behind one ReplayShell — every load-path
+    stream (arrivals, population, and the world under them) feeds the
+    digest.
+    """
+    from repro.load import LoadScenario, Poisson, default_population
+    from repro.load.runner import LoadSession
+
+    population = default_population(seed=1, n_sites=3, scale=0.2)
+    scenario = LoadScenario(population, Poisson(8.0), clients=60)
+    return LoadSession(scenario, seed, instrument=instrument)
+
+
+def _load_scenario(seed: int, instrument: bool = False) -> Simulator:
+    """Digest-check builder for the heavy-traffic load scenario."""
+    return _load_world(seed, instrument).sim
+
+
+def _load_artifact_bytes(seed: int) -> bytes:
+    """One reduced capacity sweep, serialised to artifact bytes.
+
+    The artifact half of the load determinism contract: two sweeps of
+    the same seed must serialise to *identical bytes* — quantiles, knee,
+    occupancy series and all — not merely identical event streams.
+    """
+    from repro.load import (
+        capacity_artifact_bytes,
+        default_population,
+        run_capacity_curve,
+    )
+
+    population = default_population(seed=1, n_sites=3, scale=0.2)
+    curve = run_capacity_curve(
+        population, [10, 20, 40], window=5.0, seed=seed,
+        capture_digest=True,
+    )
+    return capacity_artifact_bytes(curve, meta={"seed": seed})
+
+
 _SCENARIOS = {
     "smoke": _smoke_scenario,
     "chaos": _chaos_scenario,
+    "load": _load_scenario,
+}
+
+#: Scenarios that can also prove *artifact* byte-identity across runs.
+_ARTIFACT_SCENARIOS = {
+    "load": _load_artifact_bytes,
 }
 
 
@@ -402,7 +453,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="smoke",
         help="smoke: plain replay stack; chaos: the same stack under a "
         "nontrivial fault plan (outage + Gilbert-Elliott loss + server "
-        "stall + DNS SERVFAIL)",
+        "stall + DNS SERVFAIL); load: an open-loop heavy-traffic level "
+        "(60 mixed clients, Poisson arrivals) through repro.load",
     )
     parser.add_argument(
         "--max-events",
@@ -416,6 +468,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also verify zero observer effect: the event-stream digest "
         "with a metrics registry attached must be bit-identical to "
         "the uninstrumented run's",
+    )
+    parser.add_argument(
+        "--artifact-check",
+        action="store_true",
+        help="also serialise the scenario's measurement artifact twice "
+        "and require byte-identical output (supported by: "
+        + ", ".join(sorted(_ARTIFACT_SCENARIOS)) + ")",
     )
     options = parser.parse_args(argv)
     scenario = _SCENARIOS[options.scenario]
@@ -443,6 +502,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"zero observer effect: instrumented digest matches "
             f"({obs_report.events} events, digest {obs_report.digest})"
+        )
+    if options.artifact_check:
+        artifact_fn = _ARTIFACT_SCENARIOS.get(options.scenario)
+        if artifact_fn is None:
+            print(
+                f"error: --artifact-check is not supported for scenario "
+                f"{options.scenario!r} (supported: "
+                f"{', '.join(sorted(_ARTIFACT_SCENARIOS))})",
+                file=sys.stderr,
+            )
+            return 2
+        first = artifact_fn(options.seed)
+        for run in range(1, max(2, options.runs)):
+            candidate = artifact_fn(options.seed)
+            if candidate != first:
+                offset = next(
+                    (i for i, (a, b) in enumerate(zip(first, candidate))
+                     if a != b),
+                    min(len(first), len(candidate)),
+                )
+                print(
+                    f"DETERMINISM VIOLATION\nseed {options.seed}: artifact "
+                    f"run {run} diverged from run 0 at byte {offset} "
+                    f"({len(candidate)} vs {len(first)} bytes)",
+                    file=sys.stderr,
+                )
+                return 1
+        print(
+            f"artifact-deterministic: {max(2, options.runs)} serialisations "
+            f"of seed {options.seed} are byte-identical "
+            f"({len(first)} bytes)"
         )
     return 0
 

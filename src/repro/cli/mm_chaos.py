@@ -12,6 +12,7 @@ shell::
 
 from __future__ import annotations
 
+import sys
 from typing import List
 
 from repro.cli.common import CliError, ShellSpec, continue_command_line, main_wrapper
@@ -66,3 +67,6 @@ def run(argv: List[str], specs: List[ShellSpec]) -> int:
 
 
 main = main_wrapper(run)
+
+if __name__ == "__main__":
+    sys.exit(main())

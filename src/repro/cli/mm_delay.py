@@ -7,6 +7,7 @@ Example::
 
 from __future__ import annotations
 
+import sys
 from typing import List
 
 from repro.cli.common import CliError, ShellSpec, continue_command_line, main_wrapper
@@ -28,3 +29,6 @@ def run(argv: List[str], specs: List[ShellSpec]) -> int:
 
 
 main = main_wrapper(run)
+
+if __name__ == "__main__":
+    sys.exit(main())

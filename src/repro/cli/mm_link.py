@@ -13,6 +13,7 @@ Example::
 
 from __future__ import annotations
 
+import sys
 from typing import List
 
 from repro.cli.common import (
@@ -57,3 +58,6 @@ def _packets(value: str):
 
 
 main = main_wrapper(run)
+
+if __name__ == "__main__":
+    sys.exit(main())

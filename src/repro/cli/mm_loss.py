@@ -15,6 +15,7 @@ same parameters would.
 
 from __future__ import annotations
 
+import sys
 from typing import List
 
 from repro.cli.common import CliError, ShellSpec, continue_command_line, main_wrapper
@@ -74,3 +75,6 @@ def run(argv: List[str], specs: List[ShellSpec]) -> int:
 
 
 main = main_wrapper(run)
+
+if __name__ == "__main__":
+    sys.exit(main())

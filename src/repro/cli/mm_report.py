@@ -9,6 +9,7 @@ Subcommands::
 
     mm-report render <artifact.jsonl> [--series SUBSTR]... [--width N]
     mm-report summary <artifact.jsonl>            # JSON to stdout
+    mm-report load <capacity.jsonl> [--no-series]  # capacity-curve view
     mm-report record-smoke --out <artifact.jsonl> [--seed N]
 """
 
@@ -95,6 +96,20 @@ def _cmd_summary(options: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_load(options: argparse.Namespace) -> int:
+    from repro.load.artifact import load_curve_view
+    from repro.load.report import render_load_artifact
+
+    view = load_curve_view(options.artifact)
+    print(render_load_artifact(
+        view,
+        width=options.width,
+        height=options.height,
+        series=not options.no_series,
+    ), end="")
+    return 0
+
+
 def _cmd_record_smoke(options: argparse.Namespace) -> int:
     from repro.analysis.sanitizer import _smoke_scenario
     from repro.obs import write_artifact
@@ -146,6 +161,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     summary.add_argument("artifact", help="JSONL artifact path")
     summary.set_defaults(run=_cmd_summary)
+
+    load = commands.add_parser(
+        "load",
+        help="capacity-curve view of an mm-load artifact "
+        "(level table, knee, occupancy/backlog)",
+    )
+    load.add_argument("artifact", help="capacity-curve JSONL artifact path")
+    load.add_argument("--width", type=int, default=64)
+    load.add_argument("--height", type=int, default=12)
+    load.add_argument(
+        "--no-series", action="store_true",
+        help="omit the occupancy/backlog time-series plots",
+    )
+    load.set_defaults(run=_cmd_load)
 
     smoke = commands.add_parser(
         "record-smoke",

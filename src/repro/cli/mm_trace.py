@@ -10,6 +10,7 @@ Subcommands::
 from __future__ import annotations
 
 import random
+import sys
 from typing import List
 
 from repro.cli.common import CliError, ShellSpec, main_wrapper
@@ -89,3 +90,6 @@ def _info(rest: List[str]) -> int:
 
 
 main = main_wrapper(run)
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,3 +82,6 @@ def run(argv: List[str], specs: List[ShellSpec]) -> int:
 
 
 main = main_wrapper(run)
+
+if __name__ == "__main__":
+    sys.exit(main())

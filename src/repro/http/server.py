@@ -74,7 +74,10 @@ class WorkerPool:
     With an observability registry attached to ``sim`` and an
     ``obs_path``, the pool records ``<path>.occupancy`` and
     ``<path>.backlog`` step series at every submit/finish — the
-    server-contention signal behind the paper's Table 2 ablation.
+    server-contention signal behind the paper's Table 2 ablation — plus a
+    ``<path>.latency`` histogram of per-request sojourn times (queue wait
+    + processing), the server-side tail-latency signal the load runner
+    folds into its capacity curves.
     """
 
     def __init__(
@@ -94,9 +97,11 @@ class WorkerPool:
         if registry is not None and obs_path is not None:
             self._obs_occupancy = registry.timeseries(f"{obs_path}.occupancy")
             self._obs_backlog = registry.timeseries(f"{obs_path}.backlog")
+            self._obs_latency = registry.histogram(f"{obs_path}.latency")
         else:
             self._obs_occupancy = None
             self._obs_backlog = None
+            self._obs_latency = None
 
     def _obs_record(self) -> None:
         if self._obs_occupancy is not None:
@@ -109,30 +114,34 @@ class WorkerPool:
         worker limit (excess jobs queue FIFO)."""
         if (self.max_workers is not None
                 and self._active_workers >= self.max_workers):
-            self._backlog.append((work, delay))
+            self._backlog.append((work, delay, self.sim.now))
             if len(self._backlog) > self.peak_backlog:
                 self.peak_backlog = len(self._backlog)
             self._obs_record()
             return
-        self._start_worker(work, delay)
+        self._start_worker(work, delay, self.sim.now)
 
-    def _start_worker(self, work: Callable[[], None], delay: float) -> None:
+    def _start_worker(
+        self, work: Callable[[], None], delay: float, submitted: float
+    ) -> None:
         self._active_workers += 1
         self._obs_record()
         if delay > 0.0:
-            self.sim.schedule(delay, self._finish_worker, work)
+            self.sim.schedule(delay, self._finish_worker, work, submitted)
         else:
-            self._finish_worker(work)
+            self._finish_worker(work, submitted)
 
-    def _finish_worker(self, work: Callable[[], None]) -> None:
+    def _finish_worker(self, work: Callable[[], None], submitted: float) -> None:
+        if self._obs_latency is not None:
+            self._obs_latency.observe(self.sim.now - submitted)
         try:
             work()
         finally:
             self._active_workers -= 1
             self._obs_record()
             if self._backlog:
-                next_work, next_delay = self._backlog.popleft()
-                self._start_worker(next_work, next_delay)
+                next_work, next_delay, next_submitted = self._backlog.popleft()
+                self._start_worker(next_work, next_delay, next_submitted)
 
 
 class HttpServer:

@@ -1,0 +1,62 @@
+"""Open-loop heavy-traffic workload generation (``mm-load``).
+
+Everything else in the toolkit measures one browser per simulated world;
+this package measures a *service under load*: hundreds to thousands of
+concurrent clients — full page loads, app-launch sequences, single-object
+fetches — arriving open-loop against one shared ReplayShell + LinkShell
+stack, with capacity curves (offered load vs p99 latency, knee detection)
+as the headline output.
+
+The reproducibility contract is total: arrival times
+(:mod:`~repro.load.arrivals`) and the client mix
+(:mod:`~repro.load.population`) are materialised from dedicated seeded
+streams before the world runs, per-client outcomes are collected in
+client-index order after it drains, and two runs of the same
+``(scenario, seed)`` produce bit-identical event-stream digests *and*
+byte-identical JSONL artifacts (``sanitizer --scenario load`` enforces
+both in CI).
+"""
+
+from repro.load.arrivals import (
+    ArrivalProcess,
+    Diurnal,
+    FixedRate,
+    Poisson,
+    make_process,
+)
+from repro.load.artifact import (
+    capacity_artifact_bytes,
+    load_curve_view,
+    write_capacity_artifact,
+)
+from repro.load.capacity import CapacityCurve, detect_knee, run_capacity_curve
+from repro.load.population import ClientPlan, Population, default_population
+from repro.load.runner import (
+    ClientRecord,
+    LoadResult,
+    LoadScenario,
+    LoadSession,
+    run_load,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "CapacityCurve",
+    "ClientPlan",
+    "ClientRecord",
+    "Diurnal",
+    "FixedRate",
+    "LoadResult",
+    "LoadScenario",
+    "LoadSession",
+    "Poisson",
+    "Population",
+    "capacity_artifact_bytes",
+    "default_population",
+    "detect_knee",
+    "load_curve_view",
+    "make_process",
+    "run_capacity_curve",
+    "run_load",
+    "write_capacity_artifact",
+]

@@ -1,0 +1,165 @@
+"""Capacity-curve JSONL artifacts (the ``mm-load`` / ``mm-report`` contract).
+
+One artifact is one swept capacity curve, in the standard
+:mod:`repro.obs.artifact` JSONL format:
+
+* the ``meta`` line carries the curve: ``experiment: "load"``, the top
+  level's scenario parameters, one summary dict per level (client count,
+  offered rate, PLT and server-latency quantiles, failure counts), and
+  the detected knee;
+* ``series`` lines carry the *top* level's farm-wide worker occupancy
+  and backlog step series (``load.occupancy`` / ``load.backlog``) — the
+  time-domain view of why the knee is where it is.
+
+Artifacts are byte-deterministic: :func:`repro.obs.artifact.write_artifact`
+emits sorted keys, compact separators, and no wall-clock fields, so two
+runs of the same seed write identical files — the property
+``sanitizer --scenario load`` enforces in CI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.load.capacity import CapacityCurve
+from repro.obs.artifact import (
+    Artifact,
+    artifact_bytes,
+    read_artifact,
+    write_artifact,
+)
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "capacity_artifact_bytes",
+    "load_curve_view",
+    "write_capacity_artifact",
+]
+
+#: Bump on incompatible changes to the meta line's load-specific shape.
+LOAD_SCHEMA = 1
+
+
+def _curve_registry(curve: CapacityCurve) -> MetricsRegistry:
+    """A registry holding the top level's farm-wide series for export."""
+    registry = MetricsRegistry()
+    top = curve.results[-1]
+    for name, points in (
+        ("load.occupancy", top.occupancy),
+        ("load.backlog", top.backlog),
+    ):
+        series = registry.timeseries(name)
+        for time, value in points:
+            series.record(time, value)
+    return registry
+
+
+def _curve_meta(
+    curve: CapacityCurve, extra: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    meta: Dict[str, object] = {
+        "experiment": "load",
+        "load_schema": LOAD_SCHEMA,
+        "scenario": curve.results[-1].scenario,
+    }
+    meta.update(curve.to_dict())
+    if extra:
+        meta.update(extra)
+    return meta
+
+
+def write_capacity_artifact(
+    path: Union[str, Path],
+    curve: CapacityCurve,
+    meta: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write one capacity curve as a JSONL artifact.
+
+    Args:
+        path: output file (parents created; write is atomic).
+        curve: the swept curve.
+        meta: extra meta-line fields (seed, bench name, ...).
+    """
+    return write_artifact(
+        path, _curve_registry(curve), meta=_curve_meta(curve, meta))
+
+
+def capacity_artifact_bytes(
+    curve: CapacityCurve, meta: Optional[Dict[str, object]] = None
+) -> bytes:
+    """The exact bytes :func:`write_capacity_artifact` would write.
+
+    Goes through :func:`repro.obs.artifact.artifact_bytes` — the same
+    serialiser the on-disk path uses — so the sanitizer's byte-identity
+    check can compare runs without touching the filesystem and cannot
+    drift from the file format.
+    """
+    return artifact_bytes(_curve_registry(curve), meta=_curve_meta(curve, meta))
+
+
+class LoadCurveView:
+    """A read-side view of one capacity-curve artifact.
+
+    Attributes:
+        levels: per-level summary dicts, in sweep order.
+        knee: the knee dict (None when no knee was detected).
+        scenario: the top level's scenario parameters.
+        occupancy / backlog: the top level's farm-wide step series.
+    """
+
+    def __init__(self, artifact: Artifact) -> None:
+        meta = artifact.meta
+        if meta.get("experiment") != "load":
+            raise ReproError(
+                f"not a load artifact: experiment="
+                f"{meta.get('experiment')!r} (expected 'load')"
+            )
+        schema = meta.get("load_schema")
+        if schema != LOAD_SCHEMA:
+            raise ReproError(
+                f"unsupported load artifact schema {schema!r} "
+                f"(expected {LOAD_SCHEMA})"
+            )
+        levels = meta.get("levels")
+        if not isinstance(levels, list) or not levels:
+            raise ReproError("load artifact has no levels")
+        self.meta = meta
+        self.levels: List[dict] = levels
+        self.knee: Optional[dict] = meta.get("knee")
+        self.scenario: dict = meta.get("scenario") or {}
+        self.occupancy = self._series(artifact, "load.occupancy")
+        self.backlog = self._series(artifact, "load.backlog")
+
+    @staticmethod
+    def _series(artifact: Artifact, name: str) -> List[Tuple[float, float]]:
+        points = artifact.series.get(name) or []
+        return [(float(t), float(v)) for t, v in points]
+
+    def points(self) -> List[Tuple[float, float]]:
+        """(offered load, p99 completion time) per level."""
+        out = []
+        for level in self.levels:
+            plt = level.get("plt") or {}
+            p99 = plt.get("p99")
+            if p99 is None:
+                p99 = float(
+                    (self.scenario or {}).get("timeout") or 0.0)
+            out.append((float(level.get("offered_rate", 0.0)), float(p99)))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<LoadCurveView levels={len(self.levels)} "
+            f"knee={'yes' if self.knee else 'no'}>"
+        )
+
+
+def load_curve_view(path: Union[str, Path]) -> LoadCurveView:
+    """Read one capacity-curve artifact into a :class:`LoadCurveView`.
+
+    Raises:
+        ReproError: when the file is not a load artifact (or malformed).
+    """
+    return LoadCurveView(read_artifact(path))

@@ -1,0 +1,227 @@
+"""Client population model: who arrives, and what they ask for.
+
+The load runner spawns a *mix* of client kinds against one shared
+replayed world:
+
+* ``browser`` — a full :class:`repro.browser.engine.Browser` page load of
+  one corpus site (heavyweight: DNS, connection pools, dependency
+  discovery, tens of objects);
+* ``api`` — a :class:`repro.apps.apiclient.ApiClient` app-launch sequence
+  (medium: ~2 + 2·N small JSON fetches over bounded connection pools);
+* ``fetch`` — a single-object GET of one site's root HTML (lightweight:
+  one DNS lookup, one connection, one exchange — the CDN-probe /
+  monitoring-agent shape).
+
+Which kind each client is, and which site it targets, are drawn up front
+from the dedicated ``load:population`` stream — so the full client plan,
+like the arrival schedule, is a pure function of the seed and invariant
+to anything that happens inside the simulated world. Site selection is
+weighted (popular sites get proportionally more clients), mirroring the
+Zipf-ish skew of real request logs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.apiclient import ApiWorkload, make_api_site
+from repro.corpus.sitegen import SyntheticSite, generate_site
+from repro.errors import ReproError
+from repro.record.store import RecordedSite
+
+__all__ = [
+    "CLIENT_KINDS",
+    "ClientPlan",
+    "Population",
+    "default_population",
+]
+
+#: The RNG stream name population draws (kind + site choice) come from.
+POPULATION_STREAM = "load:population"
+
+#: Recognised client kinds, in plan/artifact order.
+CLIENT_KINDS = ("browser", "api", "fetch")
+
+
+class ClientPlan(Tuple[int, str, int]):
+    """One planned client: ``(index, kind, site_index)``.
+
+    A plain tuple subclass (not a dataclass) so plans stay hashable,
+    picklable across fork workers, and cheap at the thousands-of-clients
+    scale. ``site_index`` indexes :attr:`Population.sites`; for ``api``
+    clients it is kept (the API backend is shared) but unused.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, index: int, kind: str, site_index: int) -> "ClientPlan":
+        return super().__new__(cls, (index, kind, site_index))
+
+    def __getnewargs__(self) -> Tuple[int, str, int]:
+        # tuple's default pickle passes the whole tuple as one argument;
+        # spread it back into __new__'s signature instead.
+        return tuple(self)
+
+    @property
+    def index(self) -> int:
+        return self[0]
+
+    @property
+    def kind(self) -> str:
+        return self[1]
+
+    @property
+    def site_index(self) -> int:
+        return self[2]
+
+    def __repr__(self) -> str:
+        return f"ClientPlan({self[0]}, {self[1]!r}, site={self[2]})"
+
+
+class Population:
+    """A weighted mix of client kinds over a weighted site corpus.
+
+    Args:
+        sites: the corpus of synthetic sites clients can target (at
+            least one). Every site's recording is merged into one shared
+            store so a single ReplayShell serves the whole population.
+        mix: kind → weight (>= 0, at least one > 0). Unknown kinds
+            raise. Defaults to a mostly-lightweight mix (10% full
+            browsers, 30% api clients, 60% single-object fetches) —
+            heavy enough to exercise every code path, cheap enough to
+            scale to thousands of clients.
+        site_weights: per-site selection weights, parallel to ``sites``.
+            Defaults to a Zipf-like ``1/(rank+1)`` skew.
+        api_workload: shape of the ``api`` clients' launch sequence.
+    """
+
+    def __init__(
+        self,
+        sites: Sequence[SyntheticSite],
+        mix: Optional[Dict[str, float]] = None,
+        site_weights: Optional[Sequence[float]] = None,
+        api_workload: ApiWorkload = ApiWorkload(),
+    ) -> None:
+        if not sites:
+            raise ReproError("population needs at least one site")
+        self.sites: List[SyntheticSite] = list(sites)
+        if mix is None:
+            mix = {"browser": 0.1, "api": 0.3, "fetch": 0.6}
+        unknown = sorted(set(mix) - set(CLIENT_KINDS))
+        if unknown:
+            raise ReproError(
+                f"unknown client kinds {unknown}; "
+                f"choose from {', '.join(CLIENT_KINDS)}"
+            )
+        weights = [float(mix.get(kind, 0.0)) for kind in CLIENT_KINDS]
+        if any(w < 0.0 for w in weights) or sum(weights) <= 0.0:
+            raise ReproError("mix weights must be >= 0 with a positive sum")
+        self.mix = {k: w for k, w in zip(CLIENT_KINDS, weights)}
+        if site_weights is None:
+            site_weights = [1.0 / (rank + 1) for rank in range(len(sites))]
+        if len(site_weights) != len(sites):
+            raise ReproError(
+                f"{len(site_weights)} site weights for {len(sites)} sites"
+            )
+        self.site_weights = [float(w) for w in site_weights]
+        if (any(w < 0.0 for w in self.site_weights)
+                or sum(self.site_weights) <= 0.0):
+            raise ReproError(
+                "site weights must be >= 0 with a positive sum"
+            )
+        self.api_workload = api_workload
+
+    # ------------------------------------------------------------------ #
+    # planning
+
+    def plan(self, clients: int, rng: random.Random) -> Tuple[ClientPlan, ...]:
+        """Draw the full client plan for ``clients`` arrivals.
+
+        Two draws per client (kind, then site), in client-index order,
+        so the plan is a pure function of (population parameters, stream
+        state) and independent of how the simulated world later runs.
+        """
+        if clients < 0:
+            raise ReproError(f"clients must be >= 0, got {clients!r}")
+        kind_weights = [self.mix[kind] for kind in CLIENT_KINDS]
+        out = []
+        for index in range(clients):
+            kind = self._weighted(rng, CLIENT_KINDS, kind_weights)
+            site = self._weighted(
+                rng, range(len(self.sites)), self.site_weights)
+            out.append(ClientPlan(index, kind, site))
+        return tuple(out)
+
+    @staticmethod
+    def _weighted(rng: random.Random, choices, weights) -> object:
+        # One rng.random() per draw (random.choices would also work but
+        # draws differently across Python versions' internals; this
+        # explicit scan is version-stable and auditable).
+        total = sum(weights)
+        point = rng.random() * total
+        cumulative = 0.0
+        for choice, weight in zip(choices, weights):
+            cumulative += weight
+            if point < cumulative or weight == total:
+                return choice
+        return choices[-1]  # float-edge fallback: point == total
+
+    # ------------------------------------------------------------------ #
+    # the shared world's recording
+
+    def merged_store(self) -> RecordedSite:
+        """One RecordedSite serving the whole population.
+
+        The union of every corpus site's recording plus (when the mix
+        includes ``api`` clients) the API backend's recording — distinct
+        hostnames map to distinct deterministic IPs, so one ReplayShell
+        spawns every origin server the population can reach.
+        """
+        merged = RecordedSite("load-corpus")
+        for site in self.sites:
+            for pair in site.to_recorded_site().pairs:
+                merged.add_pair(pair)
+        if self.mix.get("api", 0.0) > 0.0:
+            for pair in make_api_site(self.api_workload).pairs:
+                merged.add_pair(pair)
+        return merged
+
+    def describe(self) -> dict:
+        """JSON-shaped parameters (artifact metadata)."""
+        return {
+            "sites": [site.name for site in self.sites],
+            "site_weights": list(self.site_weights),
+            "mix": dict(self.mix),
+        }
+
+    def __repr__(self) -> str:
+        mix = ", ".join(
+            f"{k}={v:g}" for k, v in self.mix.items() if v > 0.0)
+        return f"<Population sites={len(self.sites)} mix=[{mix}]>"
+
+
+def default_population(
+    seed: int = 0,
+    n_sites: int = 4,
+    scale: float = 0.25,
+    mix: Optional[Dict[str, float]] = None,
+) -> Population:
+    """A small deterministic population for benches and scenarios.
+
+    Args:
+        seed: site-structure seed (independent of the load seed — the
+            same corpus can be hit by many differently seeded runs).
+        n_sites: corpus size.
+        scale: site size multiplier (0.25 keeps pages small enough that
+            thousand-client worlds stay fast).
+        mix: forwarded to :class:`Population`.
+    """
+    if n_sites < 1:
+        raise ReproError(f"n_sites must be >= 1, got {n_sites!r}")
+    sites = [
+        generate_site(f"site{i}.load.example", seed=seed * 1000 + i,
+                      n_origins=2, scale=scale)
+        for i in range(n_sites)
+    ]
+    return Population(sites, mix=mix)

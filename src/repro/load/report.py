@@ -1,0 +1,126 @@
+"""Text rendering of capacity-curve artifacts (``mm-report load``).
+
+Three sections, mirroring the artifact layout
+(:mod:`repro.load.artifact`): a per-level summary table, the capacity
+curve itself (offered load on x, p99 completion time on y, the detected
+knee marked ``K``), and the top level's farm-wide worker occupancy and
+backlog step series — the time-domain view of why the knee sits where
+it does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.load.artifact import LoadCurveView
+from repro.obs.render import ascii_curve, ascii_timeseries
+
+__all__ = ["level_table", "render_load_artifact"]
+
+
+def _fmt(value: object, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def level_table(view: LoadCurveView) -> str:
+    """Per-level summary table: one row per swept load level."""
+    headers = [
+        "clients", "offered/s", "done", "failed",
+        "plt p50", "plt p99", "srv p99", "makespan",
+    ]
+    rows: List[List[str]] = []
+    for i, level in enumerate(view.levels):
+        plt = level.get("plt") or {}
+        srv = level.get("server_latency") or {}
+        marker = " <knee" if view.knee and view.knee.get("index") == i else ""
+        rows.append([
+            _fmt(level.get("clients")),
+            _fmt(level.get("offered_rate")),
+            _fmt(level.get("completed")),
+            _fmt(level.get("failed")),
+            _fmt(plt.get("p50")),
+            _fmt(plt.get("p99")),
+            _fmt(srv.get("p99")),
+            _fmt(level.get("makespan")) + marker,
+        ])
+    widths = [
+        max(len(headers[c]), max(len(row[c]) for row in rows))
+        for c in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_load_artifact(
+    view: LoadCurveView,
+    width: int = 64,
+    height: int = 12,
+    series: bool = True,
+) -> str:
+    """Render one capacity-curve artifact as plain text.
+
+    Args:
+        view: the parsed artifact.
+        width / height: plot grid size for curve and time series.
+        series: include the top level's occupancy/backlog step plots.
+    """
+    scenario = view.scenario
+    blocks: List[str] = []
+    header = [
+        f"capacity curve: {len(view.levels)} levels, "
+        f"top {_fmt(view.levels[-1].get('clients'))} clients"
+    ]
+    if scenario:
+        arrivals = scenario.get("arrivals")
+        if isinstance(arrivals, dict):
+            arrivals = "/".join(
+                _fmt(arrivals[k]) for k in sorted(arrivals))
+        header.append(
+            "scenario: "
+            f"arrivals={arrivals or '?'} "
+            f"link={_fmt(scenario.get('link_mbps'))} Mbit/s "
+            f"delay={_fmt(scenario.get('one_way_delay'))}s "
+            f"server_workers={_fmt(scenario.get('server_workers'))}"
+        )
+    if view.knee:
+        header.append(
+            f"knee: {_fmt(view.knee.get('offered_rate'))} clients/s "
+            f"({_fmt(view.knee.get('clients'))} clients, "
+            f"p99 {_fmt(view.knee.get('p99'))}s)"
+        )
+    else:
+        header.append("knee: none detected")
+    blocks.append("\n".join(header))
+    blocks.append(level_table(view))
+
+    points = view.points()
+    if len(points) >= 2:
+        knee_index: Optional[int] = (
+            view.knee.get("index") if view.knee else None)
+        blocks.append(ascii_curve(
+            points,
+            width=width,
+            height=height,
+            title="offered load vs p99 completion time",
+            x_label="offered load (clients/s)",
+            y_label="p99 (s)",
+            mark=knee_index,
+        ))
+    if series:
+        for name, pts in (
+            ("load.occupancy (top level)", view.occupancy),
+            ("load.backlog (top level)", view.backlog),
+        ):
+            if pts:
+                blocks.append(ascii_timeseries(
+                    pts, width=width, height=height, title=name))
+    return "\n\n".join(blocks) + "\n"

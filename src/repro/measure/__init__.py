@@ -35,7 +35,7 @@ from repro.measure.robustness import (
     run_chaos_trials,
 )
 from repro.measure.runner import ScenarioResult, run_page_loads, run_trial
-from repro.measure.stats import Sample
+from repro.measure.stats import Sample, StreamingQuantiles, quantiles_of
 
 __all__ = [
     "Comparison",
@@ -45,6 +45,7 @@ __all__ = [
     "RobustnessSummary",
     "Sample",
     "ScenarioResult",
+    "StreamingQuantiles",
     "SweepResult",
     "TrialJournal",
     "TrialOutcome",
@@ -54,6 +55,7 @@ __all__ = [
     "format_table",
     "parallel_map",
     "percent_diff",
+    "quantiles_of",
     "run_chaos_trials",
     "run_key",
     "run_page_loads",

@@ -34,6 +34,7 @@ from repro.obs.waterfall import Waterfall
 
 __all__ = [
     "Artifact",
+    "artifact_bytes",
     "capture_to_record",
     "read_artifact",
     "write_artifact",
@@ -97,30 +98,17 @@ class Artifact:
         )
 
 
-def write_artifact(
-    path: Union[str, Path],
+def artifact_bytes(
     registry: Optional[MetricsRegistry] = None,
     meta: Optional[Dict[str, object]] = None,
     captures: Optional[Dict[str, object]] = None,
-) -> Path:
-    """Write one run's observability data as a JSONL artifact.
+) -> bytes:
+    """The exact bytes :func:`write_artifact` would write.
 
-    Args:
-        path: output file (parent directories are created).
-        registry: the run's metrics registry (None writes meta/captures
-            only).
-        meta: extra fields for the ``meta`` line (experiment name, seed,
-            scenario parameters — caller's choice; no wall-clock fields
-            are added, so identical runs produce identical artifacts).
-        captures: name -> :class:`~repro.net.capture.PacketCapture`
-            instances (or pre-flattened records from
-            :func:`capture_to_record`) to export alongside.
-
-    Returns:
-        The path written.
+    Split out so byte-identity checks (the determinism sanitizer's
+    artifact check) compare serialisations without touching the
+    filesystem — and cannot drift from the on-disk format.
     """
-    out = Path(path)
-    out.parent.mkdir(parents=True, exist_ok=True)
     lines: List[str] = []
 
     def emit(record: Dict[str, object]) -> None:
@@ -166,9 +154,39 @@ def write_artifact(
                 record = capture_to_record(capture, name)
             emit(record)
 
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def write_artifact(
+    path: Union[str, Path],
+    registry: Optional[MetricsRegistry] = None,
+    meta: Optional[Dict[str, object]] = None,
+    captures: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write one run's observability data as a JSONL artifact.
+
+    Args:
+        path: output file (parent directories are created).
+        registry: the run's metrics registry (None writes meta/captures
+            only).
+        meta: extra fields for the ``meta`` line (experiment name, seed,
+            scenario parameters — caller's choice; no wall-clock fields
+            are added, so identical runs produce identical artifacts).
+        captures: name -> :class:`~repro.net.capture.PacketCapture`
+            instances (or pre-flattened records from
+            :func:`capture_to_record`) to export alongside.
+
+    Returns:
+        The path written.
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
     # Atomic (temp + fsync + rename): a run killed mid-export leaves the
     # previous artifact intact rather than a torn JSONL that half-parses.
-    atomic_write_text(out, "\n".join(lines) + "\n")
+    atomic_write_text(
+        out,
+        artifact_bytes(registry, meta, captures).decode("utf-8"),
+    )
     return out
 
 

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.measure.report import format_table
 
 __all__ = [
+    "ascii_curve",
     "ascii_timeseries",
     "ascii_waterfall",
     "render_artifact",
@@ -101,6 +102,90 @@ def ascii_timeseries(
     lines.append(" " * (label_width + 2) + left + " " * pad + right)
     if unit:
         lines.append(" " * (label_width + 2) + f"[{unit}]")
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    points: Sequence[Sequence[float]],
+    width: int = 64,
+    height: int = 12,
+    title: Optional[str] = None,
+    x_label: str = "",
+    y_label: str = "",
+    mark: Optional[int] = None,
+) -> str:
+    """Line plot of an (x, y) curve as ASCII (generic axes).
+
+    Unlike :func:`ascii_timeseries` (a *step* plot over virtual time),
+    this renders measured points joined by linear interpolation — the
+    capacity-curve view, where both axes are arbitrary quantities.
+
+    Args:
+        points: ``(x, y)`` pairs in non-decreasing x order (>= 2).
+        width / height: plot grid size.
+        title: heading line.
+        x_label / y_label: axis labels (units included by the caller).
+        mark: index of one point to highlight with ``K`` and a caption —
+            the detected knee, typically.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two points to plot a curve")
+    xs = [float(x) for x, __ in points]
+    ys = [float(y) for __, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max <= x_min:
+        x_max = x_min + 1e-9
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for __ in range(height)]
+
+    def row_of(y: float) -> int:
+        return int(round((1.0 - (y - y_min) / (y_max - y_min)) * (height - 1)))
+
+    def col_of(x: float) -> int:
+        return int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    # One sample per column, linearly interpolated between measured
+    # points, then the measured points themselves drawn on top.
+    for col in range(width):
+        x = x_min + (x_max - x_min) * col / (width - 1)
+        for i in range(1, len(points)):
+            if xs[i] >= x or i == len(points) - 1:
+                x0, x1 = xs[i - 1], xs[i]
+                y0, y1 = ys[i - 1], ys[i]
+                frac = 0.0 if x1 <= x0 else min(1.0, max(0.0, (x - x0) / (x1 - x0)))
+                grid[row_of(y0 + (y1 - y0) * frac)][col] = "."
+                break
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        glyph = "K" if mark is not None and i == mark else "*"
+        grid[row_of(y)][col_of(x)] = glyph
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_max:.6g}"), len(f"{y_min:.6g}"))
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = f"{y_max:.6g}"
+        elif i == height - 1:
+            label = f"{y_min:.6g}"
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |" + "".join(row_cells))
+    lines.append(" " * label_width + " +" + "-" * width)
+    left = f"{x_min:.6g}"
+    right = f"{x_max:.6g}"
+    pad = max(1, width - len(left) - len(right))
+    lines.append(" " * (label_width + 2) + left + " " * pad + right)
+    captions = []
+    if x_label or y_label:
+        captions.append(
+            f"[x: {x_label or '?'}  y: {y_label or '?'}]"
+        )
+    if mark is not None:
+        captions.append(f"K = knee at x={xs[mark]:.6g}, y={ys[mark]:.6g}")
+    if captions:
+        lines.append(" " * (label_width + 2) + "  ".join(captions))
     return "\n".join(lines)
 
 

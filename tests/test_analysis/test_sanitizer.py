@@ -216,3 +216,33 @@ class TestSmokeScenario:
 
         report = determinism(_smoke_scenario, seed=1)
         assert report.events > 100
+
+
+class TestLoadScenario:
+    """The mm-load determinism contract, via the sanitizer CLI."""
+
+    def test_cli_load_check_passes(self, capsys):
+        from repro.analysis.sanitizer import main
+
+        assert main(["--scenario", "load", "--runs", "2"]) == 0
+        assert "deterministic" in capsys.readouterr().out
+
+    def test_cli_load_artifact_check_passes(self, capsys):
+        from repro.analysis.sanitizer import main
+
+        assert main([
+            "--scenario", "load", "--runs", "2", "--artifact-check",
+        ]) == 0
+        assert "artifact-deterministic" in capsys.readouterr().out
+
+    def test_artifact_check_unsupported_scenario_exits_2(self, capsys):
+        from repro.analysis.sanitizer import main
+
+        assert main(["--scenario", "smoke", "--artifact-check"]) == 2
+        assert "artifact" in capsys.readouterr().err
+
+    def test_load_world_replays_bit_identically(self, determinism):
+        from repro.analysis.sanitizer import _load_scenario
+
+        report = determinism(_load_scenario, seed=1)
+        assert report.events > 1000

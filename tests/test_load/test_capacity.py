@@ -1,0 +1,138 @@
+"""Capacity curves: knee detection, sweeps, artifacts, and the
+cross-worker determinism contract (satellite of the mm-load PR)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.load import (
+    CapacityCurve,
+    capacity_artifact_bytes,
+    default_population,
+    detect_knee,
+    load_curve_view,
+    run_capacity_curve,
+    write_capacity_artifact,
+)
+
+
+class TestDetectKnee:
+    def test_sharp_knee_found(self):
+        points = [(1, 1.0), (2, 1.1), (4, 1.2), (8, 5.0), (16, 20.0)]
+        assert detect_knee(points) == 3
+
+    def test_perfectly_linear_curve_has_no_knee(self):
+        assert detect_knee([(1, 1.0), (2, 2.0), (3, 3.0)]) is None
+
+    def test_flat_curve_has_no_knee(self):
+        assert detect_knee([(1, 2.0), (2, 2.0), (3, 2.0)]) is None
+
+    def test_too_few_points(self):
+        assert detect_knee([]) is None
+        assert detect_knee([(1, 1.0), (2, 9.0)]) is None
+
+    def test_no_x_spread(self):
+        assert detect_knee([(1, 1.0), (1, 2.0), (1, 3.0)]) is None
+
+    def test_knee_is_deterministic(self):
+        points = [(1, 0.5), (2, 0.6), (4, 0.9), (8, 4.0), (16, 9.0)]
+        assert detect_knee(points) == detect_knee(list(points))
+
+
+@pytest.fixture(scope="module")
+def population():
+    return default_population(seed=0, n_sites=3, scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def curve(population):
+    return run_capacity_curve(
+        population, [8, 16, 32], window=4.0, seed=0, capture_digest=True)
+
+
+class TestRunCapacityCurve:
+    def test_levels_sweep_rate_not_length(self, curve):
+        rates = [result.offered_rate for result in curve.results]
+        assert rates == [2.0, 4.0, 8.0]
+        assert [r.clients for r in curve.results] == [8, 16, 32]
+
+    def test_points_pair_rate_with_p99(self, curve):
+        points = curve.points()
+        assert len(points) == 3
+        assert all(p99 > 0.0 for __, p99 in points)
+
+    def test_to_dict_round_trip_shape(self, curve):
+        data = curve.to_dict()
+        assert len(data["levels"]) == 3
+        if data["knee"] is not None:
+            assert set(data["knee"]) == {
+                "index", "offered_rate", "clients", "p99"}
+
+    def test_bad_levels_rejected(self, population):
+        with pytest.raises(ReproError, match="strictly increasing"):
+            run_capacity_curve(population, [8, 8], window=4.0)
+        with pytest.raises(ReproError, match="at least one"):
+            run_capacity_curve(population, [], window=4.0)
+        with pytest.raises(ReproError, match="window"):
+            run_capacity_curve(population, [4, 8], window=0.0)
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ReproError):
+            CapacityCurve([])
+
+
+class TestCrossWorkerDeterminism:
+    """Sharding levels across fork workers must change nothing."""
+
+    def test_sharded_equals_serial(self, population, curve):
+        sharded = run_capacity_curve(
+            population, [8, 16, 32], window=4.0, seed=0,
+            capture_digest=True, workers=2)
+        serial_digests = [r.event_digest for r in curve.results]
+        sharded_digests = [r.event_digest for r in sharded.results]
+        assert None not in serial_digests
+        assert serial_digests == sharded_digests
+        assert sharded.to_dict() == curve.to_dict()
+        assert capacity_artifact_bytes(sharded) == \
+            capacity_artifact_bytes(curve)
+
+    def test_arrivals_invariant_to_world_execution(self, population):
+        # The arrival schedule is materialised before the world runs, so
+        # two scenarios differing only in server capacity (hence in
+        # completion order) see byte-identical arrival times.
+        from repro.load import LoadScenario, LoadSession
+        from repro.load.arrivals import Poisson
+
+        slow = LoadSession(LoadScenario(
+            population, Poisson(5.0), clients=30, server_workers=1), seed=2)
+        fast = LoadSession(LoadScenario(
+            population, Poisson(5.0), clients=30, server_workers=8), seed=2)
+        assert slow.arrival_times == fast.arrival_times
+        assert slow.plan == fast.plan
+        slow.run()
+        # Already-run world: the materialised schedule did not move.
+        assert slow.arrival_times == fast.arrival_times
+
+
+class TestArtifact:
+    def test_write_and_view_round_trip(self, curve, tmp_path):
+        path = tmp_path / "curve.jsonl"
+        write_capacity_artifact(path, curve, meta={"seed": 0})
+        view = load_curve_view(path)
+        assert len(view.levels) == 3
+        assert view.points() == curve.points()
+        assert view.scenario["clients"] == 32
+        assert view.occupancy  # top level's farm-wide series exported
+
+    def test_bytes_match_file(self, curve, tmp_path):
+        path = tmp_path / "curve.jsonl"
+        write_capacity_artifact(path, curve, meta={"seed": 0})
+        assert path.read_bytes() == capacity_artifact_bytes(
+            curve, meta={"seed": 0})
+
+    def test_non_load_artifact_rejected(self, tmp_path):
+        from repro.obs import MetricsRegistry, write_artifact
+
+        path = tmp_path / "other.jsonl"
+        write_artifact(path, MetricsRegistry(), meta={"experiment": "x"})
+        with pytest.raises(ReproError, match="not a load artifact"):
+            load_curve_view(path)

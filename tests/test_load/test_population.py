@@ -1,0 +1,101 @@
+"""Population planning: determinism, validation, and the merged store."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.load.population import (
+    CLIENT_KINDS,
+    ClientPlan,
+    Population,
+    default_population,
+)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return default_population(seed=0, n_sites=3, scale=0.2)
+
+
+class TestPlan:
+    def test_plan_is_deterministic(self, population):
+        first = population.plan(300, random.Random(9))
+        second = population.plan(300, random.Random(9))
+        assert first == second
+
+    def test_plan_indexes_are_client_order(self, population):
+        plan = population.plan(50, random.Random(0))
+        assert [p.index for p in plan] == list(range(50))
+        assert all(p.kind in CLIENT_KINDS for p in plan)
+        assert all(0 <= p.site_index < 3 for p in plan)
+
+    def test_default_mix_is_mostly_lightweight(self, population):
+        plan = population.plan(2000, random.Random(1))
+        counts = {kind: 0 for kind in CLIENT_KINDS}
+        for p in plan:
+            counts[p.kind] += 1
+        # 10/30/60 mix, generous noise margins at n=2000.
+        assert counts["fetch"] > counts["api"] > counts["browser"] > 0
+
+    def test_site_skew_favours_early_sites(self, population):
+        plan = population.plan(2000, random.Random(2))
+        hits = [0, 0, 0]
+        for p in plan:
+            hits[p.site_index] += 1
+        assert hits[0] > hits[1] > hits[2] > 0  # 1, 1/2, 1/3 weights
+
+    def test_single_kind_mix(self, population):
+        only_fetch = Population(population.sites, mix={"fetch": 1.0})
+        plan = only_fetch.plan(40, random.Random(0))
+        assert {p.kind for p in plan} == {"fetch"}
+
+    def test_client_plan_round_trips_through_pickle(self):
+        plan = ClientPlan(3, "api", 1)
+        back = pickle.loads(pickle.dumps(plan))
+        assert back == plan and isinstance(back, ClientPlan)
+        assert (back.index, back.kind, back.site_index) == (3, "api", 1)
+
+
+class TestValidation:
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ReproError, match="at least one site"):
+            Population([])
+
+    def test_unknown_kind_rejected(self, population):
+        with pytest.raises(ReproError, match="unknown client kinds"):
+            Population(population.sites, mix={"crawler": 1.0})
+
+    def test_zero_mix_rejected(self, population):
+        with pytest.raises(ReproError, match="positive sum"):
+            Population(population.sites, mix={"fetch": 0.0})
+
+    def test_site_weight_length_mismatch(self, population):
+        with pytest.raises(ReproError, match="site weights"):
+            Population(population.sites, site_weights=[1.0])
+
+    def test_negative_clients_rejected(self, population):
+        with pytest.raises(ReproError):
+            population.plan(-1, random.Random(0))
+
+
+class TestMergedStore:
+    def test_store_covers_every_site_and_the_api_backend(self, population):
+        store = population.merged_store()
+        hosts = {pair.request.headers.get("Host") for pair in store.pairs}
+        for site in population.sites:
+            # Synthetic sites serve from www.<name> (plus third parties).
+            assert any(host.endswith(site.name) for host in hosts)
+        assert population.api_workload.api_host in hosts
+
+    def test_fetch_only_mix_omits_api_backend(self, population):
+        store = Population(
+            population.sites, mix={"fetch": 1.0}).merged_store()
+        hosts = {pair.request.headers.get("Host") for pair in store.pairs}
+        assert population.api_workload.api_host not in hosts
+
+    def test_describe_lists_sites_and_mix(self, population):
+        described = population.describe()
+        assert described["sites"] == [s.name for s in population.sites]
+        assert set(described["mix"]) == set(CLIENT_KINDS)

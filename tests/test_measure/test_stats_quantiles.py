@@ -1,0 +1,133 @@
+"""StreamingQuantiles: numpy-free reference values, merge semantics.
+
+Reference quantiles are hand-computed with the linear-interpolation
+convention (numpy's default ``method="linear"``): rank = q * (n - 1),
+result = values[floor] * (1 - frac) + values[ceil] * frac. Spelled out
+here as literals so the tests hold without numpy installed.
+"""
+
+import pytest
+
+from repro.measure.stats import Sample, StreamingQuantiles, quantiles_of
+
+
+class TestReferenceValues:
+    def test_median_of_even_count_interpolates(self):
+        acc = StreamingQuantiles([1.0, 2.0, 3.0, 4.0])
+        assert acc.p50 == 2.5
+
+    def test_quartiles_of_1_to_5(self):
+        acc = StreamingQuantiles([5.0, 3.0, 1.0, 4.0, 2.0])  # any order
+        assert acc.quantile(0.0) == 1.0
+        assert acc.quantile(0.25) == 2.0
+        assert acc.quantile(0.5) == 3.0
+        assert acc.quantile(0.75) == 4.0
+        assert acc.quantile(1.0) == 5.0
+
+    def test_interpolated_rank(self):
+        # n=4, q=0.9 -> rank 2.7 -> 30*0.3 + 40*0.7 = 37
+        acc = StreamingQuantiles([10.0, 20.0, 30.0, 40.0])
+        assert acc.quantile(0.9) == pytest.approx(37.0)
+
+    def test_tail_quantiles_of_0_to_999(self):
+        acc = StreamingQuantiles(float(v) for v in range(1000))
+        # rank = q * 999 exactly on integers here.
+        assert acc.p50 == 499.5
+        assert acc.p90 == pytest.approx(899.1)
+        assert acc.p99 == pytest.approx(989.01)
+        assert acc.p999 == pytest.approx(998.001)
+
+    def test_singleton_is_every_quantile(self):
+        acc = StreamingQuantiles([7.0])
+        assert acc.p50 == acc.p999 == 7.0
+
+    def test_matches_sample_percentile_convention(self):
+        values = [0.3, 1.7, 2.2, 9.9, 4.4, 0.1]
+        acc = StreamingQuantiles(values)
+        sample = Sample(values)
+        for q in (0.0, 0.1, 0.5, 0.9, 0.99, 1.0):
+            assert acc.quantile(q) == sample.percentile(q * 100.0)
+
+
+class TestStreaming:
+    def test_add_order_is_irrelevant(self):
+        forward = StreamingQuantiles()
+        backward = StreamingQuantiles()
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for v in values:
+            forward.add(v)
+        for v in reversed(values):
+            backward.add(v)
+        assert forward.summary() == backward.summary()
+
+    def test_interleaved_queries_and_adds(self):
+        acc = StreamingQuantiles([1.0, 3.0])
+        assert acc.p50 == 2.0
+        acc.add(2.0)  # query then mutate then query again
+        assert acc.p50 == 2.0
+        acc.add(100.0)
+        assert acc.maximum == 100.0
+        assert acc.count == 4
+
+    def test_mean_and_minmax(self):
+        acc = StreamingQuantiles()
+        acc.extend([2.0, 4.0, 6.0])
+        assert acc.mean == 4.0
+        assert (acc.minimum, acc.maximum) == (2.0, 6.0)
+
+
+class TestMerge:
+    def test_merge_of_shards_equals_serial(self):
+        serial = StreamingQuantiles(float(v) for v in range(100))
+        shards = [
+            StreamingQuantiles(float(v) for v in range(i, 100, 4))
+            for i in range(4)
+        ]
+        combined = StreamingQuantiles.merged(shards)
+        assert combined.summary() == serial.summary()
+
+    def test_merge_returns_self_for_reduction(self):
+        a = StreamingQuantiles([1.0])
+        b = StreamingQuantiles([2.0])
+        assert a.merge(b) is a
+        assert a.count == 2
+        assert b.count == 1  # the merged-from shard is untouched
+
+    def test_merge_empty_is_identity(self):
+        acc = StreamingQuantiles([1.0, 2.0])
+        before = acc.summary()
+        acc.merge(StreamingQuantiles())
+        assert acc.summary() == before
+
+
+class TestEmptyAndErrors:
+    def test_empty_summary_is_all_none(self):
+        summary = StreamingQuantiles().summary()
+        assert summary["count"] == 0
+        assert summary["p50"] is summary["p999"] is None
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ValueError, match="no observations"):
+            StreamingQuantiles().quantile(0.5)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError, match="out of range"):
+            StreamingQuantiles([1.0]).quantile(1.5)
+
+    def test_to_sample_refuses_empty(self):
+        with pytest.raises(ValueError):
+            StreamingQuantiles().to_sample()
+
+    def test_to_sample_round_trip(self):
+        acc = StreamingQuantiles([3.0, 1.0, 2.0])
+        assert acc.to_sample().values == [1.0, 2.0, 3.0]
+
+
+class TestQuantilesOf:
+    def test_defaults(self):
+        assert quantiles_of([]) == [None, None, None]
+        p50, p99, p999 = quantiles_of([1.0, 2.0, 3.0, 4.0])
+        assert p50 == 2.5
+
+    def test_custom_qs(self):
+        assert quantiles_of([0.0, 10.0], qs=(0.5,)) == [5.0]
