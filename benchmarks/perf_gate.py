@@ -17,6 +17,10 @@ Workloads (mirroring ``bench_micro.py``'s hot-path benchmarks):
 * ``tcp_bulk``   — bytes through two full TCP stacks over a delay pipe.
 * ``page_load``  — one replayed page load through ReplayShell + LinkShell
   + DelayShell (the unit every paper experiment multiplies).
+* ``fabric_trials_per_s`` — a sweep sharded over 2 forked fabric workers
+  (coordinator + wire protocol + merge overhead on top of the trials).
+* ``cas_corpus_load`` — loading a CAS-backed (format v3) corpus, blob
+  resolution included.
 
 ``REPRO_BENCH_SCALE`` scales the event count and transfer size exactly as
 the rest of the bench suite scales trial counts (CI uses 0.1); the scale
@@ -195,11 +199,77 @@ def wl_load_clients() -> Tuple[float, str]:
     return float(clients), "clients"
 
 
+_FABRIC_FACTORY = None
+
+
+def _fabric_factory():
+    global _FABRIC_FACTORY
+    if _FABRIC_FACTORY is None:
+        from repro.fabric.scenarios import replay_smoke
+
+        _FABRIC_FACTORY = replay_smoke(
+            name="perf-fabric.com", seed=4, n_origins=8, scale=1.0)
+    return _FABRIC_FACTORY
+
+
+def wl_fabric_trials() -> Tuple[float, str]:
+    """A sharded sweep over 2 forked local workers (coordinator overhead
+    included); byte-identity with serial is asserted by the test suite,
+    this gate watches only the throughput."""
+    from repro.fabric.backend import LocalBackend
+    from repro.fabric.coordinator import run_fabric
+
+    trials = max(8, int(32 * bench_scale()))
+    result = run_fabric(LocalBackend(_fabric_factory()), trials=trials,
+                        shards=2)
+    assert result.complete
+    return float(trials), "trials"
+
+
+_CAS_CORPUS = None
+
+
+def _cas_corpus() -> str:
+    """A CAS-backed corpus on disk (built once, loaded per round)."""
+    global _CAS_CORPUS
+    if _CAS_CORPUS is None:
+        import tempfile
+
+        from repro.corpus import alexa_corpus
+        from repro.record.cas import CAS_DIR_NAME, CasStore
+
+        size = max(30, int(120 * bench_scale()))
+        root = tempfile.mkdtemp(prefix="perf-gate-cas-")
+        cas = CasStore(os.path.join(root, CAS_DIR_NAME))
+        for site in alexa_corpus(seed=5, size=size, single_origin_sites=4,
+                                 scale=1.0):
+            site.to_recorded_site().save(os.path.join(root, site.name),
+                                         cas=cas)
+        _CAS_CORPUS = root
+    return _CAS_CORPUS
+
+
+def wl_cas_corpus_load() -> Tuple[float, str]:
+    """Load every site of a CAS-backed corpus (manifest + pair files +
+    blob resolution through the shared store)."""
+    from repro.fabric.sync import corpus_site_dirs
+    from repro.record.store import RecordedSite
+
+    site_dirs = corpus_site_dirs(_cas_corpus())
+    pairs = 0
+    for site_dir in site_dirs:
+        pairs += len(RecordedSite.load(site_dir))
+    assert pairs > 0
+    return float(len(site_dirs)), "sites"
+
+
 WORKLOADS: List[Tuple[str, Callable[[], Tuple[float, str]]]] = [
     ("event_loop", wl_event_loop),
     ("tcp_bulk", wl_tcp_bulk),
     ("page_load", wl_page_load),
     ("load_clients_per_s", wl_load_clients),
+    ("fabric_trials_per_s", wl_fabric_trials),
+    ("cas_corpus_load", wl_cas_corpus_load),
 ]
 
 # ---------------------------------------------------------------------- #

@@ -3,13 +3,20 @@
 Subcommands::
 
     mm-corpus generate --out DIR [--size N] [--singles K] [--scale S]
-                       [--seed X] [--workers W] [--resume]
+                       [--seed X] [--workers W] [--resume] [--cas]
     mm-corpus stats DIR
 
 ``--workers`` materialises recorded sites (synthesis + save) over that
 many worker processes; each site is an independent deterministic function
 of the corpus seed, so the output is identical at any worker count.
 ``--workers 0`` uses every available core.
+
+``--cas`` saves sites in format v3: response bodies land in one shared
+content-addressed store (``<out>/.cas``) and identical bodies across the
+whole corpus are stored exactly once. Concurrent workers share the store
+safely (per-process temp names + atomic rename). ``stats`` reports the
+resulting body dedup: unique vs total body bytes and the dedup ratio,
+for flat and CAS corpora alike.
 
 Generation checkpoints every completed site in a crash-safe journal
 (``.generate-journal.jsonl`` inside the output folder, removed once the
@@ -31,10 +38,12 @@ from repro.corpus import alexa_corpus, corpus_statistics
 from repro.errors import JournalError
 from repro.measure.journal import TrialJournal, run_key
 from repro.measure.parallel import default_workers, parallel_map
+from repro.record.cas import CAS_DIR_NAME, CasStore, body_checksum
+from repro.record.fsck import is_site_dir
 from repro.record.store import RecordedSite
 
 USAGE = ("usage: mm-corpus generate --out DIR [--size N] [--singles K] "
-         "[--scale S] [--seed X] [--workers W] [--resume] "
+         "[--scale S] [--seed X] [--workers W] [--resume] [--cas] "
          "| mm-corpus stats DIR")
 
 #: Checkpoint journal inside the output folder (dot-named: not a site).
@@ -57,6 +66,7 @@ def run(argv: List[str], specs: List[ShellSpec]) -> int:
 def _generate(argv: List[str]) -> int:
     out, size, singles, scale, seed, workers = None, 500, 9, 1.0, 0, 1
     resume = False
+    use_cas = False
     rest = list(argv)
     while rest:
         flag = rest.pop(0)
@@ -74,6 +84,8 @@ def _generate(argv: List[str]) -> int:
             workers = int(rest.pop(0))
         elif flag == "--resume":
             resume = True
+        elif flag == "--cas":
+            use_cas = True
         else:
             raise CliError(f"{USAGE}\nunknown option {flag!r}")
     if out is None:
@@ -87,7 +99,8 @@ def _generate(argv: List[str]) -> int:
     os.makedirs(out, exist_ok=True)
 
     journal_path = os.path.join(out, JOURNAL_FILE)
-    key = run_key(seed=seed, size=size, singles=singles, scale=scale)
+    key = run_key(seed=seed, size=size, singles=singles, scale=scale,
+                  cas=use_cas)
     if not resume and os.path.exists(journal_path):
         os.remove(journal_path)  # fresh run: discard stale checkpoints
     try:
@@ -103,7 +116,10 @@ def _generate(argv: List[str]) -> int:
 
     def materialise(index: int) -> str:
         site = sites[index]
-        site.to_recorded_site().save(os.path.join(out, site.name))
+        # One CasStore instance per call: worker processes must not
+        # share handles, and the store itself is concurrent-safe.
+        cas = CasStore(os.path.join(out, CAS_DIR_NAME)) if use_cas else None
+        site.to_recorded_site().save(os.path.join(out, site.name), cas=cas)
         return site.name
 
     # Checkpoint each site as its save lands: a killed run loses only
@@ -128,11 +144,20 @@ def _stats(argv: List[str]) -> int:
     if not os.path.isdir(directory):
         raise CliError(f"not a corpus directory: {directory!r}")
     counts = []
+    total_bodies = total_bytes = 0
+    unique: dict = {}  # body checksum -> length
     for name in sorted(os.listdir(directory)):
         site_dir = os.path.join(directory, name)
-        if os.path.isdir(site_dir):
+        if os.path.isdir(site_dir) and is_site_dir(site_dir):
             store = RecordedSite.load(site_dir)
             counts.append(len(store.origins()))
+            for pair in store.pairs:
+                for body in (pair.request.body, pair.response.body):
+                    if body.length and body.is_fully_real:
+                        total_bodies += 1
+                        total_bytes += body.length
+                        unique.setdefault(body_checksum(body.as_bytes()),
+                                          body.length)
     if not counts:
         raise CliError(f"no recorded sites under {directory!r}")
     counts.sort()
@@ -141,6 +166,16 @@ def _stats(argv: List[str]) -> int:
     print(f"median origins: {counts[n // 2]}")
     print(f"95th pct origins: {counts[min(n - 1, int(0.95 * n))]}")
     print(f"single-server sites: {sum(1 for c in counts if c == 1)}")
+    unique_bytes = sum(unique.values())
+    ratio = (total_bytes / unique_bytes) if unique_bytes else 1.0
+    print(f"real bodies: {total_bodies} ({total_bytes} bytes), "
+          f"unique: {len(unique)} ({unique_bytes} bytes)")
+    print(f"body dedup ratio: {ratio:.2f}x")
+    cas_dir = os.path.join(directory, CAS_DIR_NAME)
+    if os.path.isdir(cas_dir):
+        stored = CasStore(cas_dir).stats()
+        print(f"cas store: {stored['blobs']} blob(s), "
+              f"{stored['bytes']} bytes on disk")
     return 0
 
 

@@ -9,13 +9,18 @@ folder of them (e.g. ``mm-corpus generate --out DIR``); every site under
 it is checked. Checks per pair file: presence, size and BLAKE2 checksum
 against the manifest (format v2), JSON well-formedness, and semantic
 validity; plus manifest consistency (orphans, numbering gaps in v1
-folders, pair-count mismatches).
+folders, pair-count mismatches). Format-v3 folders additionally resolve
+every CAS body reference, and a corpus check verifies the shared
+content-addressed store itself: every blob re-hashed against its
+address, orphan blobs (referenced by no site) and dangling references
+reported.
 
 ``--repair`` quarantines damaged pair files into ``quarantine/`` (moved,
 never deleted), rewrites the manifest atomically to cover exactly the
-surviving pairs, and upgrades v1 folders to v2 — valid pair files are
-never touched. ``--json`` emits the machine-readable reports instead of
-text.
+surviving pairs, and upgrades v1 folders to v2 (v3 folders stay v3) —
+valid pair files are never touched. In the CAS, corrupt and orphan
+blobs are quarantined into ``<cas>/quarantine/`` the same way. ``--json``
+emits the machine-readable reports instead of text.
 
 Exit status: 0 when every folder is clean; 1 when any problem was found
 (repaired or not — rerun to confirm a repair); 2 on usage errors.
@@ -70,19 +75,30 @@ def _print_reports(reports: List[FsckReport]) -> None:
         if report.clean:
             continue
         dirty += 1
+        unit = "blob(s)" if report.kind == "cas" else "pair(s)"
         print(f"{report.directory}: {len(report.problems)} problem(s), "
-              f"{report.pairs_ok} pair(s) ok")
+              f"{report.pairs_ok} {unit} ok")
         for problem in report.problems:
             print(f"  [{problem.kind}] {problem.detail}")
         if report.repaired:
-            upgraded = " (upgraded v1 -> v2)" if report.upgraded else ""
-            print(f"  repaired: {len(report.quarantined)} file(s) "
-                  f"quarantined, manifest rewritten{upgraded}")
+            if report.kind == "cas":
+                print(f"  repaired: {len(report.quarantined)} blob(s) "
+                      f"quarantined")
+            else:
+                upgraded = " (upgraded v1 -> v2)" if report.upgraded else ""
+                print(f"  repaired: {len(report.quarantined)} file(s) "
+                      f"quarantined, manifest rewritten{upgraded}")
         elif report.fatal:
             print("  NOT repairable: site.json is unusable")
-    total_pairs = sum(r.pairs_ok for r in reports)
-    print(f"checked {len(reports)} site(s), {total_pairs} valid pair(s): "
-          + ("all clean" if dirty == 0 else f"{dirty} site(s) with damage"))
+    sites = [r for r in reports if r.kind == "site"]
+    stores = [r for r in reports if r.kind == "cas"]
+    total_pairs = sum(r.pairs_ok for r in sites)
+    summary = f"checked {len(sites)} site(s), {total_pairs} valid pair(s)"
+    if stores:
+        summary += (f", {len(stores)} CAS store(s) with "
+                    f"{sum(r.pairs_ok for r in stores)} intact blob(s)")
+    print(summary + ": "
+          + ("all clean" if dirty == 0 else f"{dirty} folder(s) with damage"))
 
 
 main = main_wrapper(run)

@@ -140,6 +140,24 @@ class StoreIntegrityError(StoreFormatError):
     """
 
 
+class BlobMissingError(StoreIntegrityError):
+    """A content-addressed site references a blob the CAS does not hold.
+
+    The dangling-reference case: the pair file is intact but its body
+    cannot be materialised. ``mm-fsck`` reports it as ``missing`` damage
+    against the blob path.
+    """
+
+
+class BlobCorruptError(StoreIntegrityError):
+    """A CAS blob's bytes no longer hash to its own address.
+
+    Content addressing makes this check free of metadata: the file name
+    *is* the expected BLAKE2 digest, so bitrot is detectable from the
+    blob alone.
+    """
+
+
 class JournalError(ReproError):
     """A trial journal cannot be read, or belongs to a different sweep.
 
@@ -147,6 +165,17 @@ class JournalError(ReproError):
     attempted against a journal whose run key does not match the requested
     sweep configuration, or whose header is unreadable.
     """
+
+
+class FabricError(ReproError):
+    """Campaign-fabric failure (``repro.fabric``): a backend could not
+    spawn a worker, a campaign lost trials past its retry budget, or a
+    coordinator was misconfigured."""
+
+
+class ProtocolError(FabricError):
+    """The fabric wire protocol saw a malformed frame (bad magic, bad
+    checksum, truncated length prefix, or an out-of-sequence message)."""
 
 
 class NoMatchingResponse(RecordError):

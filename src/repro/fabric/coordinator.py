@@ -1,0 +1,428 @@
+"""The fabric coordinator: shard, dispatch, merge — byte-identical.
+
+:func:`run_fabric` is the distributed sibling of
+:func:`~repro.measure.supervise.run_supervised`: the same sweep contract
+(per-trial outcome taxonomy, bounded retry, checkpoint/resume journal),
+executed by sharding trial indices across workers obtained from a
+pluggable :class:`~repro.fabric.backend.FabricBackend`.
+
+**The byte-identity guarantee.** Because trials are deterministic pure
+functions of their index (DESIGN.md §6), *where* a trial runs cannot
+change its result. The coordinator assigns shards round-robin
+(``todo[k::shards]``), but merges outcomes purely by trial index — so
+the :class:`~repro.measure.supervise.SweepResult` sample, the combined
+event-stream digest, and the rewritten journal are byte-identical to a
+serial ``run_supervised`` of the same sweep, for any shard count, any
+backend, and any interleaving of worker completions. Tests assert this
+literally (``tests/fabric/``) and CI re-proves it on every push.
+
+**Failure model.** A worker that dies mid-shard (crash, SIGKILL, broken
+transport) forfeits only its *unreported* trials: those are reassigned to
+a fresh replacement worker up to ``worker_retries`` times, then recorded
+as ``crashed`` — the same taxonomy ``run_supervised`` uses for a dead
+pool worker. A stalled worker (no outcome within ``progress_deadline``
+wall seconds) is killed by the coordinator's watchdog and handled the
+same way. Completed trials are never re-run: each outcome is journaled
+(fsync'd) the moment it arrives.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import FabricError, ProtocolError
+from repro.fabric.backend import FabricBackend, WorkerHandle
+from repro.fabric.protocol import PROTOCOL_VERSION, read_message, write_message
+from repro.measure.journal import TrialJournal, merge_journals
+from repro.measure.runner import DEFAULT_TRIAL_TIMEOUT
+from repro.measure.supervise import (
+    SweepResult,
+    TrialOutcome,
+    _journal_record,
+    _unwrap_journal_payload,
+)
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "FabricResult",
+    "run_fabric",
+]
+
+
+class FabricResult(SweepResult):
+    """A :class:`SweepResult` plus the fabric's own observability.
+
+    Everything inherited (sample, digest, counts, to_dict) is computed
+    from the outcomes alone, so it compares equal to a serial sweep's.
+
+    Attributes:
+        metrics: harness-side instruments under the ``fabric.`` prefix —
+            shards, workers spawned, crashes, trials completed / resumed
+            / reassigned, wall seconds, trials per second.
+        shards: the shard count the sweep ran with.
+    """
+
+    def __init__(self, outcomes: List[TrialOutcome],
+                 metrics: MetricsRegistry, shards: int) -> None:
+        super().__init__(outcomes)
+        self.metrics = metrics
+        self.shards = shards
+
+    def __repr__(self) -> str:
+        return super().__repr__().replace(
+            "<SweepResult", f"<FabricResult shards={self.shards}")
+
+
+@dataclass
+class _ShardState:
+    """Coordinator-side record of one live worker and its shard."""
+
+    seq: int                      # worker sequence number (sidecar name)
+    handle: WorkerHandle
+    remaining: List[int]          # assigned trials not yet reported
+    last_progress: float          # wall clock of the last outcome
+    configured: bool = False      # hello handshake completed
+    kill_reason: Optional[str] = None
+    thread: Optional[threading.Thread] = None
+    sidecar: Optional[str] = None
+
+    def fail_message(self, fallback: str) -> str:
+        return self.kill_reason or fallback
+
+
+_Event = Tuple[int, str, Any]
+
+
+def _reader(seq: int, handle: WorkerHandle,
+            events: "queue.Queue[_Event]") -> None:
+    """Pump one worker's messages into the coordinator's event queue.
+
+    One thread per worker: a blocking read only ever stalls its own
+    worker's lane, and worker death surfaces as an ``eof``/``broken``
+    event instead of a hung coordinator.
+    """
+    try:
+        while True:
+            kind, data = read_message(handle.rfile)
+            events.put((seq, kind, data))
+            if kind in ("done", "error"):
+                return
+    except EOFError:
+        events.put((seq, "eof", None))
+    except (ProtocolError, OSError, ValueError) as exc:
+        events.put((seq, "broken", str(exc)))
+
+
+def run_fabric(
+    backend: FabricBackend,
+    trials: int,
+    shards: int = 2,
+    timeout: float = DEFAULT_TRIAL_TIMEOUT,
+    allow_failures: bool = False,
+    retries: int = 1,
+    worker_retries: int = 1,
+    journal: Optional[Union[str, TrialJournal]] = None,
+    run_key: Optional[str] = None,
+    capture_digest: bool = False,
+    progress_deadline: Optional[float] = None,
+    worker_journals: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
+) -> FabricResult:
+    """Run a sweep sharded across fabric workers; merge byte-identically.
+
+    Args:
+        backend: where workers come from (local fork, subprocess,
+            remote). Spawned backends carry their own
+            :class:`~repro.fabric.worker.FactorySpec`.
+        trials: number of independent trials (indices ``0..trials-1``).
+        shards: how many workers to split the pending trials across.
+            Sharding is round-robin by index; the merge is by index, so
+            the shard count never shows in the output.
+        timeout: virtual-time budget per trial (as ``run_supervised``).
+        allow_failures: forwarded to each trial.
+        retries: *in-worker* retry budget per trial (the serial retry
+            loop each worker runs; same meaning as ``run_supervised``).
+        worker_retries: how many replacement workers a trial may be
+            reassigned to after worker deaths before it is recorded as
+            ``crashed``.
+        journal: a :class:`TrialJournal` or path. Completed trials are
+            replayed, not re-run; new outcomes are checkpointed as they
+            stream in; the journal is compacted (``rewrite``) on return,
+            so its bytes match a serial run's journal.
+        run_key: stamps/validates the journal.
+        capture_digest: capture per-trial event-stream digests so
+            :attr:`SweepResult.digest` proves cross-backend equivalence.
+        progress_deadline: wall-clock seconds a worker may go without
+            reporting an outcome before the watchdog kills it (None
+            disables). This is a *harness* deadline — the per-trial
+            virtual ``timeout`` still governs simulated time.
+        worker_journals: also have each worker checkpoint to a
+            ``<journal>.shard<seq>`` sidecar, merged into the main
+            journal on the next resume (defense in depth for a killed
+            *coordinator*; the coordinator already journals every
+            streamed outcome itself).
+        metrics: registry for ``fabric.*`` instruments (created when
+            None; returned on the result either way).
+
+    Returns:
+        A :class:`FabricResult` whose sample, digest, and journal are
+        byte-identical to ``run_supervised(...)`` over the same sweep.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials!r}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards!r}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries!r}")
+    if worker_retries < 0:
+        raise ValueError(
+            f"worker_retries must be >= 0, got {worker_retries!r}")
+    if progress_deadline is not None and progress_deadline <= 0:
+        raise ValueError(
+            f"progress_deadline must be positive, got {progress_deadline!r}")
+
+    if metrics is None:
+        metrics = MetricsRegistry()
+    started = time.monotonic()
+
+    if journal is not None and not isinstance(journal, TrialJournal):
+        journal = TrialJournal(journal, key=run_key)
+    if journal is not None:
+        leftover = sorted(glob.glob(journal.path + ".shard*"))
+        if leftover:
+            merged = merge_journals(journal, leftover)
+            metrics.counter("fabric.sidecar_trials_merged").add(merged)
+            for path in leftover:
+                os.remove(path)
+
+    outcomes: Dict[int, TrialOutcome] = {}
+    pending: List[int] = []
+    for trial in range(trials):
+        if journal is not None and trial in journal:
+            entry = journal.completed[trial]
+            status, attempts, result = _unwrap_journal_payload(entry)
+            outcomes[trial] = TrialOutcome(
+                trial=trial, status=status, attempts=attempts, error=None,
+                result=result, from_journal=True,
+                digest=journal.digest_for(trial),
+            )
+        else:
+            pending.append(trial)
+    metrics.counter("fabric.shards").add(shards)
+    metrics.counter("fabric.trials_from_journal").add(len(outcomes))
+
+    if pending:
+        _run_sharded(
+            backend, pending, shards, timeout, allow_failures, retries,
+            worker_retries, capture_digest, progress_deadline,
+            worker_journals, journal, outcomes, metrics,
+        )
+
+    if journal is not None:
+        # Canonical form: header + one record per trial, in trial order —
+        # byte-identical to an uninterrupted serial run's journal.
+        journal.rewrite()
+
+    elapsed = time.monotonic() - started
+    completed = sum(1 for o in outcomes.values()
+                    if o.succeeded and not o.from_journal)
+    metrics.gauge("fabric.wall_seconds").set(elapsed, 0.0)
+    if elapsed > 0:
+        metrics.gauge("fabric.trials_per_s").set(completed / elapsed, 0.0)
+    return FabricResult(
+        [outcomes[trial] for trial in range(trials)], metrics, shards)
+
+
+def _run_sharded(
+    backend: FabricBackend,
+    pending: List[int],
+    shards: int,
+    timeout: float,
+    allow_failures: bool,
+    retries: int,
+    worker_retries: int,
+    capture_digest: bool,
+    progress_deadline: Optional[float],
+    worker_journals: bool,
+    journal: Optional[TrialJournal],
+    outcomes: Dict[int, TrialOutcome],
+    metrics: MetricsRegistry,
+) -> None:
+    """Dispatch pending trials across workers and merge their streams."""
+    events: "queue.Queue[_Event]" = queue.Queue()
+    active: Dict[int, _ShardState] = {}
+    next_seq = 0
+    #: trial -> number of workers it has been assigned to so far
+    assignments: Dict[int, int] = {}
+    spec = backend.factory_spec()
+    if backend.needs_factory_spec and spec is None:
+        raise FabricError(
+            f"{type(backend).__name__} spawns fresh workers but carries "
+            f"no factory spec"
+        )
+
+    def start_shard(indices: List[int]) -> None:
+        nonlocal next_seq
+        seq = next_seq
+        next_seq += 1
+        handle = backend.start_worker(seq)
+        sidecar = None
+        if worker_journals and journal is not None:
+            sidecar = f"{journal.path}.shard{seq}"
+        state = _ShardState(
+            seq=seq, handle=handle, remaining=list(indices),
+            last_progress=time.monotonic(), sidecar=sidecar,
+        )
+        state.thread = threading.Thread(
+            target=_reader, args=(seq, handle, events),
+            name=f"fabric-reader-{seq}", daemon=True,
+        )
+        state.thread.start()
+        active[seq] = state
+        for trial in indices:
+            assignments[trial] = assignments.get(trial, 0) + 1
+        metrics.counter("fabric.workers_spawned").add(1)
+
+    def configure(state: _ShardState, hello: Any) -> None:
+        if not isinstance(hello, dict) or \
+                hello.get("protocol") != PROTOCOL_VERSION:
+            raise FabricError(
+                f"worker {state.handle.pid} speaks protocol "
+                f"{hello.get('protocol') if isinstance(hello, dict) else hello!r}, "
+                f"coordinator speaks {PROTOCOL_VERSION} — refusing the "
+                f"whole sweep (a version skew is systemic, not a crash)"
+            )
+        config: Dict[str, Any] = {
+            "protocol": PROTOCOL_VERSION,
+            "timeout": timeout,
+            "allow_failures": allow_failures,
+            "retries": retries,
+            "capture_digest": capture_digest,
+            "journal": state.sidecar,
+            "run_key": journal.key if journal is not None else None,
+        }
+        if backend.needs_factory_spec:
+            config["factory"] = (spec.spec, spec.kwargs)
+        write_message(state.handle.wfile, ("config", config))
+        write_message(state.handle.wfile, ("run", list(state.remaining)))
+        state.configured = True
+
+    def retire(state: _ShardState, failure: Optional[str]) -> None:
+        """Tear a worker down; reassign or quarantine its leftovers."""
+        del active[state.seq]
+        state.handle.kill()
+        state.handle.wait()
+        state.handle.close()
+        if failure is None:
+            return
+        metrics.counter("fabric.worker_crashes").add(1)
+        reassign: List[int] = []
+        for trial in state.remaining:
+            if assignments.get(trial, 1) <= worker_retries:
+                reassign.append(trial)
+            else:
+                outcomes[trial] = TrialOutcome(
+                    trial=trial, status="crashed",
+                    attempts=assignments.get(trial, 1),
+                    error=f"trial {trial}: {failure}", result=None,
+                )
+                metrics.counter("fabric.trials_crashed").add(1)
+        if reassign:
+            metrics.counter("fabric.trials_reassigned").add(len(reassign))
+            start_shard(reassign)
+
+    # Initial round-robin sharding. The scheme is irrelevant to the
+    # output (the merge is by trial index); round-robin just balances
+    # shard sizes within one trial of each other.
+    for k in range(shards):
+        shard_indices = pending[k::shards]
+        if shard_indices:
+            start_shard(shard_indices)
+
+    try:
+        while active:
+            try:
+                seq, kind, data = events.get(timeout=0.25)
+            except queue.Empty:
+                _watchdog(active, progress_deadline)
+                continue
+            state = active.get(seq)
+            if state is None:
+                continue  # stale event from an already-retired worker
+            if kind == "hello":
+                try:
+                    configure(state, data)
+                except (BrokenPipeError, OSError) as exc:
+                    retire(state, f"worker died during handshake: {exc}")
+            elif kind == "outcome":
+                if not isinstance(data, TrialOutcome):
+                    retire(state, f"worker sent a "
+                                  f"{type(data).__name__} outcome")
+                    continue
+                outcomes[data.trial] = data
+                _journal_record(journal, data)
+                if data.trial in state.remaining:
+                    state.remaining.remove(data.trial)
+                state.last_progress = time.monotonic()
+                metrics.counter("fabric.trials_completed").add(1)
+            elif kind == "done":
+                if state.remaining:
+                    retire(state, f"worker finished with "
+                                  f"{len(state.remaining)} trials "
+                                  f"unreported")
+                else:
+                    retire(state, None)
+            elif kind == "error":
+                retire(state, f"worker error: {data}")
+            elif kind in ("eof", "broken"):
+                detail = "worker stream ended mid-shard" if kind == "eof" \
+                    else f"worker stream broke: {data}"
+                retire(state, state.fail_message(detail))
+            _watchdog(active, progress_deadline)
+    finally:
+        for state in list(active.values()):
+            state.handle.kill()
+            state.handle.wait()
+            state.handle.close()
+
+    for trial in pending:  # safety net: no trial leaves without a fate
+        if trial not in outcomes:
+            outcomes[trial] = TrialOutcome(
+                trial=trial, status="crashed",
+                attempts=assignments.get(trial, 1),
+                error=f"trial {trial}: lost by the fabric (worker "
+                      f"retired without reporting it)", result=None,
+            )
+            metrics.counter("fabric.trials_crashed").add(1)
+
+    if worker_journals and journal is not None:
+        for path in glob.glob(journal.path + ".shard*"):
+            os.remove(path)
+
+
+def _watchdog(active: Dict[int, _ShardState],
+              progress_deadline: Optional[float]) -> None:
+    """Kill workers that have gone silent past the progress deadline.
+
+    The kill closes the worker's side of the stream, so the reader
+    thread surfaces an eof/broken event and the normal crash path
+    (reassign or quarantine) takes over — one failure path, not two.
+    """
+    if progress_deadline is None:
+        return
+    now = time.monotonic()
+    for state in active.values():
+        if state.kill_reason is not None:
+            continue
+        if now - state.last_progress > progress_deadline:
+            state.kill_reason = (
+                f"no outcome for {progress_deadline}s (wall clock); "
+                f"worker killed by the fabric watchdog"
+            )
+            state.handle.kill()

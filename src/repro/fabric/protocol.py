@@ -1,0 +1,126 @@
+"""The fabric wire protocol: length-prefixed, checksummed frames.
+
+Every fabric backend — forked local workers, ``mm-fabric worker``
+subprocesses, SSH-shaped remote workers — speaks exactly this protocol
+over a byte stream, so the coordinator cannot tell backends apart and a
+worker binary works unchanged across all of them (the IoTreeplay shape:
+one coordinator, interchangeable transports).
+
+Frame layout (all integers big-endian)::
+
+    MAGIC (4B) | length (4B) | blake2b-8 of payload (8B) | payload
+
+The payload is a pickled ``(kind, data)`` message tuple. The checksum
+makes a corrupted transport (a truncated pipe, line noise on a remote
+link) a loud :class:`~repro.errors.ProtocolError` naming what went wrong
+instead of a pickle crash deep in a worker; the magic catches streams
+that are not speaking the protocol at all (an ssh banner, a stray print
+to stdout inside a worker).
+
+Message vocabulary (coordinator ↔ worker)::
+
+    worker → coordinator:  ("hello",   {"protocol", "pid"})
+    coordinator → worker:  ("config",  {...})      # see worker.py
+    coordinator → worker:  ("run",     [trial indices])
+    worker → coordinator:  ("outcome", TrialOutcome)
+    worker → coordinator:  ("done",    {"trials": n})
+    worker → coordinator:  ("error",   message string)
+
+A clean EOF at a frame boundary raises :class:`EOFError` (the normal
+end-of-worker signal); EOF *inside* a frame is a :class:`ProtocolError`
+(the worker died mid-send).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import struct
+from typing import Any, BinaryIO, Tuple
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "read_message",
+    "write_message",
+]
+
+#: Bumped on any incompatible frame or vocabulary change; the hello
+#: handshake refuses a mismatch instead of guessing.
+PROTOCOL_VERSION = 1
+
+_MAGIC = b"MMFB"
+_HEADER = struct.Struct(">4sI8s")
+_CHECKSUM_SIZE = 8
+
+#: Refuse absurd frames before allocating for them (a corrupted length
+#: prefix must not become a 4 GiB read).
+MAX_FRAME = 256 * 1024 * 1024
+
+
+def _checksum(payload: bytes) -> bytes:
+    return hashlib.blake2b(payload, digest_size=_CHECKSUM_SIZE).digest()
+
+
+def write_message(stream: BinaryIO, message: Tuple[str, Any]) -> None:
+    """Frame and send one ``(kind, data)`` message (flushed)."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    stream.write(_HEADER.pack(_MAGIC, len(payload), _checksum(payload)))
+    stream.write(payload)
+    stream.flush()
+
+
+def _read_exact(stream: BinaryIO, n: int, context: str) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if chunks or context == "frame body":
+                raise ProtocolError(
+                    f"stream ended inside a {context}: got "
+                    f"{n - remaining} of {n} bytes"
+                )
+            raise EOFError("fabric stream closed at a frame boundary")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_message(stream: BinaryIO) -> Tuple[str, Any]:
+    """Read one framed message.
+
+    Raises:
+        EOFError: clean end of stream (no partial frame).
+        ProtocolError: bad magic, bad checksum, oversized or truncated
+            frame, or an unpicklable payload.
+    """
+    header = _read_exact(stream, _HEADER.size, "frame header")
+    magic, length, checksum = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {magic!r} (stream is not speaking the "
+            f"fabric protocol)"
+        )
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME}-byte cap "
+            f"(corrupted length prefix?)"
+        )
+    payload = _read_exact(stream, length, "frame body")
+    if _checksum(payload) != checksum:
+        raise ProtocolError(
+            f"frame checksum mismatch over {length} payload bytes"
+        )
+    try:
+        message = pickle.loads(payload)
+    except Exception as exc:
+        raise ProtocolError(f"unpicklable frame payload: {exc}") from exc
+    if (not isinstance(message, tuple) or len(message) != 2
+            or not isinstance(message[0], str)):
+        raise ProtocolError(
+            f"malformed message {type(message).__name__} (expected a "
+            f"(kind, data) tuple)"
+        )
+    return message

@@ -1,0 +1,202 @@
+"""Corpus shipping: manifest + missing-blob delta.
+
+A recorded corpus travels to fabric workers in two unequal parts. The
+*site folders* (``site.json`` manifests and pair files) are small and
+always copied whole. The *bodies* live in the content-addressed store
+(:mod:`repro.record.cas`), so a destination that already holds a blob —
+from a previous campaign, another site in the same corpus, or any
+recording that ever contained the same bytes — never receives it again:
+the shipment is exactly the missing-blob delta, computed from the CAS
+addresses the site's pair files reference.
+
+Everything here is plain directory-to-directory I/O: run it locally, over
+a mounted remote filesystem, or as the unit an rsync/scp step carries.
+Every imported blob re-verifies against its address on arrival
+(:meth:`CasStore.import_blob <repro.record.cas.CasStore.import_blob>`),
+so a corrupted transfer is caught at the destination, not at replay time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.errors import StoreFormatError
+from repro.fsutil import atomic_write_bytes, fsync_dir
+from repro.obs.registry import MetricsRegistry
+from repro.record.cas import CasStore, missing_blobs
+from repro.record.store import read_manifest, site_blob_refs, site_cas
+
+__all__ = [
+    "ShipReport",
+    "corpus_site_dirs",
+    "ship_corpus",
+    "ship_site",
+]
+
+
+@dataclass
+class ShipReport:
+    """What one shipment moved and what it skipped.
+
+    Attributes:
+        sites: site folders copied.
+        refs: distinct CAS references across the shipped sites.
+        blobs_transferred: blobs the destination was missing.
+        blobs_deduped: referenced blobs the destination already held.
+        bytes_transferred: raw body bytes actually moved.
+    """
+
+    sites: int = 0
+    refs: int = 0
+    blobs_transferred: int = 0
+    blobs_deduped: int = 0
+    bytes_transferred: int = 0
+    shipped_sites: List[str] = field(default_factory=list)
+
+    def merge(self, other: "ShipReport") -> None:
+        self.sites += other.sites
+        self.refs += other.refs
+        self.blobs_transferred += other.blobs_transferred
+        self.blobs_deduped += other.blobs_deduped
+        self.bytes_transferred += other.bytes_transferred
+        self.shipped_sites.extend(other.shipped_sites)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShipReport sites={self.sites} refs={self.refs} "
+            f"transferred={self.blobs_transferred} "
+            f"deduped={self.blobs_deduped} "
+            f"bytes={self.bytes_transferred}>"
+        )
+
+
+def corpus_site_dirs(corpus_dir: Any) -> List[str]:
+    """The site folders directly under a corpus directory (sorted).
+
+    A site folder is any subdirectory holding a ``site.json``; other
+    entries (the shared ``.cas`` tree, journals, loose files) are not
+    sites and are skipped.
+    """
+    corpus_dir = os.fspath(corpus_dir)
+    sites = []
+    for name in sorted(os.listdir(corpus_dir)):
+        path = os.path.join(corpus_dir, name)
+        if os.path.isdir(path) and \
+                os.path.exists(os.path.join(path, "site.json")):
+            sites.append(path)
+    return sites
+
+
+def ship_site(
+    source_dir: Any,
+    dest_dir: Any,
+    dest_cas: Optional[CasStore] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> ShipReport:
+    """Ship one recorded site folder; move only the missing blobs.
+
+    The manifest and pair files are always (re)copied — they are the
+    cheap part and carry the site's identity. For a v3 site, referenced
+    blobs already present in ``dest_cas`` are skipped; the rest are read
+    from the source CAS and imported (verified) into the destination.
+    The shipped ``site.json`` is rewritten so its ``"cas"`` key points
+    at ``dest_cas`` relative to the destination folder.
+
+    Args:
+        source_dir: the site folder to ship.
+        dest_dir: where the site folder lands (created; pair files are
+            replaced atomically).
+        dest_cas: the destination's CAS. Required for v3 sites; ignored
+            for flat v2/v1 sites (they carry their bodies inline).
+        metrics: counts land under ``fabric.blobs_*`` when given.
+
+    Returns:
+        A :class:`ShipReport` for this one site.
+
+    Raises:
+        StoreFormatError: a v3 source with no ``dest_cas`` to land in.
+    """
+    source_dir = os.fspath(source_dir)
+    dest_dir = os.fspath(dest_dir)
+    metadata = read_manifest(source_dir)
+    report = ShipReport(sites=1, shipped_sites=[dest_dir])
+    is_v3 = metadata.get("format_version") == 3
+
+    refs: List[str] = []
+    if is_v3:
+        if dest_cas is None:
+            raise StoreFormatError(
+                f"{source_dir} is format v3; shipping it needs a "
+                f"destination CAS"
+            )
+        source_cas = site_cas(source_dir, metadata)
+        refs = site_blob_refs(source_dir)
+        report.refs = len(refs)
+        missing = set(missing_blobs(refs, dest_cas))
+        # Blobs land before any pair file that references them — the
+        # same durability ordering RecordedSite.save(cas=...) keeps.
+        for ref in refs:
+            if ref in missing:
+                data = source_cas.get(ref)
+                dest_cas.import_blob(ref, data)
+                report.blobs_transferred += 1
+                report.bytes_transferred += len(data)
+            else:
+                report.blobs_deduped += 1
+
+    os.makedirs(dest_dir, exist_ok=True)
+    entries = metadata.get("pairs")
+    if isinstance(entries, list):
+        pair_files = [e.get("file") for e in entries
+                      if isinstance(e, dict) and isinstance(e.get("file"), str)]
+    else:  # v1: no manifest — ship every pair file on disk
+        pair_files = sorted(
+            f for f in os.listdir(source_dir)
+            if f.startswith("pair-") and not f.endswith(".tmp")
+        )
+    for filename in pair_files:
+        shutil.copyfile(os.path.join(source_dir, filename),
+                        os.path.join(dest_dir, filename))
+    if is_v3:
+        metadata = dict(metadata)
+        metadata["cas"] = os.path.relpath(dest_cas.root, dest_dir)
+    atomic_write_bytes(
+        os.path.join(dest_dir, "site.json"),
+        json.dumps(metadata, indent=2, sort_keys=True).encode("utf-8"),
+    )
+    fsync_dir(dest_dir)
+
+    if metrics is not None:
+        metrics.counter("fabric.blobs_transferred").add(
+            report.blobs_transferred)
+        metrics.counter("fabric.blobs_deduped").add(report.blobs_deduped)
+        metrics.counter("fabric.blob_bytes_transferred").add(
+            report.bytes_transferred)
+    return report
+
+
+def ship_corpus(
+    source_dir: Any,
+    dest_dir: Any,
+    metrics: Optional[MetricsRegistry] = None,
+) -> ShipReport:
+    """Ship every site of a corpus into ``dest_dir``.
+
+    Sites land under their source names; v3 sites share one destination
+    CAS at ``<dest_dir>/.cas``, so cross-site duplicates transfer once
+    — the delta shrinks with every site shipped.
+    """
+    source_dir = os.fspath(source_dir)
+    dest_dir = os.fspath(dest_dir)
+    os.makedirs(dest_dir, exist_ok=True)
+    dest_cas = CasStore(os.path.join(dest_dir, ".cas"))
+    total = ShipReport()
+    for site_dir in corpus_site_dirs(source_dir):
+        name = os.path.basename(site_dir)
+        total.merge(ship_site(site_dir, os.path.join(dest_dir, name),
+                              dest_cas=dest_cas, metrics=metrics))
+    return total

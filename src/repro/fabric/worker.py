@@ -1,0 +1,199 @@
+"""The fabric worker: runs one shard of trials, streams outcomes back.
+
+A worker is one process executing a contiguous conversation over the
+wire protocol (:mod:`repro.fabric.protocol`): hello → config → run →
+a stream of ``outcome`` messages → done. The same :func:`worker_loop`
+body runs under every backend — forked with an inherited factory
+closure (:class:`~repro.fabric.backend.LocalBackend`), launched as
+``mm-fabric worker`` over pipes
+(:class:`~repro.fabric.backend.SubprocessBackend`), or launched through
+an SSH-shaped transport (:class:`~repro.fabric.backend.RemoteBackend`).
+
+Trial semantics are *identical to the serial supervised sweep*
+(:func:`repro.measure.supervise.run_supervised`): the same
+:func:`~repro.measure.runner.run_trial` unit, the same bounded-retry
+loop, the same :class:`~repro.measure.supervise.TrialOutcome` taxonomy,
+and the same optional per-trial event-stream digest. That shared core is
+what makes the fabric's byte-identical-to-serial guarantee a matter of
+construction rather than luck.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from dataclasses import dataclass, field
+from typing import Any, BinaryIO, Dict, Iterable, Iterator, Optional
+
+from repro.errors import FabricError, ProtocolError, ReproError
+from repro.fabric.protocol import PROTOCOL_VERSION, read_message, write_message
+from repro.measure.journal import TrialJournal
+from repro.measure.runner import ScenarioFactory, run_trial
+from repro.measure.supervise import TrialOutcome, _success_outcome
+
+__all__ = [
+    "FactorySpec",
+    "run_shard",
+    "worker_loop",
+]
+
+
+@dataclass(frozen=True)
+class FactorySpec:
+    """A scenario factory named by import path (for spawned workers).
+
+    Workers launched as fresh processes (subprocess, remote) cannot
+    inherit a closure, so the factory travels as data: ``spec`` is
+    ``"package.module:attribute"`` naming a *builder* callable, and
+    ``kwargs`` are the keyword arguments the builder is called with to
+    produce the actual :data:`~repro.measure.runner.ScenarioFactory`.
+
+    Example:
+        >>> FactorySpec("repro.fabric.scenarios:replay_smoke",
+        ...             {"scale": 0.4}).spec
+        'repro.fabric.scenarios:replay_smoke'
+    """
+
+    spec: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def resolve(self) -> ScenarioFactory:
+        """Import the builder and call it; raise :class:`FabricError`
+        with the offending spec on any failure."""
+        module_name, sep, attr = self.spec.partition(":")
+        if not sep or not module_name or not attr:
+            raise FabricError(
+                f"malformed factory spec {self.spec!r} "
+                f"(expected 'package.module:attribute')"
+            )
+        try:
+            module = importlib.import_module(module_name)
+            builder = getattr(module, attr)
+        except (ImportError, AttributeError) as exc:
+            raise FabricError(
+                f"cannot resolve factory spec {self.spec!r}: {exc}"
+            ) from exc
+        factory = builder(**self.kwargs)
+        if not callable(factory):
+            raise FabricError(
+                f"factory spec {self.spec!r} built a non-callable "
+                f"{type(factory).__name__}"
+            )
+        return factory
+
+
+def run_shard(
+    factory: ScenarioFactory,
+    indices: Iterable[int],
+    timeout: float,
+    allow_failures: bool = False,
+    retries: int = 1,
+    capture_digest: bool = False,
+    journal: Optional[TrialJournal] = None,
+) -> Iterator[TrialOutcome]:
+    """Run a shard's trials in order, yielding each outcome as it lands.
+
+    Mirrors the serial path of :func:`run_supervised` exactly: first
+    successful attempt → ``ok``; success after failures → ``retried``;
+    retry budget exhausted → ``quarantined``. When a ``journal`` is
+    given, every *successful* outcome is checkpointed (fsync'd) before
+    it is yielded — so a worker that dies after journaling trial N never
+    makes the coordinator re-run N, it merges the sidecar instead.
+    """
+    for trial in indices:
+        error = None
+        outcome: Optional[TrialOutcome] = None
+        for attempt in range(1, retries + 2):
+            try:
+                result = run_trial(factory, trial, timeout, allow_failures,
+                                   capture_digest=capture_digest)
+            except ReproError as exc:
+                error = str(exc)
+                continue
+            outcome = _success_outcome(trial, attempt, result)
+            break
+        if outcome is None:
+            outcome = TrialOutcome(
+                trial=trial, status="quarantined", attempts=retries + 1,
+                error=error, result=None,
+            )
+        if journal is not None and outcome.succeeded:
+            journal.append(
+                outcome.trial,
+                {"status": outcome.status, "attempts": outcome.attempts,
+                 "result": outcome.result},
+                digest=outcome.digest,
+            )
+        yield outcome
+
+
+def worker_loop(
+    rfile: BinaryIO,
+    wfile: BinaryIO,
+    factory: Optional[ScenarioFactory] = None,
+) -> int:
+    """Drive one worker conversation over a stream pair.
+
+    Args:
+        rfile: coordinator → worker byte stream.
+        wfile: worker → coordinator byte stream.
+        factory: an inherited factory closure (fork backends); spawned
+            workers leave it None and receive a :class:`FactorySpec`
+            in their config instead.
+
+    Returns:
+        Process exit status (0 on a completed conversation).
+    """
+    write_message(wfile, ("hello", {
+        "protocol": PROTOCOL_VERSION, "pid": os.getpid(),
+    }))
+    try:
+        kind, config = read_message(rfile)
+        if kind != "config":
+            raise ProtocolError(f"expected config, got {kind!r}")
+        if config.get("protocol") != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"coordinator speaks protocol "
+                f"{config.get('protocol')!r}, worker speaks "
+                f"{PROTOCOL_VERSION}"
+            )
+        if factory is None:
+            spec = config.get("factory")
+            if spec is None:
+                raise FabricError(
+                    "spawned worker received no factory spec "
+                    "(only fork backends can inherit a closure)"
+                )
+            factory = spec.resolve() if isinstance(spec, FactorySpec) \
+                else FactorySpec(*spec).resolve()
+        journal = None
+        if config.get("journal"):
+            journal = TrialJournal(config["journal"],
+                                   key=config.get("run_key"))
+        kind, indices = read_message(rfile)
+        if kind != "run":
+            raise ProtocolError(f"expected run, got {kind!r}")
+        completed = 0
+        for outcome in run_shard(
+            factory,
+            list(indices),
+            timeout=config.get("timeout", 600.0),
+            allow_failures=bool(config.get("allow_failures", False)),
+            retries=int(config.get("retries", 1)),
+            capture_digest=bool(config.get("capture_digest", False)),
+            journal=journal,
+        ):
+            write_message(wfile, ("outcome", outcome))
+            completed += 1
+        if journal is not None:
+            journal.close()
+        write_message(wfile, ("done", {"trials": completed}))
+        return 0
+    except (EOFError, BrokenPipeError):
+        return 1  # coordinator went away; nothing to report to
+    except ReproError as exc:
+        try:
+            write_message(wfile, ("error", str(exc)))
+        except (OSError, ValueError):
+            pass
+        return 1

@@ -13,19 +13,25 @@
   iptables-REDIRECT-equivalent :class:`~repro.record.proxy.Redirector`.
 """
 
+from repro.record.cas import CasStore, body_checksum, missing_blobs
 from repro.record.entry import RequestResponsePair
 from repro.record.har import save_har, to_har
 from repro.record.matcher import MatchResult, RequestMatcher
 from repro.record.proxy import RecordingProxy, Redirector
-from repro.record.store import RecordedSite
+from repro.record.store import RecordedSite, site_blob_refs, site_cas
 
 __all__ = [
+    "CasStore",
     "MatchResult",
     "RecordedSite",
     "RecordingProxy",
     "Redirector",
     "RequestMatcher",
     "RequestResponsePair",
+    "body_checksum",
+    "missing_blobs",
     "save_har",
+    "site_blob_refs",
+    "site_cas",
     "to_har",
 ]

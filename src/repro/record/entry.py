@@ -11,9 +11,15 @@ from __future__ import annotations
 
 import base64
 import json
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.errors import StoreFormatError
+
+#: Resolves a CAS body reference (hex address) to the body's raw bytes.
+BodyResolver = Callable[[str], bytes]
+
+#: Stores raw body bytes, returning their CAS address.
+BodyPut = Callable[[bytes], str]
 from repro.http.body import Body
 from repro.http.message import Headers, HttpRequest, HttpResponse
 from repro.net.address import IPv4Address
@@ -83,12 +89,51 @@ class RequestResponsePair:
             self.to_dict(), sort_keys=True, separators=(",", ":")
         ).encode("utf-8")
 
+    def to_cas_dict(self, put: BodyPut) -> Dict[str, Any]:
+        """JSON form with real bodies externalised into a CAS.
+
+        Every fully-real, non-empty body is handed to ``put`` (which
+        stores it and returns its address) and serialised as
+        ``{"length": N, "cas": "<hex>"}`` instead of inline base64.
+        Virtual and empty bodies are unchanged — they carry no content
+        to deduplicate.
+        """
+        data = self.to_dict()
+        for message, body in (("request", self.request.body),
+                              ("response", self.response.body)):
+            body_dict = data[message]["body"]
+            if "content_b64" in body_dict:
+                body_dict.pop("content_b64")
+                body_dict["cas"] = put(body.as_bytes())
+        return data
+
+    def to_cas_bytes(self, put: BodyPut) -> bytes:
+        """Canonical bytes of the :meth:`to_cas_dict` form (the v3 pair
+        file content and its checksum input)."""
+        return json.dumps(
+            self.to_cas_dict(put), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "RequestResponsePair":
-        """Parse the :meth:`to_dict` form.
+    def from_dict(
+        cls,
+        data: Dict[str, Any],
+        body_resolver: Optional[BodyResolver] = None,
+    ) -> "RequestResponsePair":
+        """Parse the :meth:`to_dict` (or :meth:`to_cas_dict`) form.
+
+        Args:
+            data: the serialized pair.
+            body_resolver: resolves ``{"cas": "<hex>"}`` body references
+                to raw bytes (a bound :meth:`CasStore.get
+                <repro.record.cas.CasStore.get>`); without one, a CAS
+                reference raises :class:`StoreFormatError`.
 
         Raises:
-            StoreFormatError: on missing or malformed fields.
+            StoreFormatError: on missing or malformed fields, or a CAS
+                reference with no resolver attached.
+            BlobMissingError / BlobCorruptError: propagated from the
+                resolver for a dangling or corrupt reference.
         """
         try:
             req_data = data["request"]
@@ -98,13 +143,13 @@ class RequestResponsePair:
             request = HttpRequest(
                 method, uri,
                 _headers_from_list(req_data["headers"]),
-                _body_from_dict(req_data["body"]),
+                _body_from_dict(req_data["body"], body_resolver),
                 req_version,
             )
             response = HttpResponse(
                 int(status), reason,
                 _headers_from_list(resp_data["headers"]),
-                _body_from_dict(resp_data["body"]),
+                _body_from_dict(resp_data["body"], body_resolver),
                 resp_version,
             )
             return cls(
@@ -141,14 +186,30 @@ def _headers_from_list(items) -> Headers:
     return Headers((name, value) for name, value in items)
 
 
-def _body_from_dict(data: Dict[str, Any]) -> Body:
+def _body_from_dict(
+    data: Dict[str, Any], resolver: Optional[BodyResolver] = None
+) -> Body:
     length = int(data["length"])
     content = data.get("content_b64")
+    cas_ref = data.get("cas")
     if content is not None:
         raw = base64.b64decode(content)
         if len(raw) != length:
             raise StoreFormatError(
                 f"body length {length} does not match content ({len(raw)}B)"
+            )
+        return Body.from_bytes(raw)
+    if cas_ref is not None:
+        if resolver is None:
+            raise StoreFormatError(
+                f"body references CAS blob {cas_ref!r} but no store is "
+                f"attached (format v3 needs its cas directory)"
+            )
+        raw = resolver(str(cas_ref))
+        if len(raw) != length:
+            raise StoreFormatError(
+                f"body length {length} does not match CAS blob "
+                f"{cas_ref} ({len(raw)}B)"
             )
         return Body.from_bytes(raw)
     if length == 0:

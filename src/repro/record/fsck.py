@@ -14,7 +14,17 @@ optionally repairs it:
 * valid pair files are **never touched** — no rewrite, no renumber, no
   re-encode;
 * format v1 folders are **upgraded** to v2 on repair (checksums computed
-  from the surviving files' bytes as they are).
+  from the surviving files' bytes as they are);
+* format v3 folders keep their CAS layout: pair-file body references are
+  resolved through the site's content-addressed store, a dangling or
+  corrupt reference damages *that pair* (quarantined on repair like any
+  other damage), and the rewritten manifest stays v3.
+
+Corpus-level checks extend to the CAS itself (:func:`fsck_cas`): every
+blob is re-hashed against its address, and blobs referenced by no site
+under the checked tree are reported as **orphans** (quarantined on
+repair — moved into ``<cas>/quarantine/``, never deleted, so a blob
+orphaned by a quarantined pair file can still be recovered).
 
 After a repair, :meth:`RecordedSite.load` succeeds strictly and
 ReplayShell serves the surviving pairs, with the losses counted in the
@@ -26,23 +36,28 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from repro.errors import StoreFormatError
+from repro.errors import BlobCorruptError, BlobMissingError, StoreFormatError
 from repro.fsutil import atomic_write_bytes
+from repro.record.cas import CasStore
 from repro.record.entry import RequestResponsePair
 from repro.record.store import (
+    _CAS_FORMAT_VERSION,
     _PAIR_PREFIX,
     _QUARANTINE_DIR,
     _SITE_FILE,
     pair_checksum,
     pair_filename,
     read_manifest,
+    site_blob_refs,
+    site_cas,
 )
 
 __all__ = [
     "FsckProblem",
     "FsckReport",
+    "fsck_cas",
     "fsck_site",
     "fsck_tree",
     "is_site_dir",
@@ -53,22 +68,25 @@ __all__ = [
 class FsckProblem:
     """One integrity problem found in a site folder."""
 
-    file: str  #: file name within the folder ("site.json" or a pair file)
-    kind: str  #: missing | truncated | corrupt | malformed | orphan | fatal
+    file: str  #: file name within the folder ("site.json" or a pair
+    #: file), or a blob address in a CAS report
+    kind: str  #: missing | truncated | corrupt | malformed | orphan |
+    #: dangling | fatal
     detail: str  #: human-readable specifics
 
 
 @dataclass
 class FsckReport:
-    """Outcome of one :func:`fsck_site` pass."""
+    """Outcome of one :func:`fsck_site` (or :func:`fsck_cas`) pass."""
 
     directory: str
     format_version: Optional[int] = None
-    pairs_ok: int = 0
+    pairs_ok: int = 0  #: valid pair files (site) / intact blobs (cas)
     problems: List[FsckProblem] = field(default_factory=list)
     quarantined: List[str] = field(default_factory=list)
     repaired: bool = False
     upgraded: bool = False
+    kind: str = "site"  #: "site" or "cas"
 
     @property
     def clean(self) -> bool:
@@ -86,6 +104,7 @@ class FsckReport:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "directory": str(self.directory),
+            "kind": self.kind,
             "format_version": self.format_version,
             "pairs_ok": self.pairs_ok,
             "clean": self.clean,
@@ -115,8 +134,15 @@ def _verify_pair_file(
     filename: str,
     size: Optional[int],
     checksum: Optional[str],
+    resolver: Optional[Callable[[str], bytes]] = None,
 ) -> Tuple[Optional[FsckProblem], Optional[Dict[str, Any]]]:
-    """Check one pair file; return (problem, manifest-entry-if-valid)."""
+    """Check one pair file; return (problem, manifest-entry-if-valid).
+
+    ``resolver`` resolves CAS body references (v3 folders): a dangling
+    reference is the pair's problem (kind ``dangling``), a blob that no
+    longer hashes to its address is ``corrupt`` — either way the pair
+    cannot serve its recorded body and repair quarantines it.
+    """
     path = os.path.join(directory, filename)
     try:
         with open(path, "rb") as handle:
@@ -142,7 +168,15 @@ def _verify_pair_file(
             filename, "corrupt", f"corrupt pair file {path}: {exc}"
         ), None
     try:
-        RequestResponsePair.from_dict(data)
+        RequestResponsePair.from_dict(data, body_resolver=resolver)
+    except BlobMissingError as exc:
+        return FsckProblem(
+            filename, "dangling", f"pair file {path}: {exc}"
+        ), None
+    except BlobCorruptError as exc:
+        return FsckProblem(
+            filename, "corrupt", f"pair file {path}: {exc}"
+        ), None
     except StoreFormatError as exc:
         return FsckProblem(
             filename, "malformed", f"malformed pair file {path}: {exc}"
@@ -177,6 +211,13 @@ def fsck_site(directory: Any, repair: bool = False) -> FsckReport:
         return report
     version = metadata.get("format_version")
     report.format_version = version
+    resolver: Optional[Callable[[str], bytes]] = None
+    if version == _CAS_FORMAT_VERSION:
+        try:
+            resolver = site_cas(directory, metadata).get
+        except StoreFormatError as exc:
+            report.add(_SITE_FILE, "fatal", str(exc))
+            return report
 
     valid_entries: List[Dict[str, Any]] = []
     bad_files: List[str] = []
@@ -241,7 +282,8 @@ def fsck_site(directory: Any, repair: bool = False) -> FsckReport:
                 continue
             manifest_files.add(filename)
             problem, valid = _verify_pair_file(
-                directory, filename, size=size, checksum=checksum
+                directory, filename, size=size, checksum=checksum,
+                resolver=resolver,
             )
             if problem is not None:
                 report.problems.append(problem)
@@ -274,7 +316,12 @@ def _repair(
     bad_files: List[str],
     report: FsckReport,
 ) -> None:
-    """Quarantine the damage and commit a clean v2 manifest."""
+    """Quarantine the damage and commit a clean manifest.
+
+    v1 folders are upgraded to v2; v3 folders *stay* v3 (the surviving
+    pair files still reference the CAS, so the manifest must keep naming
+    it).
+    """
     quarantine = os.path.join(directory, _QUARANTINE_DIR)
     for filename in bad_files:
         source = os.path.join(directory, filename)
@@ -283,12 +330,15 @@ def _repair(
         os.makedirs(quarantine, exist_ok=True)
         os.replace(source, os.path.join(quarantine, filename))
         report.quarantined.append(filename)
+    is_v3 = metadata.get("format_version") == _CAS_FORMAT_VERSION
     manifest = {
-        "format_version": 2,
+        "format_version": _CAS_FORMAT_VERSION if is_v3 else 2,
         "name": metadata.get("name", os.path.basename(directory)),
         "pair_count": len(valid_entries),
         "pairs": valid_entries,
     }
+    if is_v3:
+        manifest["cas"] = metadata.get("cas")
     atomic_write_bytes(
         os.path.join(directory, _SITE_FILE),
         json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8"),
@@ -297,12 +347,108 @@ def _repair(
     report.upgraded = metadata.get("format_version") == 1
 
 
+def fsck_cas(
+    cas_root: Any,
+    referenced: Set[str],
+    repair: bool = False,
+) -> FsckReport:
+    """Verify one content-addressed store against its referencing sites.
+
+    Checks every stored blob re-hashes to its address (``corrupt``
+    otherwise), reports blobs no site references as ``orphan``, and
+    reports referenced addresses with no blob as ``dangling`` (the
+    CAS-level view of the same damage the per-pair check finds).
+
+    ``repair`` moves corrupt and orphan blobs into ``<cas>/quarantine/``
+    — moved, never deleted; an orphan produced by a quarantined pair
+    file stays recoverable. Dangling references are *not* repairable
+    here: the missing bytes are gone, and the referencing pair files are
+    the site-level repair's to quarantine.
+
+    Args:
+        cas_root: the store directory.
+        referenced: every blob address the in-scope sites reference.
+        repair: quarantine corrupt and orphan blobs.
+    """
+    cas_root = os.fspath(cas_root)
+    store = CasStore(cas_root)
+    report = FsckReport(directory=cas_root, kind="cas",
+                        format_version=_CAS_FORMAT_VERSION)
+    bad: List[str] = []
+    stored: Set[str] = set()
+    for ref, __ in store.blobs():
+        stored.add(ref)
+        try:
+            store.get(ref)
+        except BlobCorruptError as exc:
+            report.add(ref, "corrupt", str(exc))
+            bad.append(ref)
+            continue
+        except BlobMissingError as exc:  # malformed name in objects/
+            report.add(ref, "malformed", str(exc))
+            continue
+        if ref not in referenced:
+            report.add(ref, "orphan",
+                       f"orphan blob (referenced by no site): "
+                       f"{store.path_for(ref)}")
+            bad.append(ref)
+    report.pairs_ok = len(stored) - len(bad)
+    for ref in sorted(referenced - stored):
+        report.add(ref, "dangling",
+                   f"dangling reference: no blob at {store.path_for(ref)}")
+    if repair and bad:
+        quarantine = os.path.join(cas_root, _QUARANTINE_DIR)
+        os.makedirs(quarantine, exist_ok=True)
+        for ref in bad:
+            source = store.path_for(ref)
+            if os.path.exists(source):
+                os.replace(source,
+                           os.path.join(quarantine, ref + ".bin"))
+                report.quarantined.append(ref)
+        report.repaired = True
+    return report
+
+
+def _cas_scope(site_dirs: List[str], tree_root: str) -> Dict[str, Set[str]]:
+    """CAS root -> union of blob refs, over the v3 sites in scope.
+
+    Only stores *inside* ``tree_root`` are returned: a store outside the
+    checked tree may be shared with sites fsck cannot see, and an orphan
+    verdict there would be unsound.
+    """
+    tree_root = os.path.realpath(tree_root)
+    scope: Dict[str, Set[str]] = {}
+    for site_dir in site_dirs:
+        try:
+            metadata = read_manifest(site_dir)
+        except StoreFormatError:
+            continue
+        if metadata.get("format_version") != _CAS_FORMAT_VERSION:
+            continue
+        try:
+            store = site_cas(site_dir, metadata)
+        except StoreFormatError:
+            continue
+        root = os.path.realpath(store.root)
+        if os.path.commonpath([tree_root, root]) != tree_root:
+            continue
+        scope.setdefault(root, set()).update(site_blob_refs(site_dir))
+    return scope
+
+
 def fsck_tree(
     directory: Any, repair: bool = False
 ) -> List[FsckReport]:
     """Fsck a corpus folder: every immediate subdirectory with a
-    ``site.json``, in sorted order. A site folder passed directly is
-    checked as itself.
+    ``site.json``, in sorted order, then every content-addressed store
+    those sites reference (when it lives under ``directory`` — see
+    :func:`fsck_cas` for why out-of-tree stores are skipped). A site
+    folder passed directly is checked as itself, without a CAS orphan
+    pass (one site cannot vouch for a store other sites may share).
+
+    The CAS pass runs *after* any site repairs, so blobs referenced only
+    by just-quarantined pair files are correctly reported (and
+    quarantined) as orphans.
 
     Raises:
         StoreFormatError: when ``directory`` contains no recorded site.
@@ -313,13 +459,17 @@ def fsck_tree(
     if not os.path.isdir(directory):
         raise StoreFormatError(f"not a directory: {directory}")
     reports = []
+    site_dirs = []
     for name in sorted(os.listdir(directory)):
         candidate = os.path.join(directory, name)
         if os.path.isdir(candidate) and is_site_dir(candidate):
+            site_dirs.append(candidate)
             reports.append(fsck_site(candidate, repair=repair))
     if not reports:
         raise StoreFormatError(
             f"no recorded sites under {directory!r} "
             f"(expected site folders containing {_SITE_FILE})"
         )
+    for root, refs in sorted(_cas_scope(site_dirs, directory).items()):
+        reports.append(fsck_cas(root, refs, repair=repair))
     return reports

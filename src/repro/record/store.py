@@ -25,6 +25,15 @@ recording itself can be checked):
 Format v1 folders (no manifest) still load: checksums are simply not
 checked, and the pair numbering is validated against ``pair_count``
 instead. ``mm-fsck --repair`` upgrades a folder to v2 in place.
+
+Format v3 is v2 with bodies externalised into a **content-addressed
+store** (:mod:`repro.record.cas`): pair files carry ``{"length", "cas"}``
+body references instead of inline base64, ``site.json`` names the CAS
+directory (``"cas"``: a path relative to the site folder), and identical
+bodies across a whole corpus are stored once. The load path resolves
+references transparently — a v3 site loads into exactly the same
+:class:`RecordedSite` (pair-for-pair canonical-byte identical) as its
+flat v2 twin, so ReplayShell and every measurement are layout-blind.
 """
 
 from __future__ import annotations
@@ -34,16 +43,23 @@ import json
 import os
 from typing import Any, Dict, List, NamedTuple, Optional, Set, Tuple
 
-from repro.errors import StoreFormatError, StoreIntegrityError
+from repro.errors import (
+    BlobCorruptError,
+    BlobMissingError,
+    StoreFormatError,
+    StoreIntegrityError,
+)
 from repro.fsutil import atomic_write_bytes, fsync_dir as _fsync_dir
 from repro.net.address import IPv4Address
+from repro.record.cas import CasStore
 from repro.record.entry import RequestResponsePair
 
 _SITE_FILE = "site.json"
 _PAIR_PREFIX = "pair-"
 _QUARANTINE_DIR = "quarantine"
 _FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+_CAS_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def pair_checksum(data: bytes) -> str:
@@ -87,6 +103,70 @@ def read_manifest(directory: Any) -> Dict[str, Any]:
             f"unsupported format version {version!r} in {site_path}"
         )
     return metadata
+
+
+def site_cas(directory: Any, metadata: Optional[Dict[str, Any]] = None) -> CasStore:
+    """The CAS store a format-v3 site folder references.
+
+    Args:
+        directory: the site folder.
+        metadata: its already-read manifest (read here when omitted).
+
+    Raises:
+        StoreFormatError: the manifest is not v3 or names no CAS.
+    """
+    directory = os.fspath(directory)
+    if metadata is None:
+        metadata = read_manifest(directory)
+    if metadata.get("format_version") != _CAS_FORMAT_VERSION:
+        raise StoreFormatError(
+            f"{os.path.join(directory, _SITE_FILE)}: format "
+            f"v{metadata.get('format_version')} has no CAS"
+        )
+    cas_rel = metadata.get("cas")
+    if not isinstance(cas_rel, str) or not cas_rel:
+        raise StoreFormatError(
+            f"{os.path.join(directory, _SITE_FILE)}: format v3 requires "
+            f"a 'cas' directory reference"
+        )
+    return CasStore(os.path.normpath(os.path.join(directory, cas_rel)))
+
+
+def site_blob_refs(directory: Any) -> List[str]:
+    """Every CAS address a site folder's pair files reference (sorted,
+    deduplicated). Non-v3 folders reference nothing.
+
+    Unreadable or corrupt pair files contribute no references (they are
+    mm-fsck's problem, reported separately); the refs of everything
+    readable are still returned, which is what both the orphan-blob scan
+    and the fabric corpus delta need.
+    """
+    directory = os.fspath(directory)
+    metadata = read_manifest(directory)
+    if metadata.get("format_version") != _CAS_FORMAT_VERSION:
+        return []
+    refs: Set[str] = set()
+    entries = metadata.get("pairs")
+    if not isinstance(entries, list):
+        return []
+    for entry in entries:
+        filename = entry.get("file") if isinstance(entry, dict) else None
+        if not isinstance(filename, str):
+            continue
+        path = os.path.join(directory, filename)
+        try:
+            with open(path, "rb") as handle:
+                data = json.loads(handle.read().decode("utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            continue
+        if not isinstance(data, dict):
+            continue
+        for message in ("request", "response"):
+            body = data.get(message, {}).get("body", {})
+            ref = body.get("cas") if isinstance(body, dict) else None
+            if isinstance(ref, str):
+                refs.add(ref)
+    return sorted(refs)
 
 
 class DamagedPair(NamedTuple):
@@ -197,7 +277,7 @@ class RecordedSite:
     # ------------------------------------------------------------------ #
     # persistence
 
-    def save(self, directory) -> None:
+    def save(self, directory, cas: Optional[CasStore] = None) -> None:
         """Write the site folder atomically (format v2, with manifest).
 
         Every pair file and the manifest go through temp + fsync +
@@ -205,13 +285,24 @@ class RecordedSite:
         any point leaves either no loadable site (no/old ``site.json``)
         or a complete one — never a half-written folder that loads as
         valid.
+
+        Args:
+            cas: a :class:`~repro.record.cas.CasStore` to externalise
+                bodies into (format v3). Bodies land in the CAS *before*
+                the pair files that reference them, and the manifest
+                still commits last, so the crash-safety ordering holds:
+                nothing loadable ever references a blob that was not yet
+                durable.
         """
         directory = os.fspath(directory)
         os.makedirs(directory, exist_ok=True)
         manifest_pairs: List[Dict[str, Any]] = []
         for index, pair in enumerate(self._pairs):
             filename = pair_filename(index)
-            data = pair.to_canonical_bytes()
+            if cas is not None:
+                data = pair.to_cas_bytes(cas.put)
+            else:
+                data = pair.to_canonical_bytes()
             atomic_write_bytes(os.path.join(directory, filename), data)
             manifest_pairs.append({
                 "file": filename,
@@ -219,11 +310,14 @@ class RecordedSite:
                 "checksum": pair_checksum(data),
             })
         metadata = {
-            "format_version": _FORMAT_VERSION,
+            "format_version": (_CAS_FORMAT_VERSION if cas is not None
+                               else _FORMAT_VERSION),
             "name": self.name,
             "pair_count": len(self._pairs),
             "pairs": manifest_pairs,
         }
+        if cas is not None:
+            metadata["cas"] = os.path.relpath(cas.root, directory)
         atomic_write_bytes(
             os.path.join(directory, _SITE_FILE),
             json.dumps(metadata, indent=2, sort_keys=True).encode("utf-8"),
@@ -272,7 +366,11 @@ class RecordedSite:
         if version == 1:
             cls._load_v1(directory, metadata, site, damage, strict)
         else:
-            cls._load_v2(directory, metadata, site, damage, strict)
+            resolver = None
+            if version == _CAS_FORMAT_VERSION:
+                resolver = site_cas(directory, metadata).get
+            cls._load_v2(directory, metadata, site, damage, strict,
+                         resolver=resolver)
         site.damage = None if damage.ok else damage
         damage.pairs_loaded = len(site)
         return site, damage
@@ -325,7 +423,7 @@ class RecordedSite:
                 size=None, checksum=None,
             )
 
-    # -- v2: trust the manifest, verify everything against it ---------- #
+    # -- v2/v3: trust the manifest, verify everything against it ------- #
 
     @classmethod
     def _load_v2(
@@ -335,6 +433,7 @@ class RecordedSite:
         site: "RecordedSite",
         damage: StoreDamage,
         strict: bool,
+        resolver=None,
     ) -> None:
         entries = metadata.get("pairs")
         if not isinstance(entries, list):
@@ -356,7 +455,7 @@ class RecordedSite:
             manifest_files.add(filename)
             cls._load_pair_file(
                 directory, filename, site, damage, strict,
-                size=size, checksum=checksum,
+                size=size, checksum=checksum, resolver=resolver,
             )
         # Orphans: pair files on disk the manifest does not vouch for.
         for filename in sorted(os.listdir(directory)):
@@ -381,6 +480,7 @@ class RecordedSite:
         strict: bool,
         size: Optional[int],
         checksum: Optional[str],
+        resolver=None,
     ) -> None:
         path = os.path.join(directory, filename)
         try:
@@ -416,7 +516,19 @@ class RecordedSite:
             damage.add(filename, "corrupt", problem)
             return
         try:
-            pair = RequestResponsePair.from_dict(data)
+            pair = RequestResponsePair.from_dict(data, body_resolver=resolver)
+        except BlobMissingError as exc:
+            problem = f"pair file {path}: {exc}"
+            if strict:
+                raise BlobMissingError(problem) from exc
+            damage.add(filename, "missing", problem)
+            return
+        except BlobCorruptError as exc:
+            problem = f"pair file {path}: {exc}"
+            if strict:
+                raise BlobCorruptError(problem) from exc
+            damage.add(filename, "corrupt", problem)
+            return
         except StoreFormatError as exc:
             problem = f"malformed pair file {path}: {exc}"
             if strict:

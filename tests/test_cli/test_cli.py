@@ -240,7 +240,7 @@ class TestMmCorpusResume:
         # two journaled site folders, the rest missing.
         sites = alexa_corpus(seed=2, size=4, single_origin_sites=1,
                              scale=0.3)
-        key = run_key(seed=2, size=4, singles=1, scale=0.3)
+        key = run_key(seed=2, size=4, singles=1, scale=0.3, cas=False)
         for index in (2, 3):
             import shutil
 

@@ -1,0 +1,276 @@
+"""The fabric's headline guarantee: byte-identical to serial, any backend.
+
+Every test here compares a sharded ``run_fabric`` sweep against one
+serial ``run_supervised`` fixture — same factory, same trials — and
+asserts literal equality of the PLT sample, the per-trial event-stream
+digests, the combined sweep digest, and (where journaled) the journal
+file bytes.
+"""
+
+import os
+import signal
+import stat
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import JournalError
+from repro.fabric.backend import LocalBackend, RemoteBackend, SubprocessBackend
+from repro.fabric.coordinator import run_fabric
+from repro.fabric.scenarios import replay_smoke
+from repro.fabric.worker import FactorySpec
+from repro.measure.journal import TrialJournal, merge_journals
+from repro.measure.supervise import run_supervised
+
+KW = {"name": "fabtest.example", "seed": 7, "n_origins": 2, "scale": 0.3}
+SPEC = FactorySpec("repro.fabric.scenarios:replay_smoke", KW)
+TRIALS = 6
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return replay_smoke(**KW)
+
+
+@pytest.fixture(scope="module")
+def serial(factory, tmp_path_factory):
+    """The reference: one serial supervised sweep, journaled."""
+    path = tmp_path_factory.mktemp("serial") / "journal.jsonl"
+    result = run_supervised(factory, TRIALS, workers=1, journal=str(path),
+                            capture_digest=True)
+    assert result.complete
+    return result, path.read_bytes()
+
+
+def assert_identical(result, reference):
+    assert result.complete
+    assert result.digest == reference.digest
+    assert result.sample.values == reference.sample.values
+    for ours, theirs in zip(result.outcomes, reference.outcomes):
+        assert ours.trial == theirs.trial
+        assert ours.status == theirs.status
+        assert ours.digest == theirs.digest
+
+
+class TestLocalBackend:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_byte_identical_to_serial(self, shards, factory, serial,
+                                      tmp_path):
+        reference, reference_bytes = serial
+        journal = tmp_path / "journal.jsonl"
+        result = run_fabric(LocalBackend(factory), TRIALS, shards=shards,
+                            journal=str(journal), capture_digest=True)
+        assert_identical(result, reference)
+        assert journal.read_bytes() == reference_bytes
+        assert result.shards == shards
+        assert (result.metrics.counter("fabric.workers_spawned").value
+                == min(shards, TRIALS))
+
+    def test_more_shards_than_trials(self, factory, serial):
+        reference, __ = serial
+        result = run_fabric(LocalBackend(factory), TRIALS,
+                            shards=TRIALS + 3, capture_digest=True)
+        assert_identical(result, reference)
+
+    def test_validation(self, factory):
+        backend = LocalBackend(factory)
+        with pytest.raises(ValueError, match="trials"):
+            run_fabric(backend, 0)
+        with pytest.raises(ValueError, match="shards"):
+            run_fabric(backend, 1, shards=0)
+        with pytest.raises(ValueError, match="worker_retries"):
+            run_fabric(backend, 1, worker_retries=-1)
+        with pytest.raises(ValueError, match="progress_deadline"):
+            run_fabric(backend, 1, progress_deadline=0)
+
+
+class TestSpawnedBackends:
+    def test_subprocess_byte_identical_to_serial(self, serial, tmp_path):
+        reference, reference_bytes = serial
+        journal = tmp_path / "journal.jsonl"
+        result = run_fabric(SubprocessBackend(SPEC), TRIALS, shards=2,
+                            journal=str(journal), capture_digest=True)
+        assert_identical(result, reference)
+        assert journal.read_bytes() == reference_bytes
+
+    def test_remote_backend_over_fake_ssh(self, serial, tmp_path):
+        # A fake ssh that drops the hostname and runs the command
+        # locally: proves the transport shape without a network.
+        reference, __ = serial
+        fake_ssh = tmp_path / "fake-ssh"
+        fake_ssh.write_text('#!/bin/sh\nshift\nexec sh -c "$@"\n')
+        fake_ssh.chmod(fake_ssh.stat().st_mode | stat.S_IEXEC)
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(
+            __import__("repro").__file__)))
+        backend = RemoteBackend(
+            "measurement-host", SPEC,
+            ssh_command=(str(fake_ssh),),
+            python=sys.executable,
+            remote_pythonpath=src_root,
+        )
+        result = run_fabric(backend, TRIALS, shards=2, capture_digest=True)
+        assert_identical(result, reference)
+
+    def test_remote_command_shape(self):
+        backend = RemoteBackend("host9", SPEC, python="python3",
+                                remote_pythonpath="/opt/repro/src")
+        command = backend.remote_command()
+        assert command.startswith("PYTHONPATH=/opt/repro/src ")
+        assert "python3 -m repro.cli.mm_fabric worker" in command
+
+
+class _KillFirstWorker(LocalBackend):
+    """A LocalBackend whose first worker is SIGKILLed mid-shard."""
+
+    def __init__(self, factory, after=0.5):
+        super().__init__(factory)
+        self.after = after
+        self.killed = []
+
+    def start_worker(self, shard):
+        handle = super().start_worker(shard)
+        if not self.killed:
+            self.killed.append(handle.pid)
+
+            def assassin(pid=handle.pid):
+                time.sleep(self.after)
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except OSError:
+                    pass
+
+            threading.Thread(target=assassin, daemon=True).start()
+        return handle
+
+
+class TestWorkerCrash:
+    def test_sigkill_mid_shard_reassigns_and_stays_identical(self, serial):
+        reference, __ = serial
+        # pace widens the kill window in wall time only — virtual-time
+        # results (and therefore digests) are untouched.
+        paced = replay_smoke(pace=0.3, **KW)
+        backend = _KillFirstWorker(paced, after=0.5)
+        result = run_fabric(backend, TRIALS, shards=2, worker_retries=2,
+                            capture_digest=True)
+        assert backend.killed
+        assert_identical(result, reference)
+        metrics = result.metrics
+        assert metrics.counter("fabric.worker_crashes").value >= 1
+        assert metrics.counter("fabric.trials_reassigned").value >= 1
+        assert metrics.counter("fabric.workers_spawned").value >= 3
+
+    def test_worker_retries_zero_quarantines_as_crashed(self, factory):
+        paced = replay_smoke(pace=0.3, **KW)
+        backend = _KillFirstWorker(paced, after=0.5)
+        result = run_fabric(backend, TRIALS, shards=2, worker_retries=0)
+        assert not result.complete
+        crashed = result.crashed
+        assert crashed
+        assert all(o.status == "crashed" for o in crashed)
+        assert (result.metrics.counter("fabric.trials_crashed").value
+                == len(crashed))
+        # The untouched worker's trials still landed.
+        assert any(o.succeeded for o in result.outcomes)
+
+
+class TestJournalIntegration:
+    def test_full_journal_replays_without_workers(self, factory, serial,
+                                                  tmp_path):
+        reference, reference_bytes = serial
+        journal = tmp_path / "journal.jsonl"
+        journal.write_bytes(reference_bytes)
+        result = run_fabric(LocalBackend(factory), TRIALS, shards=2,
+                            journal=str(journal), capture_digest=True)
+        assert_identical(result, reference)
+        assert all(o.from_journal for o in result.outcomes)
+        assert result.metrics.counter("fabric.workers_spawned").value == 0
+        assert (result.metrics.counter("fabric.trials_from_journal").value
+                == TRIALS)
+
+    def test_partial_journal_resumes_byte_identical(self, factory, serial,
+                                                    tmp_path):
+        reference, reference_bytes = serial
+        # Seed the journal with only the first half of the serial run.
+        partial = TrialJournal(tmp_path / "journal.jsonl")
+        for outcome in reference.outcomes[: TRIALS // 2]:
+            partial.append(
+                outcome.trial,
+                {"status": outcome.status, "attempts": outcome.attempts,
+                 "result": outcome.result},
+                digest=outcome.digest,
+            )
+        partial.close()
+        result = run_fabric(LocalBackend(factory), TRIALS, shards=2,
+                            journal=str(tmp_path / "journal.jsonl"),
+                            capture_digest=True)
+        assert_identical(result, reference)
+        assert sum(o.from_journal for o in result.outcomes) == TRIALS // 2
+        assert (tmp_path / "journal.jsonl").read_bytes() == reference_bytes
+
+    def test_worker_sidecar_journals_cleaned_up(self, factory, serial,
+                                                tmp_path):
+        reference, reference_bytes = serial
+        journal = tmp_path / "journal.jsonl"
+        result = run_fabric(LocalBackend(factory), TRIALS, shards=2,
+                            journal=str(journal), capture_digest=True,
+                            worker_journals=True)
+        assert_identical(result, reference)
+        assert journal.read_bytes() == reference_bytes
+        assert not list(tmp_path.glob("journal.jsonl.shard*"))
+
+    def test_leftover_sidecar_merged_on_resume(self, factory, serial,
+                                               tmp_path):
+        reference, reference_bytes = serial
+        # A killed coordinator left a worker's sidecar behind: its
+        # trials must be merged, not re-run.
+        sidecar = TrialJournal(tmp_path / "journal.jsonl.shard0")
+        first = reference.outcomes[0]
+        sidecar.append(
+            first.trial,
+            {"status": first.status, "attempts": first.attempts,
+             "result": first.result},
+            digest=first.digest,
+        )
+        sidecar.close()
+        result = run_fabric(LocalBackend(factory), TRIALS, shards=2,
+                            journal=str(tmp_path / "journal.jsonl"),
+                            capture_digest=True)
+        assert_identical(result, reference)
+        assert (result.metrics.counter(
+            "fabric.sidecar_trials_merged").value == 1)
+        assert result.outcomes[0].from_journal
+        assert not (tmp_path / "journal.jsonl.shard0").exists()
+        assert (tmp_path / "journal.jsonl").read_bytes() == reference_bytes
+
+
+class TestMergeJournals:
+    def _journal_with(self, path, trials, key=None):
+        journal = TrialJournal(path, key=key)
+        for trial in trials:
+            journal.append(trial, {"status": "ok", "attempts": 1,
+                                   "result": None})
+        journal.close()
+        return path
+
+    def test_merges_missing_trials(self, tmp_path):
+        target = TrialJournal(tmp_path / "main.jsonl")
+        target.append(0, {"status": "ok", "attempts": 1, "result": None})
+        a = self._journal_with(tmp_path / "a.jsonl", [0, 1])
+        b = self._journal_with(tmp_path / "b.jsonl", [2])
+        merged = merge_journals(target, [str(a), str(b)])
+        assert merged == 2  # trial 0 already present
+        assert sorted(target.completed) == [0, 1, 2]
+
+    def test_missing_source_skipped(self, tmp_path):
+        target = TrialJournal(tmp_path / "main.jsonl")
+        assert merge_journals(target,
+                              [str(tmp_path / "nothing.jsonl")]) == 0
+
+    def test_key_mismatch_refused(self, tmp_path):
+        target = TrialJournal(tmp_path / "main.jsonl", key="deadbeef")
+        source = self._journal_with(tmp_path / "other.jsonl", [1],
+                                    key="cafef00d")
+        with pytest.raises(JournalError):
+            merge_journals(target, [str(source)])
