@@ -19,6 +19,9 @@ Workloads (mirroring ``bench_micro.py``'s hot-path benchmarks):
   + DelayShell (the unit every paper experiment multiplies).
 * ``fabric_trials_per_s`` — a sweep sharded over 2 forked fabric workers
   (coordinator + wire protocol + merge overhead on top of the trials).
+* ``fabric_degraded_trials_per_s`` — the same sweep degraded to one
+  worker after injected spawn failures quarantine the other shard's host
+  (backoff + quarantine + redistribution overhead included).
 * ``cas_corpus_load`` — loading a CAS-backed (format v3) corpus, blob
   resolution included.
 
@@ -226,6 +229,30 @@ def wl_fabric_trials() -> Tuple[float, str]:
     return float(trials), "trials"
 
 
+def wl_fabric_degraded() -> Tuple[float, str]:
+    """The same sharded sweep running *degraded*: shard 1's spawns always
+    fail, so after the retry budget the host is quarantined and every
+    trial lands on the surviving worker — spawn-retry backoff, the
+    quarantine decision, and trial redistribution all inside the timed
+    region. Guards the cost of the fault-tolerance path itself."""
+    from repro.fabric.backend import LocalBackend
+    from repro.fabric.coordinator import run_fabric
+    from repro.fabric.faults import (
+        FabricFaultPlan, FaultyBackend, SpawnFault,
+    )
+
+    trials = max(8, int(32 * bench_scale()))
+    backend = FaultyBackend(
+        LocalBackend(_fabric_factory()),
+        FabricFaultPlan([SpawnFault(shard=1, fail_first=99)]),
+    )
+    result = run_fabric(backend, trials=trials, shards=2, spawn_retries=1,
+                        quarantine_after=2)
+    assert result.complete
+    assert result.quarantined_hosts
+    return float(trials), "trials"
+
+
 _CAS_CORPUS = None
 
 
@@ -269,6 +296,7 @@ WORKLOADS: List[Tuple[str, Callable[[], Tuple[float, str]]]] = [
     ("page_load", wl_page_load),
     ("load_clients_per_s", wl_load_clients),
     ("fabric_trials_per_s", wl_fabric_trials),
+    ("fabric_degraded_trials_per_s", wl_fabric_degraded),
     ("cas_corpus_load", wl_cas_corpus_load),
 ]
 

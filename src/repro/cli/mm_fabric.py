@@ -6,7 +6,10 @@ Subcommands::
                   [--shards K] [--backend local|subprocess|remote]
                   [--host H]... [--ssh CMD] [--timeout S] [--retries R]
                   [--worker-retries R] [--journal PATH] [--run-key KEY]
-                  [--capture-digest] [--progress-deadline S] [--json]
+                  [--capture-digest] [--progress-deadline S]
+                  [--heartbeat S] [--io-deadline S] [--spawn-retries R]
+                  [--quarantine-after K] [--speculate]
+                  [--speculate-copies N] [--artifact PATH] [--json]
     mm-fabric worker
     mm-fabric ship SRC DEST [--json]
 
@@ -17,6 +20,24 @@ event-stream digest, journal) is byte-identical to a serial
 ``--backend``. ``--factory`` names a scenario-factory *builder*
 (e.g. ``repro.fabric.scenarios:replay_smoke``); ``--kwargs`` is a JSON
 object of its arguments.
+
+Robustness knobs: ``--heartbeat`` turns on worker liveness beats so the
+``--progress-deadline`` watchdog kills only wedged workers, never
+slow-but-alive ones; ``--io-deadline`` bounds every protocol read/write;
+``--spawn-retries`` retries failed spawns with capped seeded backoff and
+``--quarantine-after`` benches a host after that many consecutive
+crashes (the sweep degrades to the surviving shards); ``--speculate``
+duplicates straggler trials on idle workers, first outcome wins. None of
+these change results: every knob preserves byte-identity to serial.
+
+When a run resumes from ``--journal``, corrupt journal lines are dropped
+(their trials re-run) and surfaced as the ``journal_records_dropped``
+count in both output modes. ``--artifact`` writes the fabric counters
+and gauges as a ``repro.obs`` JSONL artifact for ``mm-report fabric``.
+
+Exit codes: ``0`` — sweep complete (every trial produced an outcome);
+``1`` — incomplete (crashed trials remain after retries/degradation);
+``2`` — usage or toolkit error before/while running.
 
 ``worker`` is the fabric worker entry point: it speaks the wire protocol
 on stdin/stdout and is what the subprocess and remote backends launch.
@@ -81,6 +102,13 @@ def _run(argv: List[str]) -> int:
     key: Optional[str] = None
     capture_digest = False
     progress_deadline: Optional[float] = None
+    heartbeat: Optional[float] = None
+    io_deadline: Optional[float] = None
+    spawn_retries = 2
+    quarantine_after = 3
+    speculate = False
+    speculate_copies = 1
+    artifact: Optional[str] = None
     as_json = False
     rest = list(argv)
     while rest:
@@ -113,6 +141,20 @@ def _run(argv: List[str]) -> int:
             capture_digest = True
         elif flag == "--progress-deadline":
             progress_deadline = float(rest.pop(0))
+        elif flag == "--heartbeat":
+            heartbeat = float(rest.pop(0))
+        elif flag == "--io-deadline":
+            io_deadline = float(rest.pop(0))
+        elif flag == "--spawn-retries":
+            spawn_retries = int(rest.pop(0))
+        elif flag == "--quarantine-after":
+            quarantine_after = int(rest.pop(0))
+        elif flag == "--speculate":
+            speculate = True
+        elif flag == "--speculate-copies":
+            speculate_copies = int(rest.pop(0))
+        elif flag == "--artifact":
+            artifact = rest.pop(0)
         elif flag == "--json":
             as_json = True
         else:
@@ -149,16 +191,29 @@ def _run(argv: List[str]) -> int:
         backend, trials, shards=shards, timeout=timeout,
         retries=retries, worker_retries=worker_retries,
         journal=journal, run_key=key, capture_digest=capture_digest,
-        progress_deadline=progress_deadline,
+        progress_deadline=progress_deadline, heartbeat=heartbeat,
+        io_deadline=io_deadline, spawn_retries=spawn_retries,
+        quarantine_after=quarantine_after, speculate=speculate,
+        speculate_copies=speculate_copies,
     )
     counters = {name: c.value
                 for name, c in sorted(result.metrics.counters.items())}
     gauges = {name: g.value
               for name, g in sorted(result.metrics.gauges.items())}
+    dropped = counters.get("fabric.journal_records_dropped", 0)
+    if artifact is not None:
+        from repro.obs import write_artifact
+
+        write_artifact(artifact, registry=result.metrics, meta={
+            "tool": "mm-fabric", "factory": factory_spec,
+            "trials": trials, "shards": shards, "backend": backend_name,
+        })
     if as_json:
         print(json.dumps({
             "sweep": result.to_dict(),
             "fabric": {"counters": counters, "gauges": gauges},
+            "journal_records_dropped": dropped,
+            "quarantined_hosts": dict(result.quarantined_hosts or {}),
         }, indent=2, sort_keys=True))
     else:
         counts = result.counts()
@@ -174,6 +229,14 @@ def _run(argv: List[str]) -> int:
             print(f"throughput: {rate:.2f} trials/s "
                   f"({counters.get('fabric.workers_spawned', 0)} worker(s), "
                   f"{counters.get('fabric.worker_crashes', 0)} crash(es))")
+        if dropped:
+            print(f"journal: dropped {dropped} corrupt record(s) on "
+                  f"resume (their trials were re-run)")
+        if result.quarantined_hosts:
+            benched = ", ".join(
+                f"{host} ({crashes} crash(es))" for host, crashes in
+                sorted(result.quarantined_hosts.items()))
+            print(f"quarantined hosts: {benched}")
     return 0 if result.complete else 1
 
 

@@ -10,6 +10,7 @@ Subcommands::
     mm-report render <artifact.jsonl> [--series SUBSTR]... [--width N]
     mm-report summary <artifact.jsonl>            # JSON to stdout
     mm-report load <capacity.jsonl> [--no-series]  # capacity-curve view
+    mm-report fabric <artifact.jsonl> [--json]     # fabric health view
     mm-report record-smoke --out <artifact.jsonl> [--seed N]
 """
 
@@ -110,6 +111,75 @@ def _cmd_load(options: argparse.Namespace) -> int:
     return 0
 
 
+_FABRIC_GROUPS = (
+    ("sweep", ("workers_spawned", "trials_completed", "trials_crashed")),
+    ("liveness", ("heartbeats", "watchdog_kills", "worker_crashes")),
+    ("wire", ("frames_resynced", "trials_redelivered")),
+    ("spawning", ("spawn_retries", "spawn_failures", "hosts_quarantined",
+                  "shards_degraded", "trials_redistributed")),
+    ("speculation", ("speculative_trials", "speculative_wins",
+                     "speculative_losses")),
+    ("journal", ("journal_records_dropped",)),
+)
+
+
+def _cmd_fabric(options: argparse.Namespace) -> int:
+    from repro.obs import read_artifact
+
+    artifact = read_artifact(options.artifact)
+    counters = {
+        name[len("fabric."):]: value
+        for name, value in artifact.counters.items()
+        if name.startswith("fabric.")
+    }
+    gauges = {
+        name[len("fabric."):]:
+            value.get("value") if isinstance(value, dict) else value
+        for name, value in artifact.gauges.items()
+        if name.startswith("fabric.")
+    }
+    if not counters and not gauges:
+        raise ReproError(
+            f"{options.artifact}: no fabric.* metrics in artifact "
+            f"(was it written by mm-fabric run --artifact?)"
+        )
+    if options.json:
+        print(json.dumps({"counters": counters, "gauges": gauges,
+                          "meta": artifact.meta},
+                         sort_keys=True, indent=2))
+        return 0
+    meta = artifact.meta or {}
+    if meta.get("tool"):
+        line = f"{meta['tool']}"
+        if meta.get("factory"):
+            line += f" {meta['factory']}"
+        if meta.get("trials") is not None:
+            line += (f": {meta['trials']} trial(s) over "
+                     f"{meta.get('shards', '?')} shard(s)")
+        print(line)
+    width = max(len(name) for name in
+                list(counters) + [f"{g} (gauge)" for g in gauges])
+    for group, names in _FABRIC_GROUPS:
+        rows = [(name, counters.pop(name)) for name in names
+                if name in counters]
+        if not rows:
+            continue
+        print(f"{group}:")
+        for name, value in rows:
+            print(f"  {name:<{width}}  {value}")
+    leftovers = sorted(counters.items())
+    if leftovers:
+        print("other:")
+        for name, value in leftovers:
+            print(f"  {name:<{width}}  {value}")
+    if gauges:
+        print("gauges:")
+        for name, value in sorted(gauges.items()):
+            label = f"{name} (gauge)"
+            print(f"  {label:<{width}}  {value:g}")
+    return 0
+
+
 def _cmd_record_smoke(options: argparse.Namespace) -> int:
     from repro.analysis.sanitizer import _smoke_scenario
     from repro.obs import write_artifact
@@ -175,6 +245,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="omit the occupancy/backlog time-series plots",
     )
     load.set_defaults(run=_cmd_load)
+
+    fabric = commands.add_parser(
+        "fabric",
+        help="fabric health view of an mm-fabric artifact "
+        "(liveness, wire damage, spawning, speculation counters)",
+    )
+    fabric.add_argument("artifact", help="mm-fabric JSONL artifact path")
+    fabric.add_argument(
+        "--json", action="store_true",
+        help="machine-readable fabric.* counters and gauges",
+    )
+    fabric.set_defaults(run=_cmd_fabric)
 
     smoke = commands.add_parser(
         "record-smoke",

@@ -178,6 +178,16 @@ class ProtocolError(FabricError):
     checksum, truncated length prefix, or an out-of-sequence message)."""
 
 
+class ProtocolTimeout(ProtocolError):
+    """A fabric peer missed a read or write deadline.
+
+    A subclass of :class:`ProtocolError` so every existing broken-stream
+    path (coordinator reader threads, worker conversations) treats a
+    silent half-open connection exactly like a torn one: the peer is
+    retired and its trials reassigned, never waited on forever.
+    """
+
+
 class NoMatchingResponse(RecordError):
     """The replay matcher found no recorded response for a request."""
 

@@ -70,12 +70,16 @@ class WorkerHandle:
         except (OSError, ValueError):
             pass
 
-    def wait(self) -> Optional[int]:
-        """Reap the worker; returns its exit code where available."""
+    def wait(self, timeout: Optional[float] = None) -> Optional[int]:
+        """Reap the worker; returns its exit code where available (None
+        when a ``timeout`` expires with the worker still running)."""
         if hasattr(self.process, "join"):
-            self.process.join()
+            self.process.join(timeout)
             return self.process.exitcode
-        return self.process.wait()
+        try:
+            return self.process.wait(timeout)
+        except subprocess.TimeoutExpired:
+            return None
 
     def close(self) -> None:
         """Close both stream ends (idempotent, error-tolerant)."""
@@ -102,13 +106,25 @@ class FabricBackend:
     needs_factory_spec = False
 
     def start_worker(self, shard: int) -> WorkerHandle:
-        """Launch one worker for shard ``shard`` and return its handle."""
+        """Launch one worker for shard ``shard`` and return its handle.
+
+        Implementations must hand the coordinator *unbuffered* streams
+        (``buffering=0`` / ``bufsize=0``): the protocol's read/write
+        deadlines select() on the raw fd, and a userspace buffer would
+        hide ready bytes from them.
+        """
         raise NotImplementedError
 
     def factory_spec(self) -> Optional[FactorySpec]:
         """The spec spawned workers resolve their factory from (None for
         backends whose workers inherit a closure)."""
         return None
+
+    def host_key(self, shard: int) -> str:
+        """The host this shard's worker lands on, for per-host health
+        bookkeeping (:class:`~repro.fabric.health.HostHealth`). Local
+        transports share one key; remote backends return their host."""
+        return "local"
 
 
 def _forked_worker_main(rfd: int, wfd: int, close_fds: Sequence[int],
@@ -166,8 +182,8 @@ class LocalBackend(FabricBackend):
         os.close(c2w_read)
         os.close(w2c_write)
         return WorkerHandle(
-            rfile=os.fdopen(w2c_read, "rb"),
-            wfile=os.fdopen(c2w_write, "wb"),
+            rfile=os.fdopen(w2c_read, "rb", buffering=0),
+            wfile=os.fdopen(c2w_write, "wb", buffering=0),
             process=process,
             pid=process.pid,
         )
@@ -224,6 +240,7 @@ class SubprocessBackend(FabricBackend):
                 worker_command(self.python),
                 stdin=subprocess.PIPE,
                 stdout=subprocess.PIPE,
+                bufsize=0,
                 env=_pythonpath_env(),
             )
         except OSError as exc:
@@ -274,6 +291,9 @@ class RemoteBackend(FabricBackend):
     def factory_spec(self) -> Optional[FactorySpec]:
         return self.spec
 
+    def host_key(self, shard: int) -> str:
+        return self.host
+
     def remote_command(self) -> str:
         """The shell command executed on the remote host."""
         command = shlex.join(worker_command(self.python))
@@ -291,6 +311,7 @@ class RemoteBackend(FabricBackend):
                 argv,
                 stdin=subprocess.PIPE,
                 stdout=subprocess.PIPE,
+                bufsize=0,
             )
         except OSError as exc:
             raise FabricError(

@@ -14,16 +14,40 @@ the :class:`~repro.measure.supervise.SweepResult` sample, the combined
 event-stream digest, and the rewritten journal are byte-identical to a
 serial ``run_supervised`` of the same sweep, for any shard count, any
 backend, and any interleaving of worker completions. Tests assert this
-literally (``tests/fabric/``) and CI re-proves it on every push.
+literally (``tests/test_fabric/``) and CI re-proves it on every push —
+including under injected harness faults (:mod:`repro.fabric.faults`).
 
-**Failure model.** A worker that dies mid-shard (crash, SIGKILL, broken
-transport) forfeits only its *unreported* trials: those are reassigned to
-a fresh replacement worker up to ``worker_retries`` times, then recorded
-as ``crashed`` — the same taxonomy ``run_supervised`` uses for a dead
-pool worker. A stalled worker (no outcome within ``progress_deadline``
-wall seconds) is killed by the coordinator's watchdog and handled the
-same way. Completed trials are never re-run: each outcome is journaled
-(fsync'd) the moment it arrives.
+**Failure model** (DESIGN.md §13 has the full fault × detection ×
+recovery matrix):
+
+* A worker that *dies* mid-shard (crash, SIGKILL, torn transport, read
+  deadline) forfeits only its unreported trials: those are reassigned
+  to a replacement worker up to ``worker_retries`` times, then recorded
+  as ``crashed``. Trials that already have an outcome — journaled the
+  moment they arrive — are never re-run.
+* A worker that goes *silent* is distinguished from one that is merely
+  slow by heartbeats: with ``heartbeat`` set, workers pulse liveness
+  frames on a wall-clock timer even mid-trial, so ``progress_deadline``
+  measures silence, not slowness. A wedged worker (alive, accepting
+  work, never replying — the half-open connection) misses its beats,
+  is SIGKILLed by the watchdog, and its trials reassigned.
+* A *spawn failure* is retried with capped exponential backoff and
+  seeded jitter (``spawn_retries`` attempts); hosts that crash
+  ``quarantine_after`` times consecutively are quarantined, and their
+  trials are *redistributed* to live workers — the sweep degrades to
+  fewer shards instead of aborting. Quarantined hosts surface on
+  :attr:`FabricResult.quarantined_hosts`.
+* Outcome frames *eaten by the wire* (drop, resync'd corruption) are
+  detected by the per-batch ``done`` message — the worker says how many
+  trials it ran; any still-unreported trial is redelivered to the same
+  live worker (bounded), because re-running a pure function is always
+  safe.
+* Near sweep end, ``speculate=True`` duplicates still-unfinished trials
+  onto idle workers (MapReduce-style speculative execution). The first
+  outcome per trial wins, duplicates are discarded unjournaled, and the
+  sweep returns as soon as every trial has an outcome — stragglers stop
+  setting the makespan, and determinism makes the duplicate's bytes
+  identical anyway.
 """
 
 from __future__ import annotations
@@ -33,11 +57,12 @@ import os
 import queue
 import threading
 import time
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from repro.errors import FabricError, ProtocolError
 from repro.fabric.backend import FabricBackend, WorkerHandle
+from repro.fabric.health import BackoffPolicy, HostHealth
 from repro.fabric.protocol import PROTOCOL_VERSION, read_message, write_message
 from repro.measure.journal import TrialJournal, merge_journals
 from repro.measure.runner import DEFAULT_TRIAL_TIMEOUT
@@ -54,6 +79,14 @@ __all__ = [
     "run_fabric",
 ]
 
+#: How many damaged frames one read_message call may resync past in the
+#: coordinator's reader threads (checksum skips + magic scans).
+_READ_RESYNC = 8
+
+#: How many times a live worker may be asked to redeliver outcomes the
+#: wire ate before the coordinator gives up on its stream.
+_MAX_REDELIVERIES = 3
+
 
 class FabricResult(SweepResult):
     """A :class:`SweepResult` plus the fabric's own observability.
@@ -64,15 +97,21 @@ class FabricResult(SweepResult):
     Attributes:
         metrics: harness-side instruments under the ``fabric.`` prefix —
             shards, workers spawned, crashes, trials completed / resumed
-            / reassigned, wall seconds, trials per second.
+            / reassigned / redelivered, spawn retries, heartbeats,
+            speculative wins/losses, wall seconds, trials per second.
         shards: the shard count the sweep ran with.
+        quarantined_hosts: hosts evicted for consecutive crashes, mapped
+            to the crash streak that evicted them (empty when none — the
+            degraded-but-complete signal).
     """
 
     def __init__(self, outcomes: List[TrialOutcome],
-                 metrics: MetricsRegistry, shards: int) -> None:
+                 metrics: MetricsRegistry, shards: int,
+                 quarantined_hosts: Optional[Dict[str, int]] = None) -> None:
         super().__init__(outcomes)
         self.metrics = metrics
         self.shards = shards
+        self.quarantined_hosts = dict(quarantined_hosts or {})
 
     def __repr__(self) -> str:
         return super().__repr__().replace(
@@ -81,16 +120,26 @@ class FabricResult(SweepResult):
 
 @dataclass
 class _ShardState:
-    """Coordinator-side record of one live worker and its shard."""
+    """Coordinator-side record of one live worker and its trials."""
 
     seq: int                      # worker sequence number (sidecar name)
     handle: WorkerHandle
+    host: str                     # backend host key (health bookkeeping)
     remaining: List[int]          # assigned trials not yet reported
     last_progress: float          # wall clock of the last outcome
+    last_heartbeat: float = 0.0   # wall clock of the last heartbeat
     configured: bool = False      # hello handshake completed
+    batches_sent: int = 0
+    batches_done: int = 0
+    redeliveries: int = 0
     kill_reason: Optional[str] = None
     thread: Optional[threading.Thread] = None
     sidecar: Optional[str] = None
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def last_beat(self) -> float:
+        """Latest evidence of life (outcome or heartbeat)."""
+        return max(self.last_progress, self.last_heartbeat)
 
     def fail_message(self, fallback: str) -> str:
         return self.kill_reason or fallback
@@ -99,19 +148,23 @@ class _ShardState:
 _Event = Tuple[int, str, Any]
 
 
-def _reader(seq: int, handle: WorkerHandle,
-            events: "queue.Queue[_Event]") -> None:
+def _reader(seq: int, handle: WorkerHandle, events: "queue.Queue[_Event]",
+            io_deadline: Optional[float], stats: Dict[str, int]) -> None:
     """Pump one worker's messages into the coordinator's event queue.
 
     One thread per worker: a blocking read only ever stalls its own
     worker's lane, and worker death surfaces as an ``eof``/``broken``
-    event instead of a hung coordinator.
+    event instead of a hung coordinator. With an ``io_deadline`` even
+    the blocking read is bounded (half-open connections become
+    ``broken`` events); damaged frames are resync'd up to
+    :data:`_READ_RESYNC` per read and counted in ``stats``.
     """
     try:
         while True:
-            kind, data = read_message(handle.rfile)
+            kind, data = read_message(handle.rfile, timeout=io_deadline,
+                                      resync=_READ_RESYNC, stats=stats)
             events.put((seq, kind, data))
-            if kind in ("done", "error"):
+            if kind == "error":
                 return
     except EOFError:
         events.put((seq, "eof", None))
@@ -133,6 +186,13 @@ def run_fabric(
     progress_deadline: Optional[float] = None,
     worker_journals: bool = False,
     metrics: Optional[MetricsRegistry] = None,
+    heartbeat: Optional[float] = None,
+    io_deadline: Optional[float] = None,
+    spawn_retries: int = 2,
+    spawn_backoff: Optional[BackoffPolicy] = None,
+    quarantine_after: int = 3,
+    speculate: bool = False,
+    speculate_copies: int = 1,
 ) -> FabricResult:
     """Run a sweep sharded across fabric workers; merge byte-identically.
 
@@ -159,9 +219,12 @@ def run_fabric(
         capture_digest: capture per-trial event-stream digests so
             :attr:`SweepResult.digest` proves cross-backend equivalence.
         progress_deadline: wall-clock seconds a worker may go without
-            reporting an outcome before the watchdog kills it (None
-            disables). This is a *harness* deadline — the per-trial
-            virtual ``timeout`` still governs simulated time.
+            evidence of life before the watchdog kills it (None
+            disables). With ``heartbeat`` set this measures *silence* —
+            a slow trial keeps beating and is left alone; without
+            heartbeats it measures time between outcomes, so a long
+            trial can be killed as stalled. Harness wall time only; the
+            per-trial virtual ``timeout`` still governs simulated time.
         worker_journals: also have each worker checkpoint to a
             ``<journal>.shard<seq>`` sidecar, merged into the main
             journal on the next resume (defense in depth for a killed
@@ -169,6 +232,26 @@ def run_fabric(
             streamed outcome itself).
         metrics: registry for ``fabric.*`` instruments (created when
             None; returned on the result either way).
+        heartbeat: wall seconds between worker liveness pulses (None
+            disables). Choose well under ``progress_deadline`` so
+            several beats fit in one watchdog window.
+        io_deadline: per-frame read/write deadline (wall seconds) on the
+            coordinator's side of every worker stream. Bounds even the
+            reader threads: a half-open connection becomes a retire
+            instead of a hang. Must exceed ``heartbeat`` (beats are what
+            keep an idle stream alive under a deadline).
+        spawn_retries: extra attempts when ``backend.start_worker``
+            fails, spaced by ``spawn_backoff``.
+        spawn_backoff: the backoff policy between spawn retries
+            (default: :class:`BackoffPolicy` with its seeded jitter).
+        quarantine_after: consecutive crashes (spawn failures or worker
+            deaths) after which a host is quarantined and the sweep
+            degrades to the remaining workers.
+        speculate: near sweep end, duplicate still-unfinished trials
+            onto idle workers; first outcome wins, byte-identity is
+            unaffected (trials are pure functions of their index).
+        speculate_copies: how many speculative duplicates one trial may
+            get.
 
     Returns:
         A :class:`FabricResult` whose sample, digest, and journal are
@@ -186,14 +269,37 @@ def run_fabric(
     if progress_deadline is not None and progress_deadline <= 0:
         raise ValueError(
             f"progress_deadline must be positive, got {progress_deadline!r}")
+    if heartbeat is not None and heartbeat <= 0:
+        raise ValueError(f"heartbeat must be positive, got {heartbeat!r}")
+    if io_deadline is not None and io_deadline <= 0:
+        raise ValueError(
+            f"io_deadline must be positive, got {io_deadline!r}")
+    if io_deadline is not None and heartbeat is not None \
+            and io_deadline <= heartbeat:
+        raise ValueError(
+            f"io_deadline ({io_deadline!r}) must exceed the heartbeat "
+            f"interval ({heartbeat!r}): beats are what keep an idle "
+            f"stream alive under a read deadline")
+    if spawn_retries < 0:
+        raise ValueError(
+            f"spawn_retries must be >= 0, got {spawn_retries!r}")
+    if speculate_copies < 1:
+        raise ValueError(
+            f"speculate_copies must be >= 1, got {speculate_copies!r}")
 
     if metrics is None:
         metrics = MetricsRegistry()
+    health = HostHealth(quarantine_after=quarantine_after)
+    backoff = spawn_backoff if spawn_backoff is not None else BackoffPolicy()
     started = time.monotonic()
 
     if journal is not None and not isinstance(journal, TrialJournal):
         journal = TrialJournal(journal, key=run_key)
     if journal is not None:
+        # Surface resume-time damage instead of silently swallowing it:
+        # records the journal reader had to drop (torn tail, bitrot).
+        metrics.counter("fabric.journal_records_dropped").add(
+            journal.dropped_records)
         leftover = sorted(glob.glob(journal.path + ".shard*"))
         if leftover:
             merged = merge_journals(journal, leftover)
@@ -222,6 +328,8 @@ def run_fabric(
             backend, pending, shards, timeout, allow_failures, retries,
             worker_retries, capture_digest, progress_deadline,
             worker_journals, journal, outcomes, metrics,
+            heartbeat, io_deadline, spawn_retries, backoff, health,
+            speculate, speculate_copies,
         )
 
     if journal is not None:
@@ -236,7 +344,8 @@ def run_fabric(
     if elapsed > 0:
         metrics.gauge("fabric.trials_per_s").set(completed / elapsed, 0.0)
     return FabricResult(
-        [outcomes[trial] for trial in range(trials)], metrics, shards)
+        [outcomes[trial] for trial in range(trials)], metrics, shards,
+        quarantined_hosts=health.quarantined)
 
 
 def _run_sharded(
@@ -253,13 +362,25 @@ def _run_sharded(
     journal: Optional[TrialJournal],
     outcomes: Dict[int, TrialOutcome],
     metrics: MetricsRegistry,
+    heartbeat: Optional[float],
+    io_deadline: Optional[float],
+    spawn_retries: int,
+    backoff: BackoffPolicy,
+    health: HostHealth,
+    speculate: bool,
+    speculate_copies: int,
 ) -> None:
     """Dispatch pending trials across workers and merge their streams."""
     events: "queue.Queue[_Event]" = queue.Queue()
     active: Dict[int, _ShardState] = {}
+    spent: List[_ShardState] = []   # retired states, closed at the end
     next_seq = 0
     #: trial -> number of workers it has been assigned to so far
     assignments: Dict[int, int] = {}
+    #: trial -> speculative duplicate count / owning worker seqs
+    spec_copies: Dict[int, int] = {}
+    spec_seqs: Dict[int, Set[int]] = {}
+    max_gap = 0.0
     spec = backend.factory_spec()
     if backend.needs_factory_spec and spec is None:
         raise FabricError(
@@ -267,20 +388,102 @@ def _run_sharded(
             f"no factory spec"
         )
 
-    def start_shard(indices: List[int]) -> None:
+    def crash_trial(trial: int, reason: str) -> None:
+        outcomes[trial] = TrialOutcome(
+            trial=trial, status="crashed",
+            attempts=assignments.get(trial, 1),
+            error=f"trial {trial}: {reason}", result=None,
+        )
+        metrics.counter("fabric.trials_crashed").add(1)
+
+    def degrade(indices: List[int], reason: str) -> None:
+        """A shard could not be (re)spawned: push its trials onto the
+        least-loaded live worker instead of aborting; with no live
+        worker left, the trials crash (the sweep still returns)."""
+        indices = [t for t in indices if t not in outcomes]
+        if not indices:
+            return
+        live = [st for st in active.values() if st.kill_reason is None]
+        if live:
+            target = min(live, key=lambda st: len(st.remaining))
+            metrics.counter("fabric.shards_degraded").add(1)
+            metrics.counter("fabric.trials_redistributed").add(len(indices))
+            queue_batch(target, indices)
+        else:
+            for trial in indices:
+                crash_trial(trial, reason)
+
+    def queue_batch(state: _ShardState, indices: List[int]) -> None:
+        """Hand extra trials to a live worker (it runs batches in
+        arrival order). Before the handshake the batch just joins the
+        initial assignment."""
+        fresh = [t for t in indices if t not in state.remaining]
+        state.remaining.extend(fresh)
+        for trial in indices:
+            assignments[trial] = assignments.get(trial, 0) + 1
+        if state.configured:
+            send_run(state, indices)
+
+    def send_run(state: _ShardState, indices: List[int]) -> bool:
+        try:
+            write_message(state.handle.wfile, ("run", list(indices)),
+                          timeout=io_deadline)
+            state.batches_sent += 1
+            return True
+        except (ProtocolError, OSError, ValueError) as exc:
+            retire(state, f"worker unreachable for a new batch: {exc}")
+            return False
+
+    def start_shard(indices: List[int],
+                    deferred: Optional[List[Tuple[List[int], str]]] = None,
+                    ) -> None:
+        """Spawn a worker for ``indices``, with backoff-retry and host
+        quarantine; on total failure degrade (or defer the degrade, for
+        the initial sharding where later shards may still spawn)."""
         nonlocal next_seq
+        indices = [t for t in indices if t not in outcomes]
+        if not indices:
+            return
         seq = next_seq
         next_seq += 1
-        handle = backend.start_worker(seq)
+        host = backend.host_key(seq)
+        if not health.usable(host):
+            reason = f"host {host!r} is quarantined"
+            if deferred is not None:
+                deferred.append((indices, reason))
+            else:
+                degrade(indices, reason)
+            return
+        handle: Optional[WorkerHandle] = None
+        for attempt in range(spawn_retries + 1):
+            try:
+                handle = backend.start_worker(seq)
+                break
+            except FabricError as exc:
+                if health.record_crash(host):
+                    metrics.counter("fabric.hosts_quarantined").add(1)
+                if attempt >= spawn_retries or not health.usable(host):
+                    metrics.counter("fabric.spawn_failures").add(1)
+                    reason = (f"cannot spawn worker on {host!r} after "
+                              f"{attempt + 1} attempts: {exc}")
+                    if deferred is not None:
+                        deferred.append((indices, reason))
+                    else:
+                        degrade(indices, reason)
+                    return
+                metrics.counter("fabric.spawn_retries").add(1)
+                backoff.sleep(attempt)
+        assert handle is not None
         sidecar = None
         if worker_journals and journal is not None:
             sidecar = f"{journal.path}.shard{seq}"
         state = _ShardState(
-            seq=seq, handle=handle, remaining=list(indices),
+            seq=seq, handle=handle, host=host, remaining=list(indices),
             last_progress=time.monotonic(), sidecar=sidecar,
         )
         state.thread = threading.Thread(
-            target=_reader, args=(seq, handle, events),
+            target=_reader, args=(seq, handle, events, io_deadline,
+                                  state.stats),
             name=f"fabric-reader-{seq}", daemon=True,
         )
         state.thread.start()
@@ -306,123 +509,224 @@ def _run_sharded(
             "capture_digest": capture_digest,
             "journal": state.sidecar,
             "run_key": journal.key if journal is not None else None,
+            "heartbeat": heartbeat,
         }
         if backend.needs_factory_spec:
             config["factory"] = (spec.spec, spec.kwargs)
-        write_message(state.handle.wfile, ("config", config))
-        write_message(state.handle.wfile, ("run", list(state.remaining)))
+        write_message(state.handle.wfile, ("config", config),
+                      timeout=io_deadline)
         state.configured = True
+        send_run(state, state.remaining)
 
     def retire(state: _ShardState, failure: Optional[str]) -> None:
-        """Tear a worker down; reassign or quarantine its leftovers."""
+        """Tear a worker down; reassign or quarantine its leftovers.
+
+        Streams are closed later (at sweep end, once the reader thread
+        has drained): a wedged stream's reader can be blocked forever,
+        and closing its fd out from under it would let the fd number be
+        reused mid-read.
+        """
+        if state.seq not in active:
+            return
         del active[state.seq]
+        spent.append(state)
         state.handle.kill()
         state.handle.wait()
-        state.handle.close()
         if failure is None:
             return
         metrics.counter("fabric.worker_crashes").add(1)
+        if health.record_crash(state.host):
+            metrics.counter("fabric.hosts_quarantined").add(1)
         reassign: List[int] = []
         for trial in state.remaining:
+            if trial in outcomes:
+                # Already answered — by a speculative duplicate or an
+                # earlier copy of a redelivered batch. Re-running it
+                # would waste a worker and double-journal the trial.
+                continue
             if assignments.get(trial, 1) <= worker_retries:
                 reassign.append(trial)
             else:
-                outcomes[trial] = TrialOutcome(
-                    trial=trial, status="crashed",
-                    attempts=assignments.get(trial, 1),
-                    error=f"trial {trial}: {failure}", result=None,
-                )
-                metrics.counter("fabric.trials_crashed").add(1)
+                crash_trial(trial, failure)
         if reassign:
             metrics.counter("fabric.trials_reassigned").add(len(reassign))
             start_shard(reassign)
 
+    def shutdown_worker(state: _ShardState) -> None:
+        """End a finished worker's conversation politely; escalate to
+        SIGKILL only if it lingers."""
+        if state.seq in active:
+            del active[state.seq]
+        spent.append(state)
+        try:
+            write_message(state.handle.wfile, ("shutdown", None),
+                          timeout=io_deadline if io_deadline else 5.0)
+        except (ProtocolError, OSError, ValueError):
+            pass
+        try:
+            state.handle.wfile.close()
+        except (OSError, ValueError):
+            pass
+        if state.handle.wait(timeout=5.0) is None and state.handle.alive():
+            state.handle.kill()
+            state.handle.wait()
+
+    def speculative_batch() -> List[int]:
+        """Unfinished trials an idle worker may duplicate."""
+        batch = []
+        for trial in pending:
+            if trial in outcomes:
+                continue
+            if spec_copies.get(trial, 0) >= speculate_copies:
+                continue
+            batch.append(trial)
+        return batch
+
+    def worker_idle(state: _ShardState) -> None:
+        """All the worker's batches are done and nothing is owed:
+        speculate on stragglers or send it home."""
+        batch = speculative_batch() if speculate else []
+        if batch:
+            for trial in batch:
+                spec_copies[trial] = spec_copies.get(trial, 0) + 1
+                spec_seqs.setdefault(trial, set()).add(state.seq)
+            metrics.counter("fabric.speculative_trials").add(len(batch))
+            queue_batch(state, batch)
+        else:
+            shutdown_worker(state)
+
+    def watchdog() -> None:
+        """Retire workers silent past the progress deadline.
+
+        Silence is measured from the last *evidence of life* — outcome
+        or heartbeat — so with heartbeats on, a slow-but-alive worker
+        is never killed; a wedged one (or a half-open pipe) is. Idle
+        workers (nothing owed) are exempt. Retiring here, not via the
+        reader thread, matters: a wedged stream's reader may never wake
+        to deliver an eof."""
+        if progress_deadline is None:
+            return
+        now = time.monotonic()
+        for state in list(active.values()):
+            if state.kill_reason is not None or not state.remaining:
+                continue
+            if now - state.last_beat() > progress_deadline:
+                state.kill_reason = (
+                    f"no outcome or heartbeat for {progress_deadline}s "
+                    f"(wall clock); worker killed by the fabric watchdog"
+                )
+                metrics.counter("fabric.watchdog_kills").add(1)
+                retire(state, state.kill_reason)
+
     # Initial round-robin sharding. The scheme is irrelevant to the
     # output (the merge is by trial index); round-robin just balances
-    # shard sizes within one trial of each other.
+    # shard sizes within one trial of each other. Spawn failures are
+    # deferred until every shard has had its chance, so early failures
+    # degrade onto later successes.
+    deferred: List[Tuple[List[int], str]] = []
     for k in range(shards):
         shard_indices = pending[k::shards]
         if shard_indices:
-            start_shard(shard_indices)
+            start_shard(shard_indices, deferred=deferred)
+    for indices, reason in deferred:
+        degrade(indices, reason)
 
     try:
-        while active:
+        while active and any(t not in outcomes for t in pending):
             try:
                 seq, kind, data = events.get(timeout=0.25)
             except queue.Empty:
-                _watchdog(active, progress_deadline)
+                watchdog()
                 continue
             state = active.get(seq)
             if state is None:
                 continue  # stale event from an already-retired worker
+            now = time.monotonic()
             if kind == "hello":
                 try:
                     configure(state, data)
-                except (BrokenPipeError, OSError) as exc:
+                except (ProtocolError, BrokenPipeError, OSError) as exc:
                     retire(state, f"worker died during handshake: {exc}")
+            elif kind == "heartbeat":
+                max_gap = max(max_gap, now - state.last_beat())
+                state.last_heartbeat = now
+                metrics.counter("fabric.heartbeats").add(1)
             elif kind == "outcome":
                 if not isinstance(data, TrialOutcome):
                     retire(state, f"worker sent a "
                                   f"{type(data).__name__} outcome")
                     continue
-                outcomes[data.trial] = data
-                _journal_record(journal, data)
-                if data.trial in state.remaining:
-                    state.remaining.remove(data.trial)
-                state.last_progress = time.monotonic()
-                metrics.counter("fabric.trials_completed").add(1)
+                max_gap = max(max_gap, now - state.last_beat())
+                state.last_progress = now
+                health.record_success(state.host)
+                if data.trial not in outcomes:
+                    outcomes[data.trial] = data
+                    _journal_record(journal, data)
+                    metrics.counter("fabric.trials_completed").add(1)
+                    if seq in spec_seqs.get(data.trial, ()):
+                        metrics.counter("fabric.speculative_wins").add(1)
+                elif data.trial in spec_copies:
+                    # A duplicate landed after the race was decided;
+                    # discard it (first outcome won, bytes identical).
+                    metrics.counter("fabric.speculative_losses").add(1)
+                for other in active.values():
+                    if data.trial in other.remaining:
+                        other.remaining.remove(data.trial)
             elif kind == "done":
-                if state.remaining:
-                    retire(state, f"worker finished with "
-                                  f"{len(state.remaining)} trials "
-                                  f"unreported")
-                else:
-                    retire(state, None)
+                state.batches_done += 1
+                if state.batches_done >= state.batches_sent:
+                    state.remaining = [t for t in state.remaining
+                                       if t not in outcomes]
+                    if state.remaining:
+                        # The worker ran everything it was given, yet
+                        # trials are unreported: the wire ate outcome
+                        # frames (drop, resync'd corruption). Pure
+                        # functions re-run safely — redeliver, bounded.
+                        if state.redeliveries >= _MAX_REDELIVERIES:
+                            retire(state, f"worker lost outcomes for "
+                                          f"{len(state.remaining)} trials "
+                                          f"after {state.redeliveries} "
+                                          f"redeliveries")
+                        else:
+                            state.redeliveries += 1
+                            metrics.counter(
+                                "fabric.trials_redelivered").add(
+                                    len(state.remaining))
+                            send_run(state, state.remaining)
+                    else:
+                        worker_idle(state)
             elif kind == "error":
                 retire(state, f"worker error: {data}")
             elif kind in ("eof", "broken"):
                 detail = "worker stream ended mid-shard" if kind == "eof" \
                     else f"worker stream broke: {data}"
                 retire(state, state.fail_message(detail))
-            _watchdog(active, progress_deadline)
+            watchdog()
     finally:
         for state in list(active.values()):
             state.handle.kill()
             state.handle.wait()
-            state.handle.close()
+            spent.append(state)
+        active.clear()
+        for state in spent:
+            if state.thread is not None:
+                state.thread.join(timeout=2.0)
+            if state.thread is None or not state.thread.is_alive():
+                # A still-blocked reader (wedged stream) keeps its fds:
+                # closing them would free the numbers for reuse under a
+                # live read. The thread is a daemon; the leak is bounded
+                # by the handful of wedges a sweep can see.
+                state.handle.close()
+
+    metrics.counter("fabric.frames_resynced").add(
+        sum(state.stats.get("resyncs", 0) for state in spent))
+    metrics.gauge("fabric.heartbeat_gap_max").set(max_gap, 0.0)
 
     for trial in pending:  # safety net: no trial leaves without a fate
         if trial not in outcomes:
-            outcomes[trial] = TrialOutcome(
-                trial=trial, status="crashed",
-                attempts=assignments.get(trial, 1),
-                error=f"trial {trial}: lost by the fabric (worker "
-                      f"retired without reporting it)", result=None,
-            )
-            metrics.counter("fabric.trials_crashed").add(1)
+            crash_trial(trial, "lost by the fabric (worker retired "
+                               "without reporting it)")
 
     if worker_journals and journal is not None:
         for path in glob.glob(journal.path + ".shard*"):
             os.remove(path)
-
-
-def _watchdog(active: Dict[int, _ShardState],
-              progress_deadline: Optional[float]) -> None:
-    """Kill workers that have gone silent past the progress deadline.
-
-    The kill closes the worker's side of the stream, so the reader
-    thread surfaces an eof/broken event and the normal crash path
-    (reassign or quarantine) takes over — one failure path, not two.
-    """
-    if progress_deadline is None:
-        return
-    now = time.monotonic()
-    for state in active.values():
-        if state.kill_reason is not None:
-            continue
-        if now - state.last_progress > progress_deadline:
-            state.kill_reason = (
-                f"no outcome for {progress_deadline}s (wall clock); "
-                f"worker killed by the fabric watchdog"
-            )
-            state.handle.kill()

@@ -1,13 +1,25 @@
-"""The fabric worker: runs one shard of trials, streams outcomes back.
+"""The fabric worker: runs batches of trials, streams outcomes back.
 
-A worker is one process executing a contiguous conversation over the
-wire protocol (:mod:`repro.fabric.protocol`): hello → config → run →
-a stream of ``outcome`` messages → done. The same :func:`worker_loop`
-body runs under every backend — forked with an inherited factory
-closure (:class:`~repro.fabric.backend.LocalBackend`), launched as
+A worker is one process executing a conversation over the wire protocol
+(:mod:`repro.fabric.protocol`): hello → config → then a *batch loop* —
+each ``run`` message answered by a stream of ``outcome`` messages and a
+per-batch ``done``, until ``shutdown`` (or a clean EOF) ends the
+conversation. The same :func:`worker_loop` body runs under every
+backend — forked with an inherited factory closure
+(:class:`~repro.fabric.backend.LocalBackend`), launched as
 ``mm-fabric worker`` over pipes
 (:class:`~repro.fabric.backend.SubprocessBackend`), or launched through
 an SSH-shaped transport (:class:`~repro.fabric.backend.RemoteBackend`).
+
+The batch loop (protocol v2) is what makes the fabric's fault tolerance
+possible: the coordinator can *redeliver* trials whose outcome frames
+the wire ate, push *speculative* copies of straggler trials to idle
+workers, and *rebalance* a dead peer's remaining trials onto live ones —
+all without respawning anything. Alongside the trial work, a
+:class:`~repro.fabric.health.HeartbeatSender` daemon thread pulses
+``heartbeat`` frames on a wall-clock period (sharing this module's write
+lock so frames never interleave), which is how the coordinator tells a
+slow worker from a wedged one.
 
 Trial semantics are *identical to the serial supervised sweep*
 (:func:`repro.measure.supervise.run_supervised`): the same
@@ -22,10 +34,12 @@ from __future__ import annotations
 
 import importlib
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Any, BinaryIO, Dict, Iterable, Iterator, Optional
 
 from repro.errors import FabricError, ProtocolError, ReproError
+from repro.fabric.health import HeartbeatSender
 from repro.fabric.protocol import PROTOCOL_VERSION, read_message, write_message
 from repro.measure.journal import TrialJournal
 from repro.measure.runner import ScenarioFactory, run_trial
@@ -142,11 +156,23 @@ def worker_loop(
             in their config instead.
 
     Returns:
-        Process exit status (0 on a completed conversation).
+        Process exit status (0 on a completed conversation — a
+        ``shutdown`` message or a clean EOF after config).
+
+    The config may carry ``"heartbeat"`` (wall seconds between liveness
+    pulses, 0/absent disables them); all frames to the coordinator go
+    out under one lock so heartbeats never interleave with outcomes.
     """
-    write_message(wfile, ("hello", {
-        "protocol": PROTOCOL_VERSION, "pid": os.getpid(),
-    }))
+    write_lock = threading.Lock()
+
+    def send(message):
+        with write_lock:
+            write_message(wfile, message)
+
+    send(("hello", {"protocol": PROTOCOL_VERSION, "pid": os.getpid()}))
+    heartbeat: Optional[HeartbeatSender] = None
+    journal = None
+    configured = False
     try:
         kind, config = read_message(rfile)
         if kind != "config":
@@ -166,34 +192,50 @@ def worker_loop(
                 )
             factory = spec.resolve() if isinstance(spec, FactorySpec) \
                 else FactorySpec(*spec).resolve()
-        journal = None
         if config.get("journal"):
             journal = TrialJournal(config["journal"],
                                    key=config.get("run_key"))
-        kind, indices = read_message(rfile)
-        if kind != "run":
-            raise ProtocolError(f"expected run, got {kind!r}")
-        completed = 0
-        for outcome in run_shard(
-            factory,
-            list(indices),
-            timeout=config.get("timeout", 600.0),
-            allow_failures=bool(config.get("allow_failures", False)),
-            retries=int(config.get("retries", 1)),
-            capture_digest=bool(config.get("capture_digest", False)),
-            journal=journal,
-        ):
-            write_message(wfile, ("outcome", outcome))
-            completed += 1
-        if journal is not None:
-            journal.close()
-        write_message(wfile, ("done", {"trials": completed}))
-        return 0
+        interval = float(config.get("heartbeat") or 0)
+        if interval > 0:
+            heartbeat = HeartbeatSender(
+                wfile, write_lock, interval=interval,
+                payload={"pid": os.getpid()},
+            ).start()
+        configured = True
+        batch = 0
+        while True:
+            kind, data = read_message(rfile)
+            if kind == "shutdown":
+                return 0
+            if kind != "run":
+                raise ProtocolError(f"expected run or shutdown, got {kind!r}")
+            completed = 0
+            for outcome in run_shard(
+                factory,
+                list(data),
+                timeout=config.get("timeout", 600.0),
+                allow_failures=bool(config.get("allow_failures", False)),
+                retries=int(config.get("retries", 1)),
+                capture_digest=bool(config.get("capture_digest", False)),
+                journal=journal,
+            ):
+                send(("outcome", outcome))
+                completed += 1
+            send(("done", {"trials": completed, "batch": batch}))
+            batch += 1
     except (EOFError, BrokenPipeError):
-        return 1  # coordinator went away; nothing to report to
+        # Coordinator went away. After config that is a normal end of
+        # conversation (v1 coordinators, torn-down sweeps); before it,
+        # the worker never got to work.
+        return 0 if configured else 1
     except ReproError as exc:
         try:
-            write_message(wfile, ("error", str(exc)))
+            send(("error", str(exc)))
         except (OSError, ValueError):
             pass
         return 1
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        if journal is not None:
+            journal.close()

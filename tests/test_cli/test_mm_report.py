@@ -64,6 +64,47 @@ class TestSummary:
         assert waterfall["failed"] == 0
 
 
+class TestFabric:
+    @pytest.fixture(scope="class")
+    def fabric_artifact(self, tmp_path_factory):
+        """An artifact shaped like mm-fabric run --artifact writes."""
+        registry = MetricsRegistry()
+        registry.counter("fabric.workers_spawned").add(2)
+        registry.counter("fabric.trials_completed").add(6)
+        registry.counter("fabric.heartbeats").add(12)
+        registry.counter("fabric.watchdog_kills").add(1)
+        registry.counter("fabric.speculative_wins").add(2)
+        registry.counter("fabric.journal_records_dropped").add(1)
+        registry.gauge("fabric.trials_per_s").set(8.5, time=0.0)
+        return write_artifact(
+            tmp_path_factory.mktemp("fab") / "fabric.jsonl",
+            registry=registry,
+            meta={"tool": "mm-fabric", "factory": "mod:builder",
+                  "trials": 6, "shards": 2},
+        )
+
+    def test_renders_grouped_counters(self, fabric_artifact, capsys):
+        assert main(["fabric", str(fabric_artifact)]) == 0
+        text = capsys.readouterr().out
+        assert "mm-fabric mod:builder: 6 trial(s) over 2 shard(s)" in text
+        assert "liveness:" in text and "watchdog_kills" in text
+        assert "speculation:" in text and "speculative_wins" in text
+        assert "journal_records_dropped" in text
+        assert "trials_per_s (gauge)" in text
+
+    def test_json_mode(self, fabric_artifact, capsys):
+        assert main(["fabric", str(fabric_artifact), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counters"]["watchdog_kills"] == 1
+        assert data["counters"]["journal_records_dropped"] == 1
+        assert data["gauges"]["trials_per_s"] == 8.5
+        assert data["meta"]["tool"] == "mm-fabric"
+
+    def test_non_fabric_artifact_refused(self, smoke_artifact, capsys):
+        assert main(["fabric", str(smoke_artifact)]) == 2
+        assert "no fabric.* metrics" in capsys.readouterr().err
+
+
 class TestErrorPaths:
     def test_missing_artifact_exits_2(self, capsys):
         assert main(["render", "/nonexistent/nope.jsonl"]) == 2

@@ -175,6 +175,128 @@ class TestWorkerCrash:
         assert any(o.succeeded for o in result.outcomes)
 
 
+class TestRobustness:
+    """The chaos-hardening contract: wedge detection, speculation,
+    degradation — all while staying byte-identical to serial."""
+
+    def test_wedged_worker_reassigned_slow_worker_survives(self, serial):
+        # The acceptance scenario: one wedged worker and one slow-but-
+        # alive worker in the same sweep. Every trial is paced slower
+        # than the progress deadline, so without heartbeats the slow
+        # worker would be killed as stalled; with them, only the wedged
+        # worker (whose beats stop arriving) is watchdog-killed.
+        from repro.fabric.faults import (
+            FabricFaultPlan, FaultyBackend, WedgeWorker,
+        )
+        reference, __ = serial
+        paced = replay_smoke(pace=0.6, **KW)
+        backend = FaultyBackend(LocalBackend(paced), FabricFaultPlan(
+            [WedgeWorker(shard=0, after_outcomes=1)]))
+        result = run_fabric(backend, TRIALS, shards=2, worker_retries=2,
+                            heartbeat=0.1, progress_deadline=0.45,
+                            capture_digest=True)
+        assert backend.injected.get("workers_wedged", 0) == 1
+        metrics = result.metrics
+        # Exactly one kill — the wedged worker; the slow one survived.
+        assert metrics.counter("fabric.watchdog_kills").value == 1
+        assert metrics.counter("fabric.worker_crashes").value == 1
+        assert metrics.counter("fabric.heartbeats").value > 0
+        assert_identical(result, reference)
+
+    def test_speculation_recovers_a_straggler(self, serial, tmp_path):
+        # A wedged shard is an infinite straggler: the idle worker
+        # duplicates its unfinished trials and the first outcome wins —
+        # no watchdog needed, journal bytes still canonical.
+        from repro.fabric.faults import (
+            FabricFaultPlan, FaultyBackend, WedgeWorker,
+        )
+        reference, reference_bytes = serial
+        factory = replay_smoke(**KW)
+        backend = FaultyBackend(LocalBackend(factory), FabricFaultPlan(
+            [WedgeWorker(shard=0, after_outcomes=1)]))
+        journal = tmp_path / "journal.jsonl"
+        result = run_fabric(backend, TRIALS, shards=2, speculate=True,
+                            heartbeat=0.2, journal=str(journal),
+                            capture_digest=True)
+        metrics = result.metrics
+        assert metrics.counter("fabric.speculative_trials").value >= 1
+        assert metrics.counter("fabric.speculative_wins").value >= 1
+        assert_identical(result, reference)
+        # First-outcome-wins journaling: no duplicates, canonical bytes.
+        assert journal.read_bytes() == reference_bytes
+
+    def test_quarantined_host_degrades_to_fewer_shards(self, factory,
+                                                       serial):
+        from repro.fabric.faults import (
+            FabricFaultPlan, FaultyBackend, SpawnFault,
+        )
+        reference, __ = serial
+        backend = FaultyBackend(LocalBackend(factory), FabricFaultPlan(
+            [SpawnFault(shard=1, fail_first=99)]))
+        result = run_fabric(backend, TRIALS, shards=2, spawn_retries=1,
+                            quarantine_after=2, capture_digest=True)
+        # Shard 1 never spawned; its trials ran on shard 0's worker.
+        assert result.quarantined_hosts == {"local": 2}
+        metrics = result.metrics
+        assert metrics.counter("fabric.hosts_quarantined").value == 1
+        assert metrics.counter("fabric.shards_degraded").value == 1
+        assert metrics.counter("fabric.trials_redistributed").value == 3
+        assert metrics.counter("fabric.workers_spawned").value == 1
+        assert_identical(result, reference)
+
+    def test_inflight_trials_reassigned_after_instant_kill(self, serial):
+        # Regression pin: a worker dying *between assignment and its
+        # first outcome* must forfeit every assigned trial exactly once
+        # — no loss, no double-run.
+        reference, __ = serial
+        paced = replay_smoke(pace=0.3, **KW)
+        backend = _KillFirstWorker(paced, after=0.0)
+        result = run_fabric(backend, TRIALS, shards=2, worker_retries=2,
+                            capture_digest=True)
+        assert backend.killed
+        assert_identical(result, reference)
+
+    def test_reassignment_skips_trials_that_already_landed(self, serial):
+        # Regression pin for the speculation-era retire() audit: when a
+        # worker dies while every one of its trials already has an
+        # outcome (here: delivered speculatively by its peer), no
+        # replacement worker is spawned for them.
+        from repro.fabric.faults import (
+            FabricFaultPlan, FaultyBackend, WedgeWorker,
+        )
+        reference, __ = serial
+        factory = replay_smoke(**KW)
+        backend = FaultyBackend(LocalBackend(factory), FabricFaultPlan(
+            [WedgeWorker(shard=0, after_outcomes=0)]))
+        result = run_fabric(backend, TRIALS, shards=2, speculate=True,
+                            heartbeat=0.1, progress_deadline=1.0,
+                            worker_retries=2, capture_digest=True)
+        assert_identical(result, reference)
+        # Two initial workers; the wedge's trials landed speculatively,
+        # so its watchdog retirement spawned nothing new.
+        assert result.metrics.counter("fabric.workers_spawned").value == 2
+
+    def test_io_deadline_must_exceed_heartbeat(self, factory):
+        backend = LocalBackend(factory)
+        with pytest.raises(ValueError, match="io_deadline"):
+            run_fabric(backend, 1, heartbeat=1.0, io_deadline=0.5)
+        with pytest.raises(ValueError, match="heartbeat"):
+            run_fabric(backend, 1, heartbeat=0.0)
+        with pytest.raises(ValueError, match="spawn_retries"):
+            run_fabric(backend, 1, spawn_retries=-1)
+        with pytest.raises(ValueError, match="speculate_copies"):
+            run_fabric(backend, 1, speculate_copies=0)
+
+    def test_io_deadline_bounded_run_stays_identical(self, factory,
+                                                     serial):
+        reference, __ = serial
+        result = run_fabric(LocalBackend(factory), TRIALS, shards=2,
+                            heartbeat=0.2, io_deadline=30.0,
+                            capture_digest=True)
+        assert_identical(result, reference)
+        assert result.metrics.counter("fabric.heartbeats").value >= 0
+
+
 class TestJournalIntegration:
     def test_full_journal_replays_without_workers(self, factory, serial,
                                                   tmp_path):
@@ -208,6 +330,26 @@ class TestJournalIntegration:
         assert_identical(result, reference)
         assert sum(o.from_journal for o in result.outcomes) == TRIALS // 2
         assert (tmp_path / "journal.jsonl").read_bytes() == reference_bytes
+
+    def test_corrupt_journal_records_dropped_and_rerun(self, factory,
+                                                       serial, tmp_path):
+        # Satellite contract: a resume over a damaged journal drops the
+        # corrupt records (re-running their trials), counts them as
+        # fabric.journal_records_dropped, and still converges to the
+        # canonical bytes.
+        reference, reference_bytes = serial
+        journal = tmp_path / "journal.jsonl"
+        lines = reference_bytes.splitlines(keepends=True)
+        journal.write_bytes(
+            lines[0] + b'{"this is not a journal record\n'
+            + b"".join(lines[2:4]))
+        result = run_fabric(LocalBackend(factory), TRIALS, shards=2,
+                            journal=str(journal), capture_digest=True)
+        metrics = result.metrics
+        assert metrics.counter("fabric.journal_records_dropped").value >= 1
+        assert metrics.counter("fabric.trials_from_journal").value >= 1
+        assert_identical(result, reference)
+        assert journal.read_bytes() == reference_bytes
 
     def test_worker_sidecar_journals_cleaned_up(self, factory, serial,
                                                 tmp_path):

@@ -1,0 +1,127 @@
+"""Tests for the fabric's liveness and degradation policy pieces."""
+
+import io
+import threading
+import time
+
+import pytest
+
+from repro.fabric.health import BackoffPolicy, HeartbeatSender, HostHealth
+from repro.fabric.protocol import read_message
+
+
+class TestBackoffPolicy:
+    def test_delays_double_up_to_cap(self):
+        policy = BackoffPolicy(base=0.1, cap=0.5, jitter=0.0)
+        assert [policy.delay(k) for k in range(4)] == [0.1, 0.2, 0.4, 0.5]
+
+    def test_jitter_stays_in_band(self):
+        policy = BackoffPolicy(base=0.1, cap=10.0, jitter=0.25, seed=3)
+        for attempt in range(6):
+            raw = min(0.1 * 2 ** attempt, 10.0)
+            assert raw * 0.75 <= policy.delay(attempt) <= raw * 1.25
+
+    def test_same_seed_same_schedule(self):
+        a = [BackoffPolicy(seed=7).delay(k) for k in range(5)]
+        b = [BackoffPolicy(seed=7).delay(k) for k in range(5)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [BackoffPolicy(seed=1).delay(k) for k in range(5)]
+        b = [BackoffPolicy(seed=2).delay(k) for k in range(5)]
+        assert a != b
+
+    def test_sleep_uses_injected_clock(self):
+        slept = []
+        policy = BackoffPolicy(base=0.25, jitter=0.0)
+        assert policy.sleep(1, clock=slept.append) == 0.5
+        assert slept == [0.5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="base"):
+            BackoffPolicy(base=0.0)
+        with pytest.raises(ValueError, match="cap"):
+            BackoffPolicy(base=1.0, cap=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            BackoffPolicy(jitter=1.0)
+
+
+class TestHeartbeatSender:
+    def test_beats_arrive_on_the_wire(self):
+        buffer = io.BytesIO()
+        lock = threading.Lock()
+        sender = HeartbeatSender(buffer, lock, interval=0.05,
+                                 payload={"pid": 42})
+        with sender:
+            time.sleep(0.4)
+        assert sender.sent >= 2
+        buffer.seek(0)
+        beats = 0
+        while True:
+            try:
+                kind, data = read_message(buffer)
+            except EOFError:
+                break
+            assert kind == "heartbeat"
+            assert data == {"pid": 42}
+            beats += 1
+        assert beats == sender.sent
+
+    def test_stop_is_prompt_and_idempotent(self):
+        sender = HeartbeatSender(io.BytesIO(), threading.Lock(),
+                                 interval=30.0).start()
+        started = time.monotonic()
+        sender.stop()
+        sender.stop()
+        assert time.monotonic() - started < 5.0
+
+    def test_write_failure_silences_the_sender(self):
+        class Broken:
+            def write(self, data):
+                raise BrokenPipeError("gone")
+
+            def flush(self):
+                pass
+
+        sender = HeartbeatSender(Broken(), threading.Lock(), interval=0.05)
+        with sender:
+            time.sleep(0.3)
+        assert sender.sent == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="interval"):
+            HeartbeatSender(io.BytesIO(), threading.Lock(), interval=0.0)
+
+
+class TestHostHealth:
+    def test_consecutive_crashes_quarantine(self):
+        health = HostHealth(quarantine_after=3)
+        assert not health.record_crash("h1")
+        assert not health.record_crash("h1")
+        assert health.usable("h1")
+        assert health.record_crash("h1")  # third strike
+        assert not health.usable("h1")
+        assert health.quarantined == {"h1": 3}
+
+    def test_success_resets_the_streak(self):
+        health = HostHealth(quarantine_after=2)
+        health.record_crash("h1")
+        health.record_success("h1")
+        assert not health.record_crash("h1")
+        assert health.usable("h1")
+
+    def test_quarantine_fires_once(self):
+        health = HostHealth(quarantine_after=1)
+        assert health.record_crash("h1")
+        assert not health.record_crash("h1")  # already quarantined
+        assert health.quarantined == {"h1": 1}
+
+    def test_hosts_are_independent(self):
+        health = HostHealth(quarantine_after=1)
+        health.record_crash("bad-host")
+        assert not health.usable("bad-host")
+        assert health.usable("good-host")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="quarantine_after"):
+            HostHealth(quarantine_after=0)

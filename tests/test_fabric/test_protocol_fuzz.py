@@ -1,0 +1,226 @@
+"""Protocol fuzz + deadline suite: damaged frames die loudly, never hang.
+
+The satellite contract: truncated, corrupt, oversized, and zero-length
+frames each yield a clean *named* error (``ProtocolError`` subtree or
+``EOFError``) — and with a deadline set, within the deadline — never a
+hang and never a silently merged partial message. Plus the v2 recovery
+paths: bounded resync over checksum damage and garbage floods.
+"""
+
+import hashlib
+import io
+import os
+import pickle
+import random
+import struct
+import time
+
+import pytest
+
+from repro.errors import ProtocolError, ProtocolTimeout
+from repro.fabric.protocol import (
+    MAX_RESYNC_SCAN,
+    read_message,
+    write_message,
+)
+
+_HEADER = struct.Struct(">4sI8s")
+
+
+def frame(message, magic=b"MMFB", checksum=None, length=None):
+    """Hand-build one frame so tests can corrupt any field."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if checksum is None:
+        checksum = hashlib.blake2b(payload, digest_size=8).digest()
+    if length is None:
+        length = len(payload)
+    return _HEADER.pack(magic, length, checksum) + payload
+
+
+def corrupted(message, at=-1):
+    """A frame with one payload byte flipped (checksum left stale)."""
+    data = bytearray(frame(message))
+    data[at] ^= 0xFF
+    return bytes(data)
+
+
+@pytest.fixture
+def pipe():
+    """A real OS pipe as raw streams (what backends hand the fabric)."""
+    read_fd, write_fd = os.pipe()
+    rfile = os.fdopen(read_fd, "rb", buffering=0)
+    wfile = os.fdopen(write_fd, "wb", buffering=0)
+    yield rfile, wfile
+    for stream in (rfile, wfile):
+        try:
+            stream.close()
+        except OSError:
+            pass
+
+
+class TestMalformedFrames:
+    """Each malformation class → one clean named error, no partial data."""
+
+    def test_zero_length_frame(self):
+        # length=0 with a checksum that cannot match an empty payload.
+        data = _HEADER.pack(b"MMFB", 0, b"\xde\xad\xbe\xef\xde\xad\xbe\xef")
+        with pytest.raises(ProtocolError, match="checksum"):
+            read_message(io.BytesIO(data))
+
+    def test_zero_length_frame_with_valid_checksum(self):
+        # An empty payload that checksums correctly still cannot carry a
+        # message: the pickle layer names the failure.
+        checksum = hashlib.blake2b(b"", digest_size=8).digest()
+        data = _HEADER.pack(b"MMFB", 0, checksum)
+        with pytest.raises(ProtocolError, match="unpicklable"):
+            read_message(io.BytesIO(data))
+
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError, match="frame header"):
+            read_message(io.BytesIO(frame(("done", None))[:9]))
+
+    def test_truncated_body(self):
+        with pytest.raises(ProtocolError, match="frame body"):
+            read_message(io.BytesIO(frame(("done", None))[:-4]))
+
+    def test_oversized_length_refused_before_allocation(self):
+        data = frame(("done", None), length=0xFFFFFFFF)
+        with pytest.raises(ProtocolError, match="cap"):
+            read_message(io.BytesIO(data))
+
+    def test_corrupt_payload(self):
+        with pytest.raises(ProtocolError, match="checksum"):
+            read_message(io.BytesIO(corrupted(("outcome", 123))))
+
+    def test_corrupt_magic(self):
+        with pytest.raises(ProtocolError, match="magic"):
+            read_message(io.BytesIO(frame(("done", None), magic=b"HTTP")))
+
+
+class TestDeadlines:
+    """No peer can hang the caller: silence becomes ProtocolTimeout."""
+
+    def test_silent_stream_times_out(self, pipe):
+        rfile, _wfile = pipe
+        started = time.monotonic()
+        with pytest.raises(ProtocolTimeout, match="read deadline"):
+            read_message(rfile, timeout=0.2)
+        assert time.monotonic() - started < 2.0
+
+    def test_partial_frame_then_silence_times_out(self, pipe):
+        rfile, wfile = pipe
+        wfile.write(frame(("outcome", "x" * 64))[:10])  # header fragment
+        started = time.monotonic()
+        with pytest.raises(ProtocolTimeout):
+            read_message(rfile, timeout=0.2)
+        assert time.monotonic() - started < 2.0
+
+    def test_unread_peer_write_times_out(self, pipe):
+        # Nobody drains the pipe: a frame larger than the kernel buffer
+        # cannot fully enter it, and the deadline converts the would-be
+        # eternal block into a named error.
+        _rfile, wfile = pipe
+        blob = ("blob", b"x" * (4 * 1024 * 1024))
+        started = time.monotonic()
+        with pytest.raises(ProtocolTimeout, match="write deadline"):
+            write_message(wfile, blob, timeout=0.2)
+        assert time.monotonic() - started < 2.0
+
+    def test_prompt_frame_beats_the_deadline(self, pipe):
+        rfile, wfile = pipe
+        write_message(wfile, ("heartbeat", {"pid": 1}))
+        assert read_message(rfile, timeout=5.0) == ("heartbeat", {"pid": 1})
+
+    def test_timeout_ignored_on_buffered_streams(self):
+        # BytesIO has no selectable fd; the timeout silently no-ops
+        # (documented) rather than raising on a perfectly good read.
+        buffer = io.BytesIO(frame(("done", None)))
+        assert read_message(buffer, timeout=0.01) == ("done", None)
+
+
+class TestResync:
+    """Bounded recovery over damaged frames, counted for the caller."""
+
+    def test_checksum_skip_recovers_next_frame(self):
+        stream = io.BytesIO(corrupted(("lost", 1)) + frame(("kept", 2)))
+        stats = {}
+        assert read_message(stream, resync=1, stats=stats) == ("kept", 2)
+        assert stats["resyncs"] == 1
+
+    def test_strict_mode_still_fails_fast(self):
+        stream = io.BytesIO(corrupted(("lost", 1)) + frame(("kept", 2)))
+        with pytest.raises(ProtocolError, match="checksum"):
+            read_message(stream)
+
+    def test_budget_exhaustion_raises(self):
+        stream = io.BytesIO(
+            corrupted(("a", 1)) + corrupted(("b", 2)) + frame(("c", 3)))
+        with pytest.raises(ProtocolError, match="checksum"):
+            read_message(stream, resync=1)
+
+    def test_garbage_flood_scan_to_next_magic(self):
+        noise = b"ssh_exchange_identification: banner line\r\n" * 3
+        assert b"MMFB" not in noise
+        stream = io.BytesIO(noise + frame(("kept", 9)))
+        stats = {}
+        assert read_message(stream, resync=1, stats=stats) == ("kept", 9)
+        assert stats["resyncs"] == 1
+
+    def test_scan_bound_abandons_endless_garbage(self):
+        stream = io.BytesIO(b"\x00" * (MAX_RESYNC_SCAN + 4096))
+        with pytest.raises(ProtocolError, match="resync abandoned"):
+            read_message(stream, resync=1)
+
+    def test_multiple_recoveries_within_budget(self):
+        stream = io.BytesIO(
+            corrupted(("a", 1)) + b"NOISE" * 4 + frame(("kept", 3)))
+        stats = {}
+        assert read_message(stream, resync=3, stats=stats) == ("kept", 3)
+        assert stats["resyncs"] == 2
+
+
+class TestSeededFuzz:
+    """Random mutations of a valid stream never escape the error taxonomy.
+
+    Every read either returns a well-formed (kind, data) message or
+    raises EOFError / ProtocolError — mutated bytes can never produce a
+    hang (reads here cannot block) or a malformed merged message.
+    """
+
+    MESSAGES = [
+        ("hello", {"protocol": 2, "pid": 11}),
+        ("outcome", {"trial": 3, "plt": 1.25}),
+        ("heartbeat", {"pid": 11}),
+        ("done", {"trials": 2, "batch": 0}),
+    ]
+
+    def _mutate(self, data, rng):
+        data = bytearray(data)
+        for _ in range(rng.randint(1, 8)):
+            choice = rng.random()
+            if choice < 0.5 and data:
+                data[rng.randrange(len(data))] ^= 1 << rng.randint(0, 7)
+            elif choice < 0.75 and data:
+                del data[rng.randrange(len(data))]
+            else:
+                data.insert(rng.randrange(len(data) + 1),
+                            rng.randint(0, 255))
+        return bytes(data)
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_mutated_stream_yields_only_named_errors(self, seed):
+        rng = random.Random(seed)
+        clean = b"".join(frame(m) for m in self.MESSAGES)
+        stream = io.BytesIO(self._mutate(clean, rng))
+        read = 0
+        while read < len(self.MESSAGES) + 4:
+            try:
+                kind, _data = read_message(stream, resync=rng.randint(0, 2))
+            except EOFError:
+                break
+            except ProtocolError:
+                break
+            assert isinstance(kind, str)
+            read += 1
+        else:
+            pytest.fail("mutated stream produced more messages than sent")

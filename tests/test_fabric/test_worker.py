@@ -131,6 +131,8 @@ class TestWorkerLoop:
             messages.append((kind, data))
             if kind in ("done", "error"):
                 break
+        if kind == "done":  # v2 batch loop: the worker waits for more work
+            write_message(to_worker, ("shutdown", None))
         thread.join(timeout=60)
         return status["exit"], messages
 
@@ -139,7 +141,7 @@ class TestWorkerLoop:
         assert exit_status == 0
         kinds = [kind for kind, __ in messages]
         assert kinds == ["outcome", "outcome", "done"]
-        assert messages[-1][1] == {"trials": 2}
+        assert messages[-1][1] == {"trials": 2, "batch": 0}
         assert [m[1].trial for m in messages[:-1]] == [0, 1]
 
     def test_spawn_config_carries_factory_spec(self):
@@ -149,7 +151,7 @@ class TestWorkerLoop:
             indices=(0,),
         )
         assert exit_status == 0
-        assert messages[-1] == ("done", {"trials": 1})
+        assert messages[-1] == ("done", {"trials": 1, "batch": 0})
 
     def test_spawned_worker_without_spec_errors(self):
         exit_status, messages = self._converse(factory=None, indices=(0,))
